@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: memory-controller bank parallelism (DESIGN.md §5.3).
+ *
+ * The loaded-latency curve that drives the whole method *emerges* from
+ * queueing at the banks; sweeping the bank count (at constant peak
+ * bandwidth, i.e. scaling per-bank service time with it) shows how the
+ * curve's steepness — and with it the ISx equilibrium — depends on that
+ * design choice.
+ */
+
+#include <cstdio>
+
+#include "platforms/platform.hh"
+#include "sim/system.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace lll;
+
+    platforms::Platform skl = platforms::skl();
+    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    sim::KernelSpec spec = isx->spec(skl, {});
+
+    Table t({"banks", "service (ns)", "BW (GB/s)", "true loaded lat (ns)",
+             "true L1 occupancy"});
+    t.setCaption("Ablation — bank parallelism at constant 128 GB/s peak "
+                 "(ISx base on SKL)");
+
+    for (unsigned banks : {14u, 28u, 56u, 112u, 224u}) {
+        sim::SystemParams sp = skl.sysParams(skl.totalCores, 1);
+        // Hold peak bandwidth fixed: service = banks * line / peak.
+        sp.mem.banksOverride = banks;
+        sp.mem.bankServiceNs =
+            banks * sp.lineBytes / skl.peakGBs;
+        sim::System sys(sp, spec);
+        sim::RunResult r = sys.run(15.0, 40.0);
+        t.addRow({std::to_string(banks),
+                  fmtDouble(sp.mem.bankServiceNs, 1),
+                  fmtDouble(r.totalGBs, 1),
+                  fmtDouble(r.avgMemLatencyNs, 1),
+                  fmtDouble(r.avgL1MshrOccupancy, 2)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\nAt constant peak bandwidth, many slow banks mean a "
+                "longer per-access service time and higher loaded "
+                "latency; with the L1 MSHR queue pinned (occupancy ~10 "
+                "in every row), Little's law turns that latency directly "
+                "into lost bandwidth.  The bank design choice shapes the "
+                "whole profile the method depends on.\n");
+    return 0;
+}

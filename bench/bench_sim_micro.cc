@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: event
+ * queue throughput, cache lookup/insert, MSHR allocate/deallocate,
+ * stateless op generation, and a small end-to-end system step.  These
+ * guard the simulation rate the table benches depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "platforms/platform.hh"
+#include "sim/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/mshr_queue.hh"
+#include "sim/op_stream.hh"
+#include "sim/system.hh"
+#include "util/rng.hh"
+
+using namespace lll;
+
+static void
+BM_EventQueue(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    uint64_t fired = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleIn(static_cast<Tick>(i * 7 % 97), [&] { ++fired; });
+        eq.runUntil(eq.now() + 100);
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueue);
+
+static void
+BM_MshrAllocate(benchmark::State &state)
+{
+    sim::MshrQueue q("bench", 16);
+    Tick now = 0;
+    uint64_t line = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 12; ++i)
+            q.allocate(line + i, sim::ReqType::DemandLoad, now++);
+        for (int i = 0; i < 12; ++i)
+            q.deallocate(q.lookup(line + i), now++);
+        line += 64;
+    }
+    state.SetItemsProcessed(state.iterations() * 24);
+}
+BENCHMARK(BM_MshrAllocate);
+
+static void
+BM_OpStream(benchmark::State &state)
+{
+    sim::KernelSpec spec;
+    sim::StreamDesc a;
+    a.kind = sim::StreamDesc::Kind::Random;
+    a.footprintLines = 1 << 20;
+    spec.streams.push_back(a);
+    sim::StreamDesc b;
+    b.kind = sim::StreamDesc::Kind::Sequential;
+    b.footprintLines = 1 << 18;
+    b.weight = 0.4;
+    spec.streams.push_back(b);
+    sim::OpStream ops(spec, 1, 1);
+    uint64_t n = 0;
+    uint64_t sum = 0;
+    for (auto _ : state) {
+        sum += ops.at(n++).lineAddr;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpStream);
+
+static void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    sim::RequestPool pool;
+    sim::Cache::Params cp;
+    cp.sets = 64;
+    cp.ways = 8;
+    cp.mshrs = 10;
+    sim::Cache l2(cp, eq, pool);
+    sim::Cache l1(cp, eq, pool);
+    sim::MemCtrl::Params mp;
+    sim::MemCtrl mem(mp, eq, pool);
+    l1.setDownstream(&l2);
+    l2.setDownstream(&mem);
+
+    // Warm a small set of lines via writebacks (installs directly).
+    for (uint64_t line = 0; line < 256; ++line) {
+        sim::MemRequest *wb = pool.alloc();
+        wb->lineAddr = line;
+        wb->type = sim::ReqType::Writeback;
+        l1.tryAccess(wb);
+    }
+
+    uint64_t line = 0;
+    for (auto _ : state) {
+        sim::MemRequest *req = pool.alloc();
+        req->lineAddr = line;
+        req->type = sim::ReqType::DemandLoad;
+        benchmark::DoNotOptimize(l1.tryAccess(req));
+        line = (line + 1) % 256;
+        eq.runUntil(eq.now() + 10000);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessHit);
+
+static void
+BM_SystemMicrostep(benchmark::State &state)
+{
+    platforms::Platform p = platforms::skl();
+    sim::KernelSpec spec;
+    sim::StreamDesc s;
+    s.kind = sim::StreamDesc::Kind::Random;
+    s.footprintLines = 1 << 18;
+    spec.streams.push_back(s);
+    spec.window = 8;
+    spec.computeCyclesPerOp = 4.0;
+    sim::SystemParams sp = p.sysParams(4, 1);
+    sim::System sys(sp, spec);
+    sys.run(2.0, 2.0);   // warm start
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.run(0.0001, 1.0).opsIssued);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemMicrostep);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Regenerates paper Table III: the experiment platforms, plus the
+ * calibrated simulator facts behind them (idle latency, peak FLOPs).
+ */
+
+#include <cstdio>
+
+#include "platforms/platform.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lll;
+    Table t({"Platform", "# Cores @ Rate", "Peak BW", "L1 MSHRs/core",
+             "L2 MSHRs/core", "Line", "SMT", "Peak DP"});
+    t.setCaption("Table III — Platforms used in experiments");
+    for (const platforms::Platform &p : platforms::allPlatforms()) {
+        t.addRow({p.description,
+                  std::to_string(p.totalCores) + " @ " +
+                      fmtDouble(p.freqGHz, 1) + "GHz",
+                  fmtDouble(p.peakGBs, 0) + " GB/s",
+                  std::to_string(p.l1Mshrs),
+                  (p.name == "a64fx" ? "~" : "") +
+                      std::to_string(p.l2Mshrs),
+                  std::to_string(p.lineBytes) + "B",
+                  std::to_string(p.maxSmtWays) + "-way",
+                  fmtDouble(p.peakGFlops / 1000.0, 2) + " TF"});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Regenerates paper Table IV: the isx optimization walk on SKL, KNL
+ * and A64FX (summary of program optimizations).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    lll::bench::runPaperTable("isx", "Table IV — ISx (count_local_keys)");
+    return 0;
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Regenerates paper Table V: the hpcg optimization walk on SKL, KNL
+ * and A64FX (summary of program optimizations).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    lll::bench::runPaperTable("hpcg", "Table V — HPCG (ComputeSPMV_ref)");
+    return 0;
+}

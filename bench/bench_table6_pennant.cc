@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Regenerates paper Table VI: the pennant optimization walk on SKL, KNL
+ * and A64FX (summary of program optimizations).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    lll::bench::runPaperTable("pennant", "Table VI — PENNANT (setCornerDiv)");
+    return 0;
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Regenerates paper Table VII: the comd optimization walk on SKL, KNL
+ * and A64FX (summary of program optimizations).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    lll::bench::runPaperTable("comd", "Table VII — CoMD (eamForce)");
+    return 0;
+}

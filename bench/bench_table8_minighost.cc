@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Regenerates paper Table VIII: the minighost optimization walk on SKL, KNL
+ * and A64FX (summary of program optimizations).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    lll::bench::runPaperTable("minighost", "Table VIII — MiniGhost (mg_stencil_3d27pt)");
+    return 0;
+}

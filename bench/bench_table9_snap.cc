@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Regenerates paper Table IX: the snap optimization walk on SKL, KNL
+ * and A64FX (summary of program optimizations).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    lll::bench::runPaperTable("snap", "Table IX — SNAP (dim3_sweep)");
+    return 0;
+}

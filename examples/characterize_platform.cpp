@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Platform characterization — the X-Mem step of the paper's method.
+ *
+ * Measures (or refreshes) the bandwidth→latency profile of a platform by
+ * sweeping injected load from near-idle to saturation, prints the curve,
+ * and derives the figures the analysis layer keys on: idle latency, peak
+ * achievable bandwidth, and the bandwidth ceilings implied by the L1 and
+ * L2 MSHR queues (the extra rooflines of paper Fig. 2).
+ *
+ *   ./characterize_platform [platform|all] [--fresh]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "lll/lll.hh"
+
+using namespace lll;
+
+static void
+characterize(const platforms::Platform &plat, bool fresh)
+{
+    xmem::XMemHarness harness;
+    std::string path = xmem::defaultProfilePath(plat);
+    if (fresh)
+        std::remove(path.c_str());
+    xmem::LatencyProfile profile = harness.measureCached(plat, path);
+
+    Table t({"BW (GB/s)", "% peak", "loaded latency (ns)",
+             "x idle"});
+    t.setCaption("Bandwidth -> latency profile: " + plat.description);
+    for (const xmem::LatencyProfile::Point &pt : profile.points()) {
+        t.addRow({fmtDouble(pt.bwGBs, 1),
+                  fmtDouble(pt.bwGBs / plat.peakGBs * 100.0, 0) + "%",
+                  fmtDouble(pt.latencyNs, 1),
+                  fmtDouble(pt.latencyNs / profile.idleLatencyNs(), 2)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    core::Roofline roof(plat, profile);
+    std::printf("derived figures:\n");
+    std::printf("  idle latency          : %.0f ns\n",
+                profile.idleLatencyNs());
+    std::printf("  peak achievable BW    : %.0f GB/s (%.0f%% of "
+                "theoretical)\n",
+                profile.maxMeasuredGBs(),
+                profile.maxMeasuredGBs() / plat.peakGBs * 100.0);
+    std::printf("  L1-MSHR BW ceiling    : %.0f GB/s (%u MSHRs x %d "
+                "cores)\n",
+                roof.mshrCeilingGBs(core::MshrLevel::L1, plat.totalCores),
+                plat.l1Mshrs, plat.totalCores);
+    std::printf("  L2-MSHR BW ceiling    : %.0f GB/s (%u MSHRs x %d "
+                "cores)\n",
+                roof.mshrCeilingGBs(core::MshrLevel::L2, plat.totalCores),
+                plat.l2Mshrs, plat.totalCores);
+    std::printf("  profile cached at     : %s\n\n", path.c_str());
+}
+
+int
+main(int argc, char **argv)
+{
+    std::string which = argc > 1 ? argv[1] : "all";
+    bool fresh = argc > 2 && std::strcmp(argv[2], "--fresh") == 0;
+    if (which == "all") {
+        for (const platforms::Platform &p : platforms::allPlatforms())
+            characterize(p, fresh);
+    } else {
+        characterize(platforms::byName(which), fresh);
+    }
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: the paper's whole method in ~60 lines.
+ *
+ * Analyze one routine (ISx's count_local_keys) on one platform (SKL):
+ * measure its bandwidth with portable counters, translate to loaded
+ * latency via the once-per-processor X-Mem profile, apply Little's law
+ * to get the observed MLP, compare against the limiting MSHR queue, and
+ * ask the recipe what to do next.
+ *
+ *   ./quickstart [platform] [workload]     (defaults: skl isx)
+ */
+
+#include <cstdio>
+
+#include "lll/lll.hh"
+
+using namespace lll;
+
+int
+main(int argc, char **argv)
+{
+    // 1. The platform (a simulated stand-in for the paper's hardware).
+    platforms::Platform plat =
+        platforms::byName(argc > 1 ? argv[1] : "skl");
+    workloads::WorkloadPtr work =
+        workloads::workloadByName(argc > 2 ? argv[2] : "isx");
+
+    std::printf("Platform : %s (%d cores, %.0f GB/s peak, %u/%u L1/L2 "
+                "MSHRs per core)\n",
+                plat.description.c_str(), plat.totalCores, plat.peakGBs,
+                plat.l1Mshrs, plat.l2Mshrs);
+    std::printf("Routine  : %s (%s)\n\n", work->routine().c_str(),
+                work->description().c_str());
+
+    // 2. The bandwidth->latency profile, measured once per processor
+    //    (cached under data/profiles/).
+    xmem::XMemHarness harness;
+    xmem::LatencyProfile profile =
+        harness.measureCached(plat, xmem::defaultProfilePath(plat));
+    std::printf("Profile  : idle %.0f ns, %.0f ns at peak achievable "
+                "%.0f GB/s\n\n",
+                profile.idleLatencyNs(),
+                profile.latencyAt(profile.maxMeasuredGBs()),
+                profile.maxMeasuredGBs());
+
+    // 3. Run the routine on a loaded node and profile it.
+    core::Experiment exp(plat, *work, profile);
+    const core::StageMetrics &m = exp.stage(workloads::OptSet{});
+
+    // 4. The metric: observed MLP via Little's law (Equation 2).
+    const core::Analysis &a = m.analysis;
+    std::printf("Measured : BW %.1f GB/s (%.0f%% of peak) -> loaded "
+                "latency %.0f ns\n",
+                a.bwGBs, a.pctPeak * 100.0, a.latencyNs);
+    std::printf("Little   : n_avg = %.0f ns x %.1f GB/s / %u B / %d "
+                "cores = %.2f\n",
+                a.latencyNs, a.bwGBs, plat.lineBytes, a.coresUsed,
+                a.nAvg);
+    std::printf("Limit    : %s MSHR queue, %u entries (%s accesses)\n\n",
+                core::mshrLevelName(a.limitingLevel), a.limitingMshrs,
+                core::accessClassName(a.accessClass));
+
+    // 5. The recipe (paper Figure 1).
+    core::Recipe recipe(plat);
+    core::RecipeDecision d = recipe.advise(a, workloads::OptSet{});
+    std::printf("Verdict  : %s\n\nRecommendations:\n", d.summary.c_str());
+    for (const core::Recommendation &r : d.recommendations) {
+        std::printf("  [%s] %-22s %s\n", r.recommended ? "TRY " : "skip",
+                    workloads::optName(r.opt), r.rationale.c_str());
+    }
+
+    // Validate the top recommendation end to end.
+    auto recs = d.recommendedOpts();
+    if (!recs.empty()) {
+        workloads::OptSet next = workloads::OptSet{}.with(recs.front());
+        double s = exp.speedup({}, next);
+        std::printf("\nApplying %s: measured speedup %.2fx\n",
+                    workloads::optName(recs.front()), s);
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Memory-trace inspection: attach a RequestTracer to the memory
+ * controller, run a workload, and summarize what reached memory —
+ * request mix, spatial locality, and the latency distribution
+ * percentiles.  Optionally dumps the trace window as CSV.
+ *
+ * The locality score makes the paper's random-vs-streaming
+ * classification visible at the request level: ISx scores near 0,
+ * HPCG near 1.
+ *
+ *   ./trace_memory [workload] [platform] [csv-path]
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "lll/lll.hh"
+#include "sim/tracer.hh"
+
+using namespace lll;
+
+int
+main(int argc, char **argv)
+{
+    workloads::WorkloadPtr work =
+        workloads::workloadByName(argc > 1 ? argv[1] : "isx");
+    platforms::Platform plat =
+        platforms::byName(argc > 2 ? argv[2] : "skl");
+
+    sim::KernelSpec spec = work->spec(plat, workloads::OptSet{});
+    sim::SystemParams sp = plat.sysParams(plat.totalCores, 1);
+    sim::System sys(sp, spec);
+
+    sim::RequestTracer tracer(1 << 15);
+    sys.mem().setTracer(&tracer);
+    sim::RunResult r = sys.run(work->warmupUs(), work->measureUs());
+
+    uint64_t demand = 0, hwpf = 0, swpf = 0, wb = 0;
+    for (const sim::RequestTracer::Event &ev : tracer.events()) {
+        switch (ev.type) {
+          case sim::ReqType::HwPrefetch: ++hwpf; break;
+          case sim::ReqType::SwPrefetch: ++swpf; break;
+          case sim::ReqType::Writeback:  ++wb; break;
+          default:                       ++demand; break;
+        }
+    }
+
+    std::printf("Memory trace: %s on %s\n", work->routine().c_str(),
+                plat.name.c_str());
+    std::printf("  recorded            : %zu events (of %llu total)\n",
+                tracer.size(),
+                static_cast<unsigned long long>(tracer.total()));
+    std::printf("  mix                 : %llu demand, %llu hw-pf, "
+                "%llu sw-pf, %llu writeback\n",
+                (unsigned long long)demand, (unsigned long long)hwpf,
+                (unsigned long long)swpf, (unsigned long long)wb);
+    std::printf("  locality score      : %.2f  (1.0 = streaming, "
+                "~0 = random)\n",
+                tracer.localityScore());
+    std::printf("  bandwidth           : %.1f GB/s (%.0f%% of peak)\n",
+                r.totalGBs, r.totalGBs / plat.peakGBs * 100.0);
+    std::printf("  latency mean/p50/p95/p99: %.0f / %.0f / %.0f / %.0f "
+                "ns\n",
+                r.avgMemLatencyNs, r.p50MemLatencyNs, r.p95MemLatencyNs,
+                r.p99MemLatencyNs);
+
+    if (argc > 3) {
+        std::ofstream out(argv[3]);
+        out << tracer.toCsv();
+        std::printf("  trace window written: %s\n", argv[3]);
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+#include "core/analyzer.hh"
+
+#include <algorithm>
+
+#include "core/littles_law.hh"
+#include "util/logging.hh"
+
+namespace lll::core
+{
+
+const char *
+accessClassName(AccessClass c)
+{
+    switch (c) {
+      case AccessClass::Random:    return "random";
+      case AccessClass::Streaming: return "streaming";
+    }
+    return "?";
+}
+
+const char *
+mshrLevelName(MshrLevel level)
+{
+    switch (level) {
+      case MshrLevel::L1: return "L1";
+      case MshrLevel::L2: return "L2";
+    }
+    return "?";
+}
+
+Analyzer::Analyzer(const platforms::Platform &platform,
+                   xmem::LatencyProfile profile)
+    : Analyzer(platform, std::move(profile), Params())
+{
+}
+
+Analyzer::Analyzer(const platforms::Platform &platform,
+                   xmem::LatencyProfile profile, Params params)
+    : platform_(platform), profile_(std::move(profile)), params_(params)
+{
+    lll_assert(!profile_.empty(), "analyzer needs a latency profile");
+    lll_assert(profile_.platformName() == platform_.name,
+               "profile is for '%s' but platform is '%s'",
+               profile_.platformName().c_str(), platform_.name.c_str());
+}
+
+Analysis
+Analyzer::analyze(const counters::RoutineProfile &routine, int cores_used,
+                  std::optional<bool> random_hint) const
+{
+    Analysis a;
+    a.routine = routine.routine;
+    a.platform = platform_.name;
+    a.coresUsed = cores_used;
+
+    a.bwGBs = routine.totalGBs;
+    a.pctPeak = a.bwGBs / platform_.peakGBs;
+
+    // The core of the method: look the loaded latency up at the
+    // *observed* bandwidth, then apply Little's law.
+    a.latencyNs = profile_.latencyAt(a.bwGBs);
+    a.idleLatencyNs = profile_.idleLatencyNs();
+    a.nAvg = mlpPerCore(a.bwGBs, a.latencyNs, platform_.lineBytes,
+                        cores_used);
+
+    a.demandFraction = routine.demandFraction;
+    a.demandFractionKnown = routine.demandFractionKnown;
+
+    bool random;
+    if (random_hint.has_value()) {
+        random = *random_hint;
+    } else if (routine.demandFractionKnown) {
+        random = routine.demandFraction > params_.randomDemandFraction;
+    } else {
+        // No counter and no user knowledge: assume streaming, the common
+        // case for HPC kernels (documented conservative default).
+        random = false;
+    }
+    a.accessClass = random ? AccessClass::Random : AccessClass::Streaming;
+    a.limitingLevel = random ? MshrLevel::L1 : MshrLevel::L2;
+    a.limitingMshrs = random ? platform_.l1Mshrs : platform_.l2Mshrs;
+    a.headroom = static_cast<double>(a.limitingMshrs) - a.nAvg;
+    a.nearMshrLimit =
+        a.nAvg >= params_.mshrFullFraction * a.limitingMshrs;
+
+    a.maxAchievableGBs = profile_.maxMeasuredGBs();
+    a.nearBandwidthLimit =
+        a.bwGBs >= params_.bwWallFraction * a.maxAchievableGBs;
+    return a;
+}
+
+} // namespace lll::core

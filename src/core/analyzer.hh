@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The performance analyzer: from a routine's measured bandwidth to its
+ * observed MLP and the MSHR queue that limits it (paper §III-D, the
+ * data-gathering half of Figure 1).
+ *
+ * Inputs are deliberately minimal and portable: the routine's bandwidth
+ * (from memory-traffic counters every vendor exposes) and the
+ * processor's bandwidth→latency profile (measured once with the X-Mem
+ * harness).  Everything else is derived.
+ */
+
+#ifndef LLL_CORE_ANALYZER_HH
+#define LLL_CORE_ANALYZER_HH
+
+#include <optional>
+#include <string>
+
+#include "counters/counter_bank.hh"
+#include "platforms/platform.hh"
+#include "xmem/latency_profile.hh"
+
+namespace lll::core
+{
+
+/** Dominant access behaviour of a routine. */
+enum class AccessClass
+{
+    Random,      //!< prefetcher ineffective; L1 MSHRQ is the limiter
+    Streaming,   //!< prefetcher effective; L2 MSHRQ is the limiter
+};
+
+const char *accessClassName(AccessClass c);
+
+/** Which MSHR queue bounds the routine's MLP. */
+enum class MshrLevel
+{
+    L1,
+    L2,
+};
+
+const char *mshrLevelName(MshrLevel level);
+
+/**
+ * Everything the recipe needs to know about one routine on one platform.
+ */
+struct Analysis
+{
+    std::string routine;
+    std::string platform;
+
+    double bwGBs = 0.0;
+    double pctPeak = 0.0;           //!< of theoretical peak
+    double latencyNs = 0.0;         //!< loaded latency at bwGBs (profile)
+    double idleLatencyNs = 0.0;     //!< for contrast
+    double nAvg = 0.0;              //!< observed MLP per core (Eq. 2)
+
+    AccessClass accessClass = AccessClass::Streaming;
+    MshrLevel limitingLevel = MshrLevel::L2;
+    unsigned limitingMshrs = 0;     //!< size of the limiting queue
+    double headroom = 0.0;          //!< limitingMshrs - nAvg
+
+    bool nearMshrLimit = false;     //!< nAvg within margin of the size
+    bool nearBandwidthLimit = false; //!< bw near peak achievable
+    double maxAchievableGBs = 0.0;  //!< from the profile sweep
+
+    double demandFraction = 1.0;
+    bool demandFractionKnown = false;
+
+    int coresUsed = 0;
+};
+
+/**
+ * Derives an Analysis from a routine profile.
+ */
+class Analyzer
+{
+  public:
+    struct Params
+    {
+        /** nAvg >= mshrFullFraction * queue size counts as "full". */
+        double mshrFullFraction = 0.88;
+        /** bw >= bwWallFraction * max achievable counts as the wall. */
+        double bwWallFraction = 0.92;
+        /** Demand share above which a routine classifies as Random when
+         *  no explicit hint is given. */
+        double randomDemandFraction = 0.6;
+    };
+
+    Analyzer(const platforms::Platform &platform,
+             xmem::LatencyProfile profile);
+    Analyzer(const platforms::Platform &platform,
+             xmem::LatencyProfile profile, Params params);
+
+    /**
+     * Analyze one routine.
+     *
+     * @param routine CrayPat-style per-routine bandwidth profile
+     * @param cores_used cores that drove the load
+     * @param random_hint user/a-priori knowledge of the access pattern
+     *        (paper: "if the routine is dominated by random memory
+     *        accesses"); falls back to the prefetch-fraction counter
+     */
+    Analysis analyze(const counters::RoutineProfile &routine,
+                     int cores_used,
+                     std::optional<bool> random_hint = std::nullopt) const;
+
+    const xmem::LatencyProfile &profile() const { return profile_; }
+    const platforms::Platform &platform() const { return platform_; }
+
+  private:
+    platforms::Platform platform_;
+    xmem::LatencyProfile profile_;
+    Params params_;
+};
+
+} // namespace lll::core
+
+#endif // LLL_CORE_ANALYZER_HH

@@ -1,0 +1,94 @@
+#include "core/experiment.hh"
+
+#include "util/logging.hh"
+
+namespace lll::core
+{
+
+Experiment::Experiment(const platforms::Platform &platform,
+                       const workloads::Workload &workload,
+                       xmem::LatencyProfile profile)
+    : Experiment(platform, workload, std::move(profile), Params())
+{
+}
+
+Experiment::Experiment(const platforms::Platform &platform,
+                       const workloads::Workload &workload,
+                       xmem::LatencyProfile profile, Params params)
+    : platform_(platform), workload_(workload),
+      analyzer_(platform, std::move(profile)), params_(params),
+      coresUsed_(params.coresUsed > 0 ? params.coresUsed
+                                      : platform.totalCores)
+{
+}
+
+const StageMetrics &
+Experiment::stage(const workloads::OptSet &opts)
+{
+    const std::string label = opts.label();
+    auto it = cache_.find(label);
+    if (it != cache_.end())
+        return it->second;
+
+    sim::KernelSpec spec = workload_.spec(platform_, opts);
+    sim::SystemParams sp = platform_.sysParams(coresUsed_, opts.smtWays());
+    sp.seed = params_.seed;
+    sim::System sys(sp, spec);
+    double warmup = params_.warmupUs > 0 ? params_.warmupUs
+                                         : workload_.warmupUs();
+    double measure = params_.measureUs > 0 ? params_.measureUs
+                                           : workload_.measureUs();
+    sim::RunResult run = sys.run(warmup, measure);
+
+    counters::RoutineProfiler profiler(platform_);
+    counters::RoutineProfile profile =
+        profiler.profile(run, workload_.routine());
+
+    StageMetrics m;
+    m.opts = opts;
+    m.label = label;
+    m.run = run;
+    m.profile = profile;
+    // Prefetch-to-L2 moves a random routine's outstanding misses into
+    // the L2 MSHR queue, so the analysis tracks the limiting level the
+    // way the paper reasons about ISx after software prefetching.
+    bool random = workload_.randomDominated() &&
+                  !opts.has(workloads::Opt::SwPrefetchL2);
+    m.analysis = analyzer_.analyze(profile, coresUsed_, random);
+    m.throughput = run.throughput;
+
+    return cache_.emplace(label, std::move(m)).first->second;
+}
+
+double
+Experiment::speedup(const workloads::OptSet &from,
+                    const workloads::OptSet &to)
+{
+    double base = stage(from).throughput;
+    double opt = stage(to).throughput;
+    lll_assert(base > 0.0, "zero baseline throughput");
+    return opt / base;
+}
+
+std::vector<TableRow>
+Experiment::paperTable()
+{
+    std::vector<TableRow> rows;
+    for (const workloads::ExperimentRow &er :
+         workload_.paperRows(platform_)) {
+        const StageMetrics &src = stage(er.source);
+        TableRow row;
+        row.source = src.label;
+        row.bwGBs = src.analysis.bwGBs;
+        row.pctPeak = src.analysis.pctPeak;
+        row.latencyNs = src.analysis.latencyNs;
+        row.nAvg = src.analysis.nAvg;
+        row.optLabel = er.optLabel;
+        row.paperSpeedup = er.paperSpeedup;
+        row.speedup = er.applied ? speedup(er.source, *er.applied) : 0.0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace lll::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment runner: executes a workload's optimization walk on a
+ * platform and produces the rows of the paper's Tables IV–IX.
+ *
+ * Each unique optimization state is simulated once (results are cached
+ * by label); rows report the paper's columns — observed bandwidth with
+ * percent of peak, loaded latency from the X-Mem profile, the Little's-
+ * law n_avg — plus the measured speedup of the optimization tried on top.
+ */
+
+#ifndef LLL_CORE_EXPERIMENT_HH
+#define LLL_CORE_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hh"
+#include "core/recipe.hh"
+#include "counters/counter_bank.hh"
+#include "platforms/platform.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+#include "xmem/latency_profile.hh"
+
+namespace lll::core
+{
+
+/** One simulated optimization state of a workload. */
+struct StageMetrics
+{
+    workloads::OptSet opts;
+    std::string label;
+    sim::RunResult run;
+    counters::RoutineProfile profile;
+    Analysis analysis;
+    /** Work units per second — the speedup basis. */
+    double throughput = 0.0;
+};
+
+/** One rendered table row (paper Tables IV–IX shape). */
+struct TableRow
+{
+    std::string source;        //!< variant label
+    double bwGBs = 0.0;
+    double pctPeak = 0.0;
+    double latencyNs = 0.0;
+    double nAvg = 0.0;
+    std::string optLabel;      //!< optimization tried ("-" for none)
+    double speedup = 0.0;      //!< measured; 0 when none tried
+    double paperSpeedup = 0.0; //!< the paper's number for comparison
+};
+
+/**
+ * Runs one (platform, workload) experiment.
+ */
+class Experiment
+{
+  public:
+    struct Params
+    {
+        /** Zero means "use the workload's own window lengths". */
+        double warmupUs = 0.0;
+        double measureUs = 0.0;
+        int coresUsed = 0;      //!< 0 = all cores (paper's loaded run)
+        uint64_t seed = 7;
+    };
+
+    Experiment(const platforms::Platform &platform,
+               const workloads::Workload &workload,
+               xmem::LatencyProfile profile);
+    Experiment(const platforms::Platform &platform,
+               const workloads::Workload &workload,
+               xmem::LatencyProfile profile, Params params);
+
+    /** Simulate (or fetch the cached) state @p opts. */
+    const StageMetrics &stage(const workloads::OptSet &opts);
+
+    /** Measured speedup of @p to over @p from (throughput ratio). */
+    double speedup(const workloads::OptSet &from,
+                   const workloads::OptSet &to);
+
+    /** Run the workload's full paper walk and render the rows. */
+    std::vector<TableRow> paperTable();
+
+    const platforms::Platform &platform() const { return platform_; }
+    const workloads::Workload &workload() const { return workload_; }
+    const Analyzer &analyzer() const { return analyzer_; }
+    int coresUsed() const { return coresUsed_; }
+
+  private:
+    platforms::Platform platform_;
+    const workloads::Workload &workload_;
+    Analyzer analyzer_;
+    Params params_;
+    int coresUsed_;
+    std::map<std::string, StageMetrics> cache_;
+};
+
+} // namespace lll::core
+
+#endif // LLL_CORE_EXPERIMENT_HH

@@ -1,0 +1,32 @@
+#include "core/littles_law.hh"
+
+#include "util/logging.hh"
+
+namespace lll::core
+{
+
+double
+littlesLaw(double bw_gbs, double lat_ns, unsigned line_bytes)
+{
+    lll_assert(bw_gbs >= 0.0 && lat_ns >= 0.0 && line_bytes > 0,
+               "littlesLaw: bad arguments");
+    // GB/s is bytes/ns, so bw * lat is bytes in flight.
+    return bw_gbs * lat_ns / static_cast<double>(line_bytes);
+}
+
+double
+littlesLawFromRate(double requests, double seconds, double lat_ns)
+{
+    lll_assert(seconds > 0.0, "littlesLawFromRate: empty window");
+    return requests / seconds * lat_ns * 1e-9;
+}
+
+double
+mlpPerCore(double bw_gbs, double lat_ns, unsigned line_bytes,
+           int cores_used)
+{
+    lll_assert(cores_used > 0, "mlpPerCore: no cores");
+    return littlesLaw(bw_gbs, lat_ns, line_bytes) / cores_used;
+}
+
+} // namespace lll::core

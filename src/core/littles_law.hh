@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Little's law for memory systems — Equations 1 and 2 of the paper.
+ *
+ * The long-term average number of outstanding memory requests equals the
+ * request arrival rate times the average time each request stays in the
+ * system:
+ *
+ *     n_avg = lat_avg * R / T                 (Equation 1)
+ *     n_avg = lat_avg * BW / cls              (Equation 2)
+ *
+ * where BW = R * cls / T.  With BW in GB/s (= bytes/ns), lat in ns and
+ * cls in bytes, n_avg comes out in cache lines — the observed MLP, i.e.
+ * the average MSHR-queue occupancy the paper's whole method revolves
+ * around.
+ */
+
+#ifndef LLL_CORE_LITTLES_LAW_HH
+#define LLL_CORE_LITTLES_LAW_HH
+
+namespace lll::core
+{
+
+/**
+ * Equation 2: node-wide average outstanding lines.
+ *
+ * @param bw_gbs achieved memory bandwidth in GB/s
+ * @param lat_ns average observed (loaded) memory latency in ns
+ * @param line_bytes cache line size at the level of interest
+ */
+double littlesLaw(double bw_gbs, double lat_ns, unsigned line_bytes);
+
+/**
+ * Equation 1: node-wide average outstanding requests from raw counts.
+ *
+ * @param requests total memory requests R in the window
+ * @param seconds window length T
+ * @param lat_ns average observed latency
+ */
+double littlesLawFromRate(double requests, double seconds, double lat_ns);
+
+/**
+ * Per-core observed MLP — the n_avg the paper's tables report.
+ *
+ * @param cores_used cores driving the measured bandwidth
+ */
+double mlpPerCore(double bw_gbs, double lat_ns, unsigned line_bytes,
+                  int cores_used);
+
+} // namespace lll::core
+
+#endif // LLL_CORE_LITTLES_LAW_HH

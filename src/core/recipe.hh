@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The optimization recipe — paper Figure 1 as an explicit decision
+ * engine.
+ *
+ * Given an Analysis (observed MLP vs the limiting MSHR queue, bandwidth
+ * vs peak achievable), the recipe says which program optimizations can
+ * still pay off, which cannot, and why — the "concrete actionable steps"
+ * the paper finds missing from existing tools.
+ */
+
+#ifndef LLL_CORE_RECIPE_HH
+#define LLL_CORE_RECIPE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hh"
+#include "workloads/optimization.hh"
+
+namespace lll::core
+{
+
+/** One piece of advice about one optimization. */
+struct Recommendation
+{
+    workloads::Opt opt;
+    bool recommended = false;
+    std::string rationale;
+};
+
+/** The recipe's verdict for one routine state. */
+struct RecipeDecision
+{
+    /** Headline situation, e.g. "L1 MSHRQ effectively full". */
+    std::string summary;
+
+    /** Per-optimization advice, recommended entries first. */
+    std::vector<Recommendation> recommendations;
+
+    /** True when the recipe says stop (no MLP headroom anywhere and no
+     *  occupancy-reducing option left untried). */
+    bool stop = false;
+
+    /** Convenience: recommended opts in priority order. */
+    std::vector<workloads::Opt> recommendedOpts() const;
+};
+
+/**
+ * The Figure 1 flowchart.
+ */
+class Recipe
+{
+  public:
+    explicit Recipe(const platforms::Platform &platform);
+
+    /**
+     * Advise on the next optimization for a routine in state @p applied
+     * with measurements @p analysis.
+     */
+    RecipeDecision advise(const Analysis &analysis,
+                          const workloads::OptSet &applied) const;
+
+  private:
+    platforms::Platform platform_;
+};
+
+} // namespace lll::core
+
+#endif // LLL_CORE_RECIPE_HH

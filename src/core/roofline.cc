@@ -1,0 +1,88 @@
+#include "core/roofline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lll::core
+{
+
+Roofline::Roofline(const platforms::Platform &platform,
+                   xmem::LatencyProfile profile)
+    : platform_(platform), profile_(std::move(profile))
+{
+    lll_assert(!profile_.empty(), "roofline needs a latency profile");
+}
+
+double
+Roofline::mshrCeilingGBs(unsigned mshrs, int cores_used) const
+{
+    lll_assert(mshrs > 0 && cores_used > 0, "bad MSHR ceiling query");
+    // Fixed point of bw = cores * mshrs * cls / lat(bw); the right side
+    // is decreasing in bw, so simple damped iteration converges fast.
+    const double lines =
+        static_cast<double>(mshrs) * cores_used * platform_.lineBytes;
+    double bw = platform_.peakGBs * 0.5;
+    for (int i = 0; i < 64; ++i) {
+        double next = lines / profile_.latencyAt(bw);
+        bw = 0.5 * (bw + next);
+    }
+    return std::min(bw, platform_.peakGBs);
+}
+
+double
+Roofline::mshrCeilingGBs(MshrLevel level, int cores_used) const
+{
+    unsigned mshrs = level == MshrLevel::L1 ? platform_.l1Mshrs
+                                            : platform_.l2Mshrs;
+    return mshrCeilingGBs(mshrs, cores_used);
+}
+
+double
+Roofline::attainableGFlops(double intensity, double bw_ceiling_gbs) const
+{
+    lll_assert(intensity > 0.0, "intensity must be positive");
+    return std::min(platform_.peakGFlops, bw_ceiling_gbs * intensity);
+}
+
+double
+Roofline::attainableGFlops(double intensity) const
+{
+    return attainableGFlops(intensity, platform_.peakGBs);
+}
+
+double
+Roofline::ridgeIntensity() const
+{
+    return platform_.peakGFlops / platform_.peakGBs;
+}
+
+std::vector<Roofline::SeriesPoint>
+Roofline::series(double min_intensity, double max_intensity, int points,
+                 int cores_used) const
+{
+    lll_assert(points >= 2 && min_intensity > 0.0 &&
+                   max_intensity > min_intensity,
+               "bad roofline series request");
+    const double l1_bw = mshrCeilingGBs(MshrLevel::L1, cores_used);
+    const double l2_bw = mshrCeilingGBs(MshrLevel::L2, cores_used);
+
+    std::vector<SeriesPoint> out;
+    out.reserve(points);
+    const double log_min = std::log2(min_intensity);
+    const double log_max = std::log2(max_intensity);
+    for (int i = 0; i < points; ++i) {
+        double t = static_cast<double>(i) / (points - 1);
+        double intensity = std::exp2(log_min + t * (log_max - log_min));
+        SeriesPoint pt;
+        pt.intensity = intensity;
+        pt.classicGFlops = attainableGFlops(intensity);
+        pt.l1CeilingGFlops = attainableGFlops(intensity, l1_bw);
+        pt.l2CeilingGFlops = attainableGFlops(intensity, l2_bw);
+        out.push_back(pt);
+    }
+    return out;
+}
+
+} // namespace lll::core

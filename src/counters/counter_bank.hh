@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A vendor-filtered view of one measurement window's counters.
+ *
+ * The bank is constructed from a RunResult (the simulator's ground truth)
+ * but read through the vendor visibility matrix: a request for an event
+ * the vendor does not expose returns std::nullopt, exactly like a PMU
+ * programming failure on real hardware.  The analyzer layer restricts
+ * itself to readOrDie() on portable events only.
+ */
+
+#ifndef LLL_COUNTERS_COUNTER_BANK_HH
+#define LLL_COUNTERS_COUNTER_BANK_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "counters/event_kind.hh"
+#include "counters/vendor_matrix.hh"
+#include "platforms/platform.hh"
+#include "sim/system.hh"
+
+namespace lll::counters
+{
+
+/**
+ * Counter values for one routine's measurement window.
+ */
+class CounterBank
+{
+  public:
+    /**
+     * Snapshot the window described by @p run on a platform of vendor
+     * @p vendor running at @p freq_ghz.
+     */
+    CounterBank(const sim::RunResult &run, platforms::Vendor vendor,
+                double freq_ghz);
+
+    /** Read an event; nullopt when the vendor does not expose it. */
+    std::optional<uint64_t> read(EventKind kind) const;
+
+    /** Read an event that must be visible (fatal otherwise). */
+    uint64_t readOrDie(EventKind kind) const;
+
+    platforms::Vendor vendor() const { return vendor_; }
+
+    /** Window length in seconds (wall clock of the routine). */
+    double seconds() const { return seconds_; }
+
+  private:
+    platforms::Vendor vendor_;
+    double seconds_;
+    std::array<uint64_t, static_cast<size_t>(EventKind::NumEvents)> raw_{};
+};
+
+/**
+ * Per-routine bandwidth profile the way CrayPat reports it: derived only
+ * from portable counters (memory reads/writes and time).
+ */
+struct RoutineProfile
+{
+    std::string routine;
+    double seconds = 0.0;
+    double readGBs = 0.0;
+    double writeGBs = 0.0;
+    double totalGBs = 0.0;
+
+    /** Demand share of memory reads; meaningful only when known. */
+    double demandFraction = 1.0;
+    bool demandFractionKnown = false;
+};
+
+/**
+ * Builds RoutineProfiles for a platform, mimicking CrayPat's default
+ * output (observed bandwidth per routine).
+ */
+class RoutineProfiler
+{
+  public:
+    explicit RoutineProfiler(const platforms::Platform &platform);
+
+    /** Profile one routine's measurement window. */
+    RoutineProfile
+    profile(const sim::RunResult &run, const std::string &routine) const;
+
+  private:
+    platforms::Platform platform_;
+};
+
+} // namespace lll::counters
+
+#endif // LLL_COUNTERS_COUNTER_BANK_HH

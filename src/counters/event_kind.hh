@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The performance-counter event taxonomy.
+ *
+ * The paper's central portability claim is that only *memory traffic*
+ * counters (reads/writes reaching memory) are needed for its method, and
+ * that those exist on every contemporary processor, while stall-breakdown
+ * and latency events vary wildly by vendor (paper Table I).  This module
+ * encodes that taxonomy so the analysis layer can be restricted — by
+ * construction — to the portable subset.
+ */
+
+#ifndef LLL_COUNTERS_EVENT_KIND_HH
+#define LLL_COUNTERS_EVENT_KIND_HH
+
+#include <cstdint>
+
+namespace lll::counters
+{
+
+/** Counter events the simulated PMU can expose. */
+enum class EventKind : uint8_t
+{
+    // --- portable events (available on every vendor) -------------------
+    Cycles,
+    MemReadLines,        //!< lines read from memory (L3 miss / BUS_READ)
+    MemWriteLines,       //!< lines written to memory (writebacks)
+
+    // --- commonly available, vendor-dependent --------------------------
+    L1DemandMisses,
+    L2DemandMisses,
+    HwPrefetchMemLines,  //!< memory reads initiated by the HW prefetcher
+    SwPrefetchMemLines,
+
+    // --- rarely available (the gaps of paper Table I) ------------------
+    L1MshrFullStalls,
+    L2MshrFullStalls,
+    LoadLatencyAbove512, //!< Intel load-latency facility (binned, fuzzy)
+
+    NumEvents,
+};
+
+const char *eventName(EventKind kind);
+
+/** True for the events the paper's method is allowed to rely on. */
+bool isPortable(EventKind kind);
+
+} // namespace lll::counters
+
+#endif // LLL_COUNTERS_EVENT_KIND_HH

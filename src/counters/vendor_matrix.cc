@@ -1,0 +1,124 @@
+#include "counters/vendor_matrix.hh"
+
+#include "util/logging.hh"
+
+namespace lll::counters
+{
+
+using platforms::Vendor;
+
+const char *
+eventName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Cycles:              return "cycles";
+      case EventKind::MemReadLines:        return "mem_read_lines";
+      case EventKind::MemWriteLines:       return "mem_write_lines";
+      case EventKind::L1DemandMisses:      return "l1_demand_misses";
+      case EventKind::L2DemandMisses:      return "l2_demand_misses";
+      case EventKind::HwPrefetchMemLines:  return "hw_prefetch_mem_lines";
+      case EventKind::SwPrefetchMemLines:  return "sw_prefetch_mem_lines";
+      case EventKind::L1MshrFullStalls:    return "l1_mshrq_full_stalls";
+      case EventKind::L2MshrFullStalls:    return "l2_mshrq_full_stalls";
+      case EventKind::LoadLatencyAbove512: return "load_latency_gt_512";
+      case EventKind::NumEvents:           break;
+    }
+    return "?";
+}
+
+bool
+isPortable(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Cycles:
+      case EventKind::MemReadLines:
+      case EventKind::MemWriteLines:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+visibilityName(Visibility v)
+{
+    switch (v) {
+      case Visibility::None:        return "No";
+      case Visibility::VeryLimited: return "Very limited";
+      case Visibility::Limited:     return "Limited";
+      case Visibility::Full:        return "Yes";
+    }
+    return "?";
+}
+
+Visibility
+visibility(Vendor vendor, EventKind kind)
+{
+    // Portable events first: every vendor exposes cycles and memory
+    // traffic (x86 via L3-miss offcore responses, ARM via BUS_*_TOTAL_MEM).
+    if (isPortable(kind))
+        return Visibility::Full;
+
+    switch (kind) {
+      case EventKind::L1DemandMisses:
+      case EventKind::L2DemandMisses:
+        return vendor == Vendor::Cavium ? Visibility::Limited
+                                        : Visibility::Full;
+
+      case EventKind::HwPrefetchMemLines:
+      case EventKind::SwPrefetchMemLines:
+        // Exposed on Intel/AMD/Fujitsu; determinable on others only by
+        // disabling the prefetcher [33].
+        return vendor == Vendor::Cavium ? Visibility::None
+                                        : Visibility::Limited;
+
+      case EventKind::L1MshrFullStalls:
+        // Paper Table I row: Intel and AMD yes, Cavium and Fujitsu no.
+        return (vendor == Vendor::Intel || vendor == Vendor::Amd)
+                   ? Visibility::Full
+                   : Visibility::None;
+
+      case EventKind::L2MshrFullStalls:
+        // Paper Table I row: no vendor exposes these.
+        return Visibility::None;
+
+      case EventKind::LoadLatencyAbove512:
+        // The Intel load-latency facility (PEBS); AMD has IBS.  Binned
+        // and imprecise, per the paper's §II analysis.
+        return (vendor == Vendor::Intel || vendor == Vendor::Amd)
+                   ? Visibility::Limited
+                   : Visibility::None;
+
+      default:
+        return Visibility::None;
+    }
+}
+
+bool
+isReadable(Vendor vendor, EventKind kind)
+{
+    return visibility(vendor, kind) != Visibility::None;
+}
+
+std::vector<VendorSummary>
+vendorSummaries()
+{
+    auto row = [](Vendor v, Visibility stalls) {
+        VendorSummary s;
+        s.vendor = v;
+        s.stallBreakdown = stalls;
+        s.l1MshrFullStalls = visibility(v, EventKind::L1MshrFullStalls);
+        s.l2MshrFullStalls = visibility(v, EventKind::L2MshrFullStalls);
+        s.memoryLatency = visibility(v, EventKind::LoadLatencyAbove512);
+        s.memoryTraffic = visibility(v, EventKind::MemReadLines);
+        return s;
+    };
+    return {
+        row(Vendor::Intel, Visibility::Limited),
+        row(Vendor::Amd, Visibility::Limited),
+        row(Vendor::Cavium, Visibility::VeryLimited),
+        row(Vendor::Fujitsu, Visibility::Limited),
+    };
+}
+
+} // namespace lll::counters

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Vendor visibility matrix — paper Table I in code.
+ *
+ * Reads of non-visible events fail, which is how the library proves the
+ * portability property: the Little's-law analyzer only ever requests
+ * events that every vendor row marks visible.
+ */
+
+#ifndef LLL_COUNTERS_VENDOR_MATRIX_HH
+#define LLL_COUNTERS_VENDOR_MATRIX_HH
+
+#include <string>
+#include <vector>
+
+#include "counters/event_kind.hh"
+#include "platforms/platform.hh"
+
+namespace lll::counters
+{
+
+/** How well a vendor exposes a class of events. */
+enum class Visibility
+{
+    None,
+    VeryLimited,
+    Limited,
+    Full,
+};
+
+const char *visibilityName(Visibility v);
+
+/** Visibility of @p kind on @p vendor (paper Table I, extended). */
+Visibility visibility(platforms::Vendor vendor, EventKind kind);
+
+/** True if reading @p kind on @p vendor is possible at all. */
+bool isReadable(platforms::Vendor vendor, EventKind kind);
+
+/**
+ * Paper Table I rows: the qualitative stall/latency visibility summary.
+ */
+struct VendorSummary
+{
+    platforms::Vendor vendor;
+    Visibility stallBreakdown;
+    Visibility l1MshrFullStalls;
+    Visibility l2MshrFullStalls;
+    Visibility memoryLatency;
+    Visibility memoryTraffic;   //!< always Full — the paper's point
+};
+
+std::vector<VendorSummary> vendorSummaries();
+
+} // namespace lll::counters
+
+#endif // LLL_COUNTERS_VENDOR_MATRIX_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Umbrella header for the LLL library — performance analysis and
+ * optimization with Little's law.
+ *
+ * Typical flow (see examples/quickstart.cpp):
+ *
+ *   1. pick a platform            platforms::byName("skl")
+ *   2. characterize it once       xmem::XMemHarness().measureCached(...)
+ *   3. run/profile a routine      core::Experiment / counters::*
+ *   4. derive the MLP             core::Analyzer (Little's law, Eq. 2)
+ *   5. ask for guidance           core::Recipe (paper Fig. 1)
+ */
+
+#ifndef LLL_LLL_HH
+#define LLL_LLL_HH
+
+#include "core/analyzer.hh"
+#include "core/experiment.hh"
+#include "core/littles_law.hh"
+#include "core/recipe.hh"
+#include "core/roofline.hh"
+#include "core/tma.hh"
+#include "counters/counter_bank.hh"
+#include "counters/vendor_matrix.hh"
+#include "platforms/platform.hh"
+#include "sim/system.hh"
+#include "util/table.hh"
+#include "workloads/optimization.hh"
+#include "workloads/workload.hh"
+#include "xmem/latency_profile.hh"
+#include "xmem/xmem_harness.hh"
+
+#endif // LLL_LLL_HH

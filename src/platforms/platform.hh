@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Platform descriptions: the three processors of paper Table III plus
+ * the vendor taxonomy of paper Table I.
+ *
+ * A Platform couples the marketing-level facts the paper tabulates
+ * (cores, peak bandwidth, L1/L2 MSHRs per core) with a calibrated
+ * SystemParams prototype for the simulator.  Calibration targets the
+ * paper's implied idle and loaded latencies; see DESIGN.md §5.
+ */
+
+#ifndef LLL_PLATFORMS_PLATFORM_HH
+#define LLL_PLATFORMS_PLATFORM_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace lll::platforms
+{
+
+/** Processor vendor, for the counter-visibility matrix (paper Table I). */
+enum class Vendor
+{
+    Intel,
+    Amd,
+    Cavium,
+    Fujitsu,
+};
+
+const char *vendorName(Vendor v);
+
+/**
+ * One processor: paper-level metadata plus a simulator configuration.
+ */
+struct Platform
+{
+    std::string name;        //!< short id: "skl", "knl", "a64fx"
+    std::string description; //!< e.g. "Xeon Platinum 8160 (SKL)"
+    Vendor vendor = Vendor::Intel;
+    std::string isa = "x86-64";
+    std::string memoryTech = "DDR4";
+
+    int totalCores = 1;
+    unsigned maxSmtWays = 1;
+    double freqGHz = 2.0;
+    double peakGBs = 100.0;
+    double peakGFlops = 1000.0;  //!< DP peak (roofline horizontal)
+    unsigned lineBytes = 64;
+    unsigned l1Mshrs = 10;
+    unsigned l2Mshrs = 16;
+    unsigned vectorLanes = 8;   //!< doubles per SIMD vector
+
+    /** Prototype simulator parameters (cores/threads overridden below). */
+    sim::SystemParams proto;
+
+    /**
+     * Build simulator parameters for a run using @p cores_used cores and
+     * @p threads_per_core SMT ways.
+     */
+    sim::SystemParams
+    sysParams(int cores_used, unsigned threads_per_core) const;
+
+    /** Default core count for loaded runs (paper: all usable cores). */
+    int defaultCores() const { return totalCores; }
+};
+
+/** Intel Xeon Platinum 8160 "Skylake" (paper Table III row 1). */
+Platform skl();
+
+/** Intel Xeon Phi 7250 "Knights Landing", flat MCDRAM (row 2). */
+Platform knl();
+
+/** Fujitsu A64FX with HBM2 (row 3). */
+Platform a64fx();
+
+/** The three experiment platforms, in paper order. */
+std::vector<Platform> allPlatforms();
+
+/** Look up by short id ("skl", "knl", "a64fx"); fatal if unknown. */
+Platform byName(const std::string &name);
+
+} // namespace lll::platforms
+
+#endif // LLL_PLATFORMS_PLATFORM_HH

@@ -1,0 +1,356 @@
+#include "sim/cache.hh"
+
+#include "sim/stream_prefetcher.hh"
+#include "sim/thread_context.hh"
+
+namespace lll::sim
+{
+
+void
+Cache::CacheStats::reset()
+{
+    demandHits.reset();
+    demandMisses.reset();
+    demandMshrHits.reset();
+    prefetchFills.reset();
+    prefetchUseful.reset();
+    prefetchDropped.reset();
+    writebacksOut.reset();
+    fills.reset();
+}
+
+Cache::Cache(const Params &params, EventQueue &eq, RequestPool &pool)
+    : params_(params), eq_(eq), pool_(pool),
+      mshrs_(params.name + ".mshrs", params.mshrs)
+{
+    lll_assert((params_.sets & (params_.sets - 1)) == 0,
+               "%s: sets must be a power of two", params_.name.c_str());
+    lll_assert(params_.ways > 0, "%s: ways must be positive",
+               params_.name.c_str());
+    lines_.resize(static_cast<size_t>(params_.sets) * params_.ways);
+}
+
+unsigned
+Cache::setIndex(uint64_t lineAddr) const
+{
+    uint64_t x = lineAddr;
+    if (params_.hashedSets) {
+        x ^= x >> 17;
+        x *= 0xed5ad4bbac4c1b51ULL;
+        x ^= x >> 28;
+    }
+    return static_cast<unsigned>(x & (params_.sets - 1));
+}
+
+Cache::Line *
+Cache::lookup(uint64_t lineAddr)
+{
+    Line *set = &lines_[static_cast<size_t>(setIndex(lineAddr)) *
+                        params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (set[w].valid && set[w].lineAddr == lineAddr)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+bool
+Cache::isResident(uint64_t lineAddr) const
+{
+    return const_cast<Cache *>(this)->lookup(lineAddr) != nullptr;
+}
+
+Cache::Line *
+Cache::insert(uint64_t lineAddr, bool dirty, bool prefetched)
+{
+    Line *set = &lines_[static_cast<size_t>(setIndex(lineAddr)) *
+                        params_.ways];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUsed < victim->lastUsed)
+            victim = &set[w];
+    }
+
+    if (victim->valid && victim->dirty) {
+        // Dirty eviction: write the victim back downstream.  Writebacks
+        // are never refused (write buffers, not MSHRs, carry them).
+        MemRequest *wb = pool_.alloc();
+        wb->lineAddr = victim->lineAddr;
+        wb->type = ReqType::Writeback;
+        wb->issued = eq_.now();
+        ++stats_.writebacksOut;
+        bool ok = down_->tryAccess(wb);
+        lll_assert(ok, "%s: downstream refused a writeback",
+                   params_.name.c_str());
+    }
+
+    victim->lineAddr = lineAddr;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->prefetched = prefetched;
+    victim->lastUsed = ++useClock_;
+    return victim;
+}
+
+bool
+Cache::tryAccess(MemRequest *req)
+{
+    const Tick now = eq_.now();
+
+    if (req->type == ReqType::Writeback) {
+        // A dirty line arriving from the level above: update in place if
+        // resident, otherwise install it (which may cascade an eviction).
+        if (Line *line = lookup(req->lineAddr)) {
+            line->dirty = true;
+            line->lastUsed = ++useClock_;
+        } else {
+            insert(req->lineAddr, /*dirty=*/true, /*prefetched=*/false);
+        }
+        pool_.free(req);
+        return true;
+    }
+
+    if (Line *line = lookup(req->lineAddr)) {
+        // Hit.
+        line->lastUsed = ++useClock_;
+        ++stats_.demandHits;
+        if (line->prefetched) {
+            ++stats_.prefetchUseful;
+            line->prefetched = false;
+        }
+        if (req->isStore())
+            line->dirty = true;
+        if (req->origin) {
+            // Fill request from the level above: respond with the line.
+            MemRequest *resp = req;
+            eq_.schedule(now + params_.accessLat,
+                         [resp] { resp->origin->handleFill(resp); });
+        } else if (req->requester) {
+            MemRequest *op = req;
+            eq_.schedule(now + params_.accessLat,
+                         [op] { op->requester->opComplete(op); });
+        } else {
+            pool_.free(req);
+        }
+        if (prefetcher_ && isDemand(req->type))
+            prefetcher_->observe(req->lineAddr, req->core);
+        return true;
+    }
+
+    // Miss.
+    if (Mshr *mshr = mshrs_.lookup(req->lineAddr)) {
+        // The line is already being fetched; coalesce.
+        ++stats_.demandMshrHits;
+        if (isDemand(req->type) && mshr->originType == ReqType::HwPrefetch)
+            ++stats_.prefetchUseful;   // late but still overlapping
+        mshr->targets.push_back(req);
+        if (prefetcher_ && isDemand(req->type))
+            prefetcher_->observe(req->lineAddr, req->core);
+        return true;
+    }
+
+    if (mshrs_.full()) {
+        mshrs_.recordFullStall();
+        return false;
+    }
+
+    ++stats_.demandMisses;
+    Mshr *mshr = mshrs_.allocate(req->lineAddr, req->type, now);
+    mshr->targets.push_back(req);
+
+    MemRequest *fill = pool_.alloc();
+    fill->lineAddr = req->lineAddr;
+    fill->type = ReqType::DemandLoad;
+    fill->core = req->core;
+    fill->thread = req->thread;
+    fill->issued = now;
+    fill->origin = this;
+    eq_.schedule(now + params_.accessLat, [this, fill] {
+        sendDownstream(fill);
+    });
+
+    if (prefetcher_ && isDemand(req->type))
+        prefetcher_->observe(req->lineAddr, req->core);
+    return true;
+}
+
+PrefetchOutcome
+Cache::tryPrefetch(uint64_t lineAddr, ReqType type, int core, int thread)
+{
+    lll_assert(type == ReqType::SwPrefetch || type == ReqType::HwPrefetch,
+               "tryPrefetch with non-prefetch type");
+    if (lookup(lineAddr) != nullptr)
+        return PrefetchOutcome::Covered;    // already resident
+    if (mshrs_.lookup(lineAddr) != nullptr)
+        return PrefetchOutcome::Covered;    // already in flight
+
+    // Keep a few MSHRs free for demand traffic.  Under pressure, chain
+    // the prefetch to the next cache level if there is one (Intel's L2
+    // streamer demotes to LLC prefetches in this situation), or defer it
+    // to the local prefetch queue; drop it when that is full too.
+    unsigned size = mshrs_.size();
+    if (size != 0 && mshrs_.used() + params_.prefetchReserve >= size) {
+        if (downCache_ != nullptr) {
+            PrefetchOutcome out =
+                downCache_->tryPrefetch(lineAddr, type, core, thread);
+            if (out != PrefetchOutcome::Dropped)
+                return out;
+        }
+        if (deferredPf_.size() < params_.prefetchQueue) {
+            deferredPf_.push_back({lineAddr, type, core, thread});
+            return PrefetchOutcome::Deferred;
+        }
+        ++stats_.prefetchDropped;
+        return PrefetchOutcome::Dropped;
+    }
+
+    startPrefetch(lineAddr, type, core, thread);
+    return PrefetchOutcome::Started;
+}
+
+void
+Cache::startPrefetch(uint64_t lineAddr, ReqType type, int core, int thread)
+{
+    const Tick now = eq_.now();
+    mshrs_.allocate(lineAddr, type, now);
+
+    MemRequest *fill = pool_.alloc();
+    fill->lineAddr = lineAddr;
+    fill->type = type;
+    fill->core = core;
+    fill->thread = thread;
+    fill->issued = now;
+    fill->origin = this;
+    eq_.schedule(now + params_.accessLat, [this, fill] {
+        sendDownstream(fill);
+    });
+}
+
+void
+Cache::servePendingPrefetches()
+{
+    while (!deferredPf_.empty() && !mshrs_.full()) {
+        PendingPrefetch pf = deferredPf_.front();
+        deferredPf_.pop_front();
+        if (lookup(pf.lineAddr) != nullptr ||
+            mshrs_.lookup(pf.lineAddr) != nullptr) {
+            continue;   // covered while it waited
+        }
+        startPrefetch(pf.lineAddr, pf.type, pf.core, pf.thread);
+    }
+}
+
+void
+Cache::sendDownstream(MemRequest *fillReq)
+{
+    if (!pendingDown_.empty()) {
+        pendingDown_.push_back(fillReq);
+        return;
+    }
+    if (!down_->tryAccess(fillReq)) {
+        pendingDown_.push_back(fillReq);
+        if (!retryRegistered_) {
+            retryRegistered_ = true;
+            down_->addRetryWaiter([this] { drainPending(); });
+        }
+    }
+}
+
+void
+Cache::drainPending()
+{
+    retryRegistered_ = false;
+    while (!pendingDown_.empty()) {
+        MemRequest *head = pendingDown_.front();
+        if (!down_->tryAccess(head)) {
+            if (!retryRegistered_) {
+                retryRegistered_ = true;
+                down_->addRetryWaiter([this] { drainPending(); });
+            }
+            return;
+        }
+        pendingDown_.pop_front();
+    }
+}
+
+void
+Cache::completeTargets(Mshr *mshr)
+{
+    const Tick now = eq_.now();
+    Line *line = lookup(mshr->lineAddr);
+    lll_assert(line != nullptr, "%s: completing targets without a line",
+               params_.name.c_str());
+
+    for (MemRequest *target : mshr->targets) {
+        if (target->isStore())
+            line->dirty = true;
+        if (target->origin) {
+            MemRequest *resp = target;
+            eq_.schedule(now, [resp] { resp->origin->handleFill(resp); });
+        } else if (target->requester) {
+            MemRequest *op = target;
+            eq_.schedule(now, [op] { op->requester->opComplete(op); });
+        } else {
+            pool_.free(target);
+        }
+    }
+    mshr->targets.clear();
+}
+
+void
+Cache::handleFill(MemRequest *fillReq)
+{
+    const Tick now = eq_.now();
+    bool prefetched = !isDemand(fillReq->type) &&
+                      fillReq->type != ReqType::Writeback;
+
+    ++stats_.fills;
+    if (prefetched)
+        ++stats_.prefetchFills;
+
+    insert(fillReq->lineAddr, /*dirty=*/false, prefetched);
+
+    Mshr *mshr = mshrs_.lookup(fillReq->lineAddr);
+    lll_assert(mshr != nullptr, "%s: fill without an MSHR for line %llu",
+               params_.name.c_str(),
+               static_cast<unsigned long long>(fillReq->lineAddr));
+    completeTargets(mshr);
+    mshrs_.deallocate(mshr, now);
+    pool_.free(fillReq);
+
+    // Deferred prefetches take freed MSHRs ahead of demand retries: a
+    // trained streamer runs ahead of the demand front, which is what
+    // converts later demand misses into hits.
+    servePendingPrefetches();
+    notifyRetryWaiters();
+}
+
+void
+Cache::addRetryWaiter(std::function<void()> cb)
+{
+    retryWaiters_.push_back(std::move(cb));
+}
+
+void
+Cache::notifyRetryWaiters()
+{
+    if (retryWaiters_.empty())
+        return;
+    std::vector<std::function<void()>> waiters;
+    waiters.swap(retryWaiters_);
+    for (auto &cb : waiters)
+        cb();
+}
+
+void
+Cache::resetStats(Tick now)
+{
+    stats_.reset();
+    mshrs_.resetStats(now);
+}
+
+} // namespace lll::sim

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Set-associative, write-back, write-allocate cache with an MSHR queue.
+ *
+ * The same class models L1, L2 and the optional shared LLC; what differs
+ * is geometry, latency, MSHR capacity and whether a stream prefetcher is
+ * attached (L2 only, matching the paper's observation that the L2
+ * prefetcher is the aggressive, useful one).
+ *
+ * Miss flow: a demand op that misses allocates an MSHR and sends a fill
+ * request downstream; further ops to the same line coalesce onto the MSHR.
+ * When the MSHR queue is full the access is refused and the issuer must
+ * retry — these refusals are the "MSHRQ-full stalls" the paper's Table I
+ * laments most processors cannot expose.
+ */
+
+#ifndef LLL_SIM_CACHE_HH
+#define LLL_SIM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/mem_level.hh"
+#include "sim/mshr_queue.hh"
+#include "sim/request.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace lll::sim
+{
+
+class StreamPrefetcher;
+class ThreadContext;
+
+/** Result of presenting a prefetch to a cache. */
+enum class PrefetchOutcome
+{
+    Started,    //!< fill in flight
+    Covered,    //!< line already resident or already being fetched
+    Deferred,   //!< queued; will start when an MSHR frees
+    Dropped,    //!< no capacity anywhere; the line was not requested
+};
+
+/**
+ * A cache level.
+ */
+class Cache : public MemLevel
+{
+  public:
+    struct Params
+    {
+        std::string name = "cache";
+        int level = 1;              //!< 1, 2 or 3 (diagnostics only)
+        unsigned sets = 64;         //!< power of two
+        unsigned ways = 8;
+        Tick accessLat = 1000;      //!< lookup + downstream forward latency
+        unsigned mshrs = 10;        //!< 0 = unbounded (shared LLC)
+        /** Prefetch allocations keep at least this many MSHRs free for
+         *  demand traffic (prefetches are deferred otherwise). */
+        unsigned prefetchReserve = 1;
+
+        /** Capacity of the deferred-prefetch queue (the streamer's own
+         *  request buffer); 0 disables deferral. */
+        unsigned prefetchQueue = 16;
+
+        /** Hash the set index (shared LLCs use hashed indexing to spread
+         *  correlated streams; L1/L2 use plain low bits). */
+        bool hashedSets = false;
+    };
+
+    struct CacheStats
+    {
+        Counter demandHits;
+        Counter demandMisses;
+        Counter demandMshrHits;     //!< demand coalesced onto in-flight line
+        Counter prefetchFills;      //!< lines installed by any prefetch
+        Counter prefetchUseful;     //!< demand hit on a prefetched line
+        Counter prefetchDropped;    //!< prefetch refused (MSHRs scarce/dup)
+        Counter writebacksOut;      //!< dirty evictions sent downstream
+        Counter fills;
+
+        void reset();
+    };
+
+    Cache(const Params &params, EventQueue &eq, RequestPool &pool);
+
+    /** Wire the next level down (must be called before use). */
+    void setDownstream(MemLevel *down) { down_ = down; }
+
+    /**
+     * If the next level down is also a cache, note it so prefetches can
+     * be redirected there under MSHR pressure (the LLC-prefetch mode of
+     * Intel's L2 streamer).
+     */
+    void setDownstreamCache(Cache *down) { downCache_ = down; }
+
+    /** Attach a stream prefetcher (L2 use); observed on demand arrivals. */
+    void setPrefetcher(StreamPrefetcher *pf) { prefetcher_ = pf; }
+
+    // MemLevel interface
+    bool tryAccess(MemRequest *req) override;
+    void addRetryWaiter(std::function<void()> cb) override;
+
+    /**
+     * Non-blocking prefetch insertion (software or hardware).  Under MSHR
+     * pressure the prefetch is chained to the next cache level (Intel's
+     * LLC-prefetch demotion) or deferred to this cache's prefetch queue,
+     * which is served with priority as MSHRs free — that priority is what
+     * lets a trained prefetcher overtake a flood of demand misses.
+     */
+    PrefetchOutcome tryPrefetch(uint64_t lineAddr, ReqType type, int core,
+                                int thread);
+
+    /** Response from downstream with the line for @p fillReq. */
+    void handleFill(MemRequest *fillReq);
+
+    const MshrQueue &mshrs() const { return mshrs_; }
+    const CacheStats &stats() const { return stats_; }
+    const Params &params() const { return params_; }
+
+    /** True if @p lineAddr is currently resident (test aid). */
+    bool isResident(uint64_t lineAddr) const;
+
+    void resetStats(Tick now);
+
+  private:
+    struct Line
+    {
+        uint64_t lineAddr = 0;
+        uint64_t lastUsed = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    unsigned setIndex(uint64_t lineAddr) const;
+    Line *lookup(uint64_t lineAddr);
+
+    /**
+     * Install @p lineAddr, evicting the LRU victim (dirty victims emit a
+     * writeback downstream).  Returns the installed line.
+     */
+    Line *insert(uint64_t lineAddr, bool dirty, bool prefetched);
+
+    /** Send a fill request downstream, honouring backpressure. */
+    void sendDownstream(MemRequest *fillReq);
+    void drainPending();
+
+    /** Complete every target parked on @p mshr at the current tick. */
+    void completeTargets(Mshr *mshr);
+
+    void notifyRetryWaiters();
+
+    Params params_;
+    EventQueue &eq_;
+    RequestPool &pool_;
+    MemLevel *down_ = nullptr;
+    Cache *downCache_ = nullptr;
+    StreamPrefetcher *prefetcher_ = nullptr;
+
+    std::vector<Line> lines_;
+    uint64_t useClock_ = 0;
+
+    MshrQueue mshrs_;
+    CacheStats stats_;
+
+    /** Fill requests accepted locally but refused downstream. */
+    std::deque<MemRequest *> pendingDown_;
+    bool retryRegistered_ = false;
+
+    struct PendingPrefetch
+    {
+        uint64_t lineAddr;
+        ReqType type;
+        int core;
+        int thread;
+    };
+
+    /** Start a prefetch fill; the caller checked capacity. */
+    void startPrefetch(uint64_t lineAddr, ReqType type, int core,
+                       int thread);
+    void servePendingPrefetches();
+
+    std::deque<PendingPrefetch> deferredPf_;
+
+    std::vector<std::function<void()>> retryWaiters_;
+};
+
+} // namespace lll::sim
+
+#endif // LLL_SIM_CACHE_HH

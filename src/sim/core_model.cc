@@ -1,0 +1,63 @@
+#include "sim/core_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace lll::sim
+{
+
+CoreModel::CoreModel(const Params &params, EventQueue &eq)
+    : params_(params), eq_(eq)
+{
+    lll_assert(params_.freqGHz > 0, "core frequency must be positive");
+    lll_assert(params_.threads >= 1 && params_.threads <= 4,
+               "1..4 hardware threads supported");
+    period_ = static_cast<Tick>(1000.0 / params_.freqGHz + 0.5);
+    threadGate_.assign(params_.threads, 0);
+
+    // Fill unset capacity entries from the previous way.
+    double last = 0.0;
+    std::array<double, 5> cap = params_.smtCapacity;
+    for (unsigned k = 1; k < cap.size(); ++k) {
+        if (cap[k] <= 0.0)
+            cap[k] = last;
+        last = cap[k];
+    }
+    singleThreadRate_ = cap[1];
+    capacity_ = cap[params_.threads];
+    lll_assert(singleThreadRate_ > 0.0 && capacity_ > 0.0,
+               "core capacities must be positive");
+}
+
+void
+CoreModel::compute(unsigned thread, double cycles,
+                   std::function<void()> done)
+{
+    lll_assert(thread < threadGate_.size(), "bad thread id %u", thread);
+    const Tick now = eq_.now();
+
+    if (cycles <= 0.0) {
+        eq_.schedule(now, std::move(done));
+        return;
+    }
+
+    // Aggregate capacity: the shared server serializes all threads' work
+    // at the configured SMT level's throughput.
+    Tick server_ticks = static_cast<Tick>(
+        cycles / capacity_ * static_cast<double>(period_) + 0.5);
+    Tick server_start = std::max(now, serverFreeAt_);
+    serverFreeAt_ = server_start + server_ticks;
+
+    // Per-thread pipeline: the same work takes longer through one
+    // thread's dependence chain.
+    Tick thread_ticks = static_cast<Tick>(
+        cycles / singleThreadRate_ * static_cast<double>(period_) + 0.5);
+    Tick thread_start = std::max(now, threadGate_[thread]);
+    threadGate_[thread] = thread_start + thread_ticks;
+
+    Tick done_at = std::max(serverFreeAt_, threadGate_[thread]);
+    eq_.schedule(done_at, std::move(done));
+}
+
+} // namespace lll::sim

@@ -1,0 +1,148 @@
+#include "sim/mem_ctrl.hh"
+
+#include <algorithm>
+
+#include "sim/cache.hh"
+#include "sim/tracer.hh"
+#include "util/logging.hh"
+
+namespace lll::sim
+{
+
+void
+MemCtrl::MemStats::reset()
+{
+    readLines.reset();
+    writeLines.reset();
+    demandReadLines.reset();
+    hwPrefetchLines.reset();
+    swPrefetchLines.reset();
+    readLatencyNs.reset();
+    readLatencyHist.reset();
+    busyTicks = 0;
+}
+
+MemCtrl::MemCtrl(const Params &params, EventQueue &eq, RequestPool &pool)
+    : params_(params), eq_(eq), pool_(pool)
+{
+    lll_assert(params_.peakGBs > 0 && params_.bankServiceNs > 0,
+               "memory controller needs positive bandwidth and service");
+    unsigned banks = params_.banksOverride;
+    if (banks == 0) {
+        // banks * lineBytes / serviceNs == peak GB/s
+        double b = params_.peakGBs * params_.bankServiceNs /
+                   static_cast<double>(params_.lineBytes);
+        banks = static_cast<unsigned>(b + 0.5);
+    }
+    lll_assert(banks > 0, "derived zero banks; raise bankServiceNs");
+    banks_.assign(banks, 0);
+    frontLat_ = nsToTicks(params_.frontLatencyNs);
+    backLat_ = nsToTicks(params_.backLatencyNs);
+    serviceLat_ = nsToTicks(params_.bankServiceNs);
+}
+
+unsigned
+MemCtrl::bankOf(uint64_t lineAddr) const
+{
+    // Strong mix so strided streams spread across banks, like real
+    // controllers' address-interleave hashing.
+    uint64_t x = lineAddr;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<unsigned>(x % banks_.size());
+}
+
+bool
+MemCtrl::tryAccess(MemRequest *req)
+{
+    const Tick now = eq_.now();
+    const unsigned bank = bankOf(req->lineAddr);
+
+    Tick arrive = now + frontLat_;
+    Tick start = std::max(arrive, banks_[bank]);
+    Tick done = start + serviceLat_;
+    banks_[bank] = done;
+    stats_.busyTicks += serviceLat_;
+
+    if (req->type == ReqType::Writeback) {
+        if (tracer_)
+            tracer_->record(now, req->lineAddr, req->type, req->core, 0.0);
+        ++stats_.writeLines;
+        MemRequest *wb = req;
+        RequestPool *pool = &pool_;
+        eq_.schedule(done, [pool, wb] { pool->free(wb); });
+        return true;
+    }
+
+    ++stats_.readLines;
+    switch (req->type) {
+      case ReqType::HwPrefetch:
+        ++stats_.hwPrefetchLines;
+        break;
+      case ReqType::SwPrefetch:
+        ++stats_.swPrefetchLines;
+        break;
+      default:
+        ++stats_.demandReadLines;
+        break;
+    }
+
+    outstanding_.add(now, 1.0);
+
+    Tick resp = done + backLat_;
+    double lat_ns = ticksToNs(resp - now);
+    stats_.readLatencyNs.sample(lat_ns);
+    stats_.readLatencyHist.sample(lat_ns);
+    if (tracer_)
+        tracer_->record(now, req->lineAddr, req->type, req->core, lat_ns);
+
+    lll_assert(req->origin != nullptr, "memory read without origin cache");
+    MemRequest *fill = req;
+    eq_.schedule(resp, [this, fill] {
+        outstanding_.add(eq_.now(), -1.0);
+        fill->origin->handleFill(fill);
+    });
+    return true;
+}
+
+void
+MemCtrl::addRetryWaiter(std::function<void()> cb)
+{
+    // The controller never refuses, so a retry can fire immediately; this
+    // path is only reachable through misuse.
+    eq_.scheduleIn(0, std::move(cb));
+}
+
+double
+MemCtrl::utilization(Tick window_start, Tick now) const
+{
+    if (now <= window_start)
+        return 0.0;
+    double window = static_cast<double>(now - window_start);
+    return static_cast<double>(stats_.busyTicks) /
+           (window * static_cast<double>(banks_.size()));
+}
+
+double
+MemCtrl::achievedGBs(Tick window_start, Tick now) const
+{
+    if (now <= window_start)
+        return 0.0;
+    double bytes = static_cast<double>(stats_.readLines.value() +
+                                       stats_.writeLines.value()) *
+                   params_.lineBytes;
+    double ns = ticksToNs(now - window_start);
+    return bytes / ns;   // bytes/ns == GB/s
+}
+
+void
+MemCtrl::resetStats(Tick now)
+{
+    stats_.reset();
+    outstanding_.reset(now);
+}
+
+} // namespace lll::sim

@@ -1,0 +1,88 @@
+#include "sim/mshr_queue.hh"
+
+#include "util/logging.hh"
+
+namespace lll::sim
+{
+
+MshrQueue::MshrQueue(std::string name, unsigned size)
+    : name_(std::move(name)), size_(size)
+{
+    unsigned reserve = size_ ? size_ : 64;
+    entries_.resize(reserve);
+    freeList_.reserve(reserve);
+    for (unsigned i = 0; i < reserve; ++i)
+        freeList_.push_back(reserve - 1 - i);
+    index_.reserve(reserve * 2);
+}
+
+Mshr *
+MshrQueue::lookup(uint64_t lineAddr)
+{
+    auto it = index_.find(lineAddr);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+Mshr *
+MshrQueue::allocate(uint64_t lineAddr, ReqType origin, Tick now)
+{
+    lll_assert(!full(), "%s: allocate on full MSHR queue", name_.c_str());
+    lll_assert(index_.find(lineAddr) == index_.end(),
+               "%s: duplicate MSHR for line %llu", name_.c_str(),
+               static_cast<unsigned long long>(lineAddr));
+
+    if (freeList_.empty()) {
+        // Unbounded queue (size_ == 0) growing beyond its reserve.  The
+        // entries_ vector may reallocate, which is safe because no Mshr
+        // pointers are held across event boundaries for unbounded queues
+        // only when resized here; to keep pointer stability we grow via
+        // indices instead.
+        unsigned old = static_cast<unsigned>(entries_.size());
+        entries_.resize(old * 2);
+        for (unsigned i = old; i < old * 2; ++i)
+            freeList_.push_back(old * 2 - 1 - (i - old));
+    }
+
+    unsigned idx = freeList_.back();
+    freeList_.pop_back();
+    Mshr &mshr = entries_[idx];
+    mshr.lineAddr = lineAddr;
+    mshr.allocated = now;
+    mshr.originType = origin;
+    mshr.targets.clear();
+    mshr.inUse = true;
+    index_[lineAddr] = idx;
+    ++used_;
+    ++allocations_;
+    occupancy_.set(now, used_);
+    return &mshr;
+}
+
+void
+MshrQueue::deallocate(Mshr *mshr, Tick now)
+{
+    lll_assert(mshr && mshr->inUse, "%s: deallocating unused MSHR",
+               name_.c_str());
+    lll_assert(mshr->targets.empty(), "%s: deallocating MSHR with targets",
+               name_.c_str());
+    auto it = index_.find(mshr->lineAddr);
+    lll_assert(it != index_.end(), "%s: MSHR not indexed", name_.c_str());
+    unsigned idx = it->second;
+    lll_assert(&entries_[idx] == mshr, "%s: MSHR index mismatch",
+               name_.c_str());
+    index_.erase(it);
+    mshr->inUse = false;
+    freeList_.push_back(idx);
+    --used_;
+    occupancy_.set(now, used_);
+}
+
+void
+MshrQueue::resetStats(Tick now)
+{
+    occupancy_.reset(now);
+    fullStalls_.reset();
+    allocations_.reset();
+}
+
+} // namespace lll::sim

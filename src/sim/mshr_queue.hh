@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Miss Status Handling Register queue.
+ *
+ * This is the structure the whole paper revolves around: the number of
+ * in-flight line misses a cache can track.  The queue integrates its
+ * occupancy over time so a measurement window can report the true
+ * time-weighted average occupancy — the ground truth that the analyzer's
+ * Little's-law estimate (Equation 2 of the paper) is validated against.
+ */
+
+#ifndef LLL_SIM_MSHR_QUEUE_HH
+#define LLL_SIM_MSHR_QUEUE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/request.hh"
+#include "util/stats.hh"
+
+namespace lll::sim
+{
+
+/**
+ * One outstanding line miss: the line being fetched plus every request
+ * (demand or prefetch) waiting for it.
+ */
+struct Mshr
+{
+    uint64_t lineAddr = 0;
+    Tick allocated = 0;
+    /** The type that caused allocation (prefetch MSHRs can be "claimed"
+     *  by a later demand miss to the same line). */
+    ReqType originType = ReqType::DemandLoad;
+    /** Requests parked on this line. */
+    std::vector<MemRequest *> targets;
+    bool inUse = false;
+};
+
+/**
+ * Fixed-capacity MSHR queue with coalescing and occupancy accounting.
+ */
+class MshrQueue
+{
+  public:
+    /**
+     * @param name for diagnostics
+     * @param size capacity; 0 means effectively unbounded (used for the
+     *             shared LLC which the paper does not model as a limiter)
+     */
+    MshrQueue(std::string name, unsigned size);
+
+    bool full() const { return size_ != 0 && used_ >= size_; }
+    unsigned used() const { return used_; }
+    unsigned size() const { return size_; }
+    const std::string &name() const { return name_; }
+
+    /** Find the in-flight entry for @p lineAddr, or nullptr. */
+    Mshr *lookup(uint64_t lineAddr);
+
+    /**
+     * Allocate an entry for @p lineAddr.  Panics if full or duplicate —
+     * callers must check full()/lookup() first.
+     */
+    Mshr *allocate(uint64_t lineAddr, ReqType origin, Tick now);
+
+    /** Release @p mshr (its targets must already have been drained). */
+    void deallocate(Mshr *mshr, Tick now);
+
+    /** Record that an allocation was refused because the queue was full. */
+    void recordFullStall() { ++fullStalls_; }
+
+    /** Number of refused allocations since the last stats reset. */
+    uint64_t fullStalls() const { return fullStalls_.value(); }
+
+    /** Total allocations since the last stats reset. */
+    uint64_t allocations() const { return allocations_.value(); }
+
+    /** Time-weighted average occupancy over [window_start, now]. */
+    double avgOccupancy(Tick window_start, Tick now) const
+    {
+        return occupancy_.mean(window_start, now);
+    }
+
+    /** Highest occupancy observed since the last stats reset. */
+    double maxOccupancy() const { return occupancy_.max(); }
+
+    /** Restart statistics at @p now (occupancy level is retained). */
+    void resetStats(Tick now);
+
+  private:
+    std::string name_;
+    unsigned size_;
+    unsigned used_ = 0;
+    std::vector<Mshr> entries_;
+    std::vector<unsigned> freeList_;
+    std::unordered_map<uint64_t, unsigned> index_;
+    TimeWeightedStat occupancy_;
+    Counter fullStalls_;
+    Counter allocations_;
+};
+
+} // namespace lll::sim
+
+#endif // LLL_SIM_MSHR_QUEUE_HH

@@ -1,0 +1,51 @@
+#include "sim/request.hh"
+
+#include "util/logging.hh"
+
+namespace lll::sim
+{
+
+const char *
+reqTypeName(ReqType t)
+{
+    switch (t) {
+      case ReqType::DemandLoad:  return "DemandLoad";
+      case ReqType::DemandStore: return "DemandStore";
+      case ReqType::SwPrefetch:  return "SwPrefetch";
+      case ReqType::HwPrefetch:  return "HwPrefetch";
+      case ReqType::Writeback:   return "Writeback";
+    }
+    return "?";
+}
+
+RequestPool::~RequestPool()
+{
+    for (MemRequest *req : all_)
+        delete req;
+}
+
+MemRequest *
+RequestPool::alloc()
+{
+    MemRequest *req;
+    if (free_.empty()) {
+        req = new MemRequest();
+        all_.push_back(req);
+    } else {
+        req = free_.back();
+        free_.pop_back();
+        *req = MemRequest();
+    }
+    ++outstanding_;
+    return req;
+}
+
+void
+RequestPool::free(MemRequest *req)
+{
+    lll_assert(req != nullptr, "freeing null request");
+    --outstanding_;
+    free_.push_back(req);
+}
+
+} // namespace lll::sim

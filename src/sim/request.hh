@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Memory request descriptors and a free-list pool for them.
+ *
+ * Requests travel at cache-line granularity.  A demand op from a thread is
+ * one request; when it misses a cache, the MSHR entry parks it as a target
+ * and a fresh "fill" request is sent downstream on behalf of the line.
+ */
+
+#ifndef LLL_SIM_REQUEST_HH
+#define LLL_SIM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace lll::sim
+{
+
+class Cache;
+class ThreadContext;
+
+/** What kind of agent produced a request. */
+enum class ReqType : uint8_t
+{
+    DemandLoad,
+    DemandStore,
+    SwPrefetch,     //!< software prefetch targeting a specific level
+    HwPrefetch,     //!< hardware stream prefetcher at the L2
+    Writeback,      //!< dirty eviction flowing toward memory
+};
+
+/** Human-readable request type name. */
+const char *reqTypeName(ReqType t);
+
+/** True for the two demand types. */
+inline bool
+isDemand(ReqType t)
+{
+    return t == ReqType::DemandLoad || t == ReqType::DemandStore;
+}
+
+/**
+ * A single line-granular memory request.
+ *
+ * Ownership: requests are pool-allocated (RequestPool) and returned to the
+ * pool by the component that completes them.
+ */
+struct MemRequest
+{
+    uint64_t lineAddr = 0;      //!< address in units of cache lines
+    ReqType type = ReqType::DemandLoad;
+    int core = -1;              //!< originating core id
+    int thread = -1;            //!< originating hw thread id within core
+    Tick issued = 0;            //!< time the originating agent created it
+
+    /** Cache waiting for this fill (response routing). */
+    Cache *origin = nullptr;
+
+    /** Thread to notify when a demand op completes (may be null). */
+    ThreadContext *requester = nullptr;
+
+    /** Marks a store so fills set the dirty bit. */
+    bool isStore() const { return type == ReqType::DemandStore; }
+};
+
+/**
+ * Free-list allocator for MemRequest.
+ *
+ * The simulator creates millions of requests per run; pooling keeps this
+ * out of the general-purpose allocator.
+ */
+class RequestPool
+{
+  public:
+    ~RequestPool();
+
+    RequestPool() = default;
+    RequestPool(const RequestPool &) = delete;
+    RequestPool &operator=(const RequestPool &) = delete;
+
+    /** Fetch a zeroed request. */
+    MemRequest *alloc();
+
+    /** Return a request to the pool. */
+    void free(MemRequest *req);
+
+    /** Requests currently checked out (leak detector for tests). */
+    int64_t outstanding() const { return outstanding_; }
+
+  private:
+    std::vector<MemRequest *> free_;
+    std::vector<MemRequest *> all_;
+    int64_t outstanding_ = 0;
+};
+
+} // namespace lll::sim
+
+#endif // LLL_SIM_REQUEST_HH

@@ -1,0 +1,198 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace lll::sim
+{
+
+System::System(const SystemParams &params, const KernelSpec &spec)
+    : System(params, std::vector<PhaseSpec>{PhaseSpec{spec, 0}})
+{
+}
+
+System::System(const SystemParams &params, std::vector<PhaseSpec> phases)
+    : params_(params), phases_(std::move(phases))
+{
+    lll_assert(!phases_.empty(), "system needs at least one phase");
+    lll_assert(params_.cores >= 1, "system needs at least one core");
+    lll_assert(params_.threadsPerCore >= 1, "need at least one thread");
+
+    MemCtrl::Params mem_params = params_.mem;
+    mem_params.lineBytes = params_.lineBytes;
+    mem_ = std::make_unique<MemCtrl>(mem_params, eq_, pool_);
+
+    MemLevel *below_l2 = mem_.get();
+    if (params_.hasL3) {
+        Cache::Params l3p = params_.l3;
+        l3p.level = 3;
+        l3_ = std::make_unique<Cache>(l3p, eq_, pool_);
+        l3_->setDownstream(mem_.get());
+        below_l2 = l3_.get();
+    }
+
+    for (int c = 0; c < params_.cores; ++c) {
+        CoreModel::Params cp;
+        cp.id = c;
+        cp.freqGHz = params_.freqGHz;
+        cp.smtCapacity = params_.smtCapacity;
+        cp.threads = params_.threadsPerCore;
+        cores_.push_back(std::make_unique<CoreModel>(cp, eq_));
+
+        Cache::Params l2p = params_.l2;
+        l2p.name = params_.l2.name + "." + std::to_string(c);
+        l2p.level = 2;
+        l2s_.push_back(std::make_unique<Cache>(l2p, eq_, pool_));
+        l2s_.back()->setDownstream(below_l2);
+        if (l3_)
+            l2s_.back()->setDownstreamCache(l3_.get());
+
+        if (params_.l2PrefetcherEnabled) {
+            StreamPrefetcher::Params pfp = params_.pf;
+            pfp.name = params_.pf.name + "." + std::to_string(c);
+            pfs_.push_back(std::make_unique<StreamPrefetcher>(
+                pfp, *l2s_.back()));
+            l2s_.back()->setPrefetcher(pfs_.back().get());
+        } else {
+            pfs_.push_back(nullptr);
+        }
+
+        Cache::Params l1p = params_.l1;
+        l1p.name = params_.l1.name + "." + std::to_string(c);
+        l1p.level = 1;
+        l1s_.push_back(std::make_unique<Cache>(l1p, eq_, pool_));
+        l1s_.back()->setDownstream(l2s_.back().get());
+
+        for (unsigned t = 0; t < params_.threadsPerCore; ++t) {
+            ThreadContext::Params tp;
+            tp.core = c;
+            tp.thread = t;
+            tp.lqSize = params_.lqSize;
+            tp.threadSeed = params_.seed * 100003 +
+                            static_cast<uint64_t>(c) *
+                                params_.threadsPerCore + t + 1;
+            tp.coreSeed = params_.seed * 100003 +
+                          static_cast<uint64_t>(c) + 1;
+            threads_.push_back(std::make_unique<ThreadContext>(
+                tp, phases_, eq_, pool_, *cores_.back(), *l1s_.back(),
+                *l2s_.back()));
+        }
+    }
+}
+
+System::~System() = default;
+
+ThreadContext &
+System::thread(int core, unsigned t)
+{
+    return *threads_.at(static_cast<size_t>(core) * params_.threadsPerCore +
+                        t);
+}
+
+StreamPrefetcher *
+System::prefetcher(int core)
+{
+    return pfs_.at(core).get();
+}
+
+void
+System::resetStats()
+{
+    const Tick now = eq_.now();
+    mem_->resetStats(now);
+    if (l3_)
+        l3_->resetStats(now);
+    for (auto &c : l2s_)
+        c->resetStats(now);
+    for (auto &c : l1s_)
+        c->resetStats(now);
+    for (auto &pf : pfs_) {
+        if (pf)
+            pf->resetStats();
+    }
+    for (auto &t : threads_)
+        t->resetStats();
+}
+
+RunResult
+System::run(double warmup_us, double measure_us)
+{
+    lll_assert(measure_us > 0, "measurement window must be positive");
+
+    if (!started_) {
+        started_ = true;
+        for (auto &t : threads_)
+            t->start();
+    }
+
+    const Tick warmup_ticks = nsToTicks(warmup_us * 1000.0);
+    const Tick measure_ticks = nsToTicks(measure_us * 1000.0);
+
+    eq_.runUntil(eq_.now() + warmup_ticks);
+    resetStats();
+    const Tick t0 = eq_.now();
+    const uint64_t events0 = eq_.processed();
+    eq_.runUntil(t0 + measure_ticks);
+    const Tick t1 = eq_.now();
+
+    RunResult r;
+    r.measureSeconds = ticksToNs(t1 - t0) * 1e-9;
+    for (auto &t : threads_) {
+        r.workDone += t->workDone();
+        r.opsIssued += t->opsIssued();
+        r.swPrefIssued += t->swPrefetchesIssued();
+    }
+    r.throughput = r.workDone / r.measureSeconds;
+
+    const MemCtrl::MemStats &ms = mem_->stats();
+    const double ns = ticksToNs(t1 - t0);
+    r.memReadLines = ms.readLines.value();
+    r.memWriteLines = ms.writeLines.value();
+    r.memHwPrefetchLines = ms.hwPrefetchLines.value();
+    r.memSwPrefetchLines = ms.swPrefetchLines.value();
+    r.readGBs = static_cast<double>(r.memReadLines) * params_.lineBytes /
+                ns;
+    r.writeGBs = static_cast<double>(r.memWriteLines) * params_.lineBytes /
+                 ns;
+    r.totalGBs = r.readGBs + r.writeGBs;
+    r.demandFraction =
+        r.memReadLines
+            ? static_cast<double>(ms.demandReadLines.value()) /
+                  static_cast<double>(r.memReadLines)
+            : 1.0;
+    r.memUtilization = mem_->utilization(t0, t1);
+    r.avgMemLatencyNs = ms.readLatencyNs.mean();
+    r.p50MemLatencyNs = ms.readLatencyHist.percentile(0.50);
+    r.p95MemLatencyNs = ms.readLatencyHist.percentile(0.95);
+    r.p99MemLatencyNs = ms.readLatencyHist.percentile(0.99);
+    r.avgMemOutstanding = mem_->avgOutstanding(t0, t1);
+
+    for (int c = 0; c < params_.cores; ++c) {
+        const MshrQueue &m1 = l1s_[c]->mshrs();
+        const MshrQueue &m2 = l2s_[c]->mshrs();
+        r.avgL1MshrOccupancy += m1.avgOccupancy(t0, t1);
+        r.avgL2MshrOccupancy += m2.avgOccupancy(t0, t1);
+        r.maxL1MshrOccupancy =
+            std::max(r.maxL1MshrOccupancy, m1.maxOccupancy());
+        r.maxL2MshrOccupancy =
+            std::max(r.maxL2MshrOccupancy, m2.maxOccupancy());
+        r.l1FullStalls += m1.fullStalls();
+        r.l2FullStalls += m2.fullStalls();
+        r.l1DemandMisses += l1s_[c]->stats().demandMisses.value();
+        r.l1DemandHits += l1s_[c]->stats().demandHits.value();
+        r.l2DemandMisses += l2s_[c]->stats().demandMisses.value();
+        r.l2DemandHits += l2s_[c]->stats().demandHits.value();
+        r.hwPrefUseful += l2s_[c]->stats().prefetchUseful.value();
+        r.l2PrefetchDropped += l2s_[c]->stats().prefetchDropped.value();
+        if (pfs_[c])
+            r.hwPrefIssued += pfs_[c]->stats().issued.value();
+    }
+    r.avgL1MshrOccupancy /= params_.cores;
+    r.avgL2MshrOccupancy /= params_.cores;
+
+    r.eventsProcessed = eq_.processed() - events0;
+    return r;
+}
+
+} // namespace lll::sim

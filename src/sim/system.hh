@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Whole-node assembly: cores, private L1/L2 (+ optional shared LLC), the
+ * L2 stream prefetchers and the memory controller, plus run control with
+ * warmup/measurement windows.
+ *
+ * A System executes one KernelSpec across its cores/threads — modelling
+ * the paper's methodology of profiling one routine at a time on a loaded
+ * node ("the data must be collected in a loaded run", §III-D).
+ */
+
+#ifndef LLL_SIM_SYSTEM_HH
+#define LLL_SIM_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/core_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/kernel_spec.hh"
+#include "sim/mem_ctrl.hh"
+#include "sim/request.hh"
+#include "sim/stream_prefetcher.hh"
+#include "sim/thread_context.hh"
+
+namespace lll::sim
+{
+
+/**
+ * Hardware description of a node, sufficient to build a System.
+ */
+struct SystemParams
+{
+    std::string name = "node";
+    int cores = 4;
+    unsigned threadsPerCore = 1;
+    double freqGHz = 2.0;
+    unsigned lineBytes = 64;
+    unsigned lqSize = 64;
+
+    /** Core compute throughput by active SMT ways (see CoreModel). */
+    std::array<double, 5> smtCapacity{0.0, 0.85, 1.0, 0.0, 0.0};
+
+    Cache::Params l1;
+    Cache::Params l2;
+    bool hasL3 = false;
+    Cache::Params l3;
+
+    bool l2PrefetcherEnabled = true;
+    StreamPrefetcher::Params pf;
+
+    MemCtrl::Params mem;
+
+    uint64_t seed = 1;
+};
+
+/**
+ * Everything a measurement window yields; the raw material the counters
+ * layer and the analyzer consume.
+ */
+struct RunResult
+{
+    double measureSeconds = 0.0;
+
+    // Performance
+    double workDone = 0.0;       //!< logical work units in the window
+    double throughput = 0.0;     //!< work units per second
+    uint64_t opsIssued = 0;
+
+    // Memory traffic
+    double readGBs = 0.0;
+    double writeGBs = 0.0;
+    double totalGBs = 0.0;
+    double demandFraction = 1.0; //!< demand share of memory reads
+    double memUtilization = 0.0;
+    double avgMemLatencyNs = 0.0; //!< true in-sim loaded latency (reads)
+    double p50MemLatencyNs = 0.0;
+    double p95MemLatencyNs = 0.0;
+    double p99MemLatencyNs = 0.0;
+    double avgMemOutstanding = 0.0;
+
+    // MSHR ground truth (per-core averages)
+    double avgL1MshrOccupancy = 0.0;
+    double avgL2MshrOccupancy = 0.0;
+    double maxL1MshrOccupancy = 0.0;
+    double maxL2MshrOccupancy = 0.0;
+    uint64_t l1FullStalls = 0;
+    uint64_t l2FullStalls = 0;
+
+    // Cache behaviour
+    uint64_t l1DemandMisses = 0;
+    uint64_t l1DemandHits = 0;
+    uint64_t l2DemandMisses = 0;
+    uint64_t l2DemandHits = 0;
+    uint64_t hwPrefIssued = 0;
+    uint64_t hwPrefUseful = 0;
+    uint64_t swPrefIssued = 0;
+    uint64_t l2PrefetchDropped = 0;
+    uint64_t memReadLines = 0;
+    uint64_t memWriteLines = 0;
+    uint64_t memHwPrefetchLines = 0;
+    uint64_t memSwPrefetchLines = 0;
+
+    uint64_t eventsProcessed = 0;
+};
+
+/**
+ * A simulated node running one kernel.
+ */
+class System
+{
+  public:
+    System(const SystemParams &params, const KernelSpec &spec);
+
+    /** Multi-phase variant: threads cycle through @p phases round robin
+     *  (whole-program emulation; see PhaseSpec). */
+    System(const SystemParams &params, std::vector<PhaseSpec> phases);
+
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Run the kernel for @p warmup_us of simulated time, reset all
+     * statistics, run @p measure_us more, and report the window.
+     */
+    RunResult run(double warmup_us, double measure_us);
+
+    // Component access for tests and the counters layer.
+    EventQueue &eventQueue() { return eq_; }
+    MemCtrl &mem() { return *mem_; }
+    Cache &l1(int core) { return *l1s_.at(core); }
+    Cache &l2(int core) { return *l2s_.at(core); }
+    Cache *l3() { return l3_.get(); }
+    CoreModel &core(int core) { return *cores_.at(core); }
+    ThreadContext &thread(int core, unsigned t);
+    StreamPrefetcher *prefetcher(int core);
+    const SystemParams &params() const { return params_; }
+    const KernelSpec &spec() const { return phases_.front().spec; }
+    const std::vector<PhaseSpec> &phases() const { return phases_; }
+    RequestPool &pool() { return pool_; }
+
+    /** Reset all statistics at the current tick. */
+    void resetStats();
+
+  private:
+    SystemParams params_;
+    std::vector<PhaseSpec> phases_;
+    EventQueue eq_;
+    RequestPool pool_;
+
+    std::unique_ptr<MemCtrl> mem_;
+    std::unique_ptr<Cache> l3_;
+    std::vector<std::unique_ptr<Cache>> l2s_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    std::vector<std::unique_ptr<StreamPrefetcher>> pfs_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    std::vector<std::unique_ptr<ThreadContext>> threads_;
+
+    bool started_ = false;
+};
+
+} // namespace lll::sim
+
+#endif // LLL_SIM_SYSTEM_HH

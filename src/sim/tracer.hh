@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Optional memory-request tracer.
+ *
+ * When attached to the memory controller it records every request that
+ * reaches memory — timestamp, line address, type, originating core and
+ * the latency it will observe — into a bounded ring.  Useful for
+ * inspecting access-pattern structure (the random-vs-streaming
+ * distinction the paper's classification hinges on) and for dumping
+ * traces to CSV for external analysis.
+ */
+
+#ifndef LLL_SIM_TRACER_HH
+#define LLL_SIM_TRACER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/request.hh"
+#include "util/stats.hh"
+
+namespace lll::sim
+{
+
+/**
+ * Bounded trace of memory-level requests.
+ */
+class RequestTracer
+{
+  public:
+    struct Event
+    {
+        Tick when = 0;
+        uint64_t lineAddr = 0;
+        ReqType type = ReqType::DemandLoad;
+        int core = -1;
+        double latencyNs = 0.0;   //!< 0 for writebacks
+    };
+
+    /** @param capacity ring size; older events are overwritten. */
+    explicit RequestTracer(size_t capacity = 1 << 16)
+        : capacity_(capacity)
+    {
+        ring_.reserve(capacity_);
+    }
+
+    void
+    record(Tick when, uint64_t line_addr, ReqType type, int core,
+           double latency_ns)
+    {
+        Event ev{when, line_addr, type, core, latency_ns};
+        if (ring_.size() < capacity_) {
+            ring_.push_back(ev);
+        } else {
+            ring_[head_] = ev;
+            head_ = (head_ + 1) % capacity_;
+        }
+        ++total_;
+    }
+
+    /** Events in arrival order (oldest first). */
+    std::vector<Event>
+    events() const
+    {
+        std::vector<Event> out;
+        out.reserve(ring_.size());
+        for (size_t i = 0; i < ring_.size(); ++i)
+            out.push_back(ring_[(head_ + i) % ring_.size()]);
+        return out;
+    }
+
+    /** Total recorded since construction (including overwritten). */
+    uint64_t total() const { return total_; }
+    size_t size() const { return ring_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    void
+    clear()
+    {
+        ring_.clear();
+        head_ = 0;
+        total_ = 0;
+    }
+
+    /** Write the retained window as CSV (when_ns,line,type,core,lat). */
+    std::string toCsv() const;
+
+    /**
+     * Fraction of retained events whose line address is within
+     * @p window lines of the previous event from the same core — a
+     * crude spatial-locality score (1.0 = perfectly streaming).
+     */
+    double localityScore(unsigned window = 8) const;
+
+  private:
+    size_t capacity_;
+    std::vector<Event> ring_;
+    size_t head_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace lll::sim
+
+#endif // LLL_SIM_TRACER_HH

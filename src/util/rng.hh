@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A small, fast, deterministic random number generator (PCG32).
+ *
+ * The simulator must be reproducible run-to-run, so all stochastic choices
+ * (random access addresses, bank hashing jitter, load-generator think time)
+ * flow through explicitly seeded Rng instances rather than std::rand or
+ * a global generator.
+ */
+
+#ifndef LLL_UTIL_RNG_HH
+#define LLL_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace lll
+{
+
+/**
+ * PCG32 generator (O'Neill, pcg-random.org; XSH-RR variant).
+ *
+ * Deliberately tiny: 16 bytes of state, no allocation, value semantics.
+ */
+class Rng
+{
+  public:
+    /** Construct with a seed and an optional stream selector. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next uniformly distributed 32-bit value. */
+    uint32_t
+    next()
+    {
+        uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        uint32_t xorshifted =
+            static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+        uint32_t rot = static_cast<uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** Next 64-bit value. */
+    uint64_t
+    next64()
+    {
+        return (static_cast<uint64_t>(next()) << 32) | next();
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's multiply-shift. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        uint64_t m = static_cast<uint64_t>(next()) * bound;
+        return static_cast<uint32_t>(m >> 32);
+    }
+
+    /** Uniform integer in [0, bound) for 64-bit bounds. */
+    uint64_t
+    below64(uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection-free approximation via 128-bit multiply.
+        __uint128_t m = static_cast<__uint128_t>(next64()) * bound;
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 8) * (1.0 / 16777216.0);
+    }
+
+    /** True with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    uint64_t state_;
+    uint64_t inc_;
+};
+
+} // namespace lll
+
+#endif // LLL_UTIL_RNG_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * HPCG — sparse matrix-vector multiplication (paper §IV-B, Table V).
+ *
+ * ComputeSPMV_ref streams the matrix values and column indices (several
+ * long unit-stride streams the L2 prefetcher covers well) and gathers
+ * the x vector (indexed, but with strong reuse since the 27-point
+ * stencil matrix keeps neighbours close).  Streaming dominates, so the
+ * L2 MSHR queue — fed mostly by the hardware prefetcher — is the
+ * relevant limiter, and on SKL the peak-achievable-bandwidth wall is hit
+ * before the queue fills.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/tuning.hh"
+
+namespace lll::workloads
+{
+
+namespace
+{
+
+class Hpcg : public Workload
+{
+  public:
+    std::string name() const override { return "hpcg"; }
+
+    std::string
+    description() const override
+    {
+        return "Sparse matrix-vector multiplication";
+    }
+
+    std::string problemSize() const override { return "40^3"; }
+
+    std::string routine() const override { return "ComputeSPMV_ref"; }
+
+    bool randomDominated() const override { return false; }
+
+    sim::KernelSpec
+    spec(const platforms::Platform &p, const OptSet &opts) const override
+    {
+        sim::KernelSpec k;
+        k.name = "hpcg/" + opts.label();
+        const unsigned ways = opts.smtWays();
+
+        // Matrix values + indices: long unit-stride streams.  Eight to
+        // ten streams per thread is what the paper counts when it argues
+        // the KNL prefetcher's 16-stream table saturates at 4-way SMT.
+        const int nstreams = 6;
+        for (int i = 0; i < nstreams; ++i) {
+            sim::StreamDesc s;
+            s.kind = sim::StreamDesc::Kind::Sequential;
+            s.footprintLines = (1ULL << 20) * 64 / p.lineBytes / ways;
+            s.weight = 1.33;
+            k.streams.push_back(s);
+        }
+
+        // x-vector gather: indexed but local (reuse), shared by the
+        // threads of a core.
+        sim::StreamDesc x;
+        x.kind = sim::StreamDesc::Kind::Random;
+        x.footprintLines = (1ULL << 17) * 64 / p.lineBytes;
+        x.weight = 2.0;
+        x.sharedAcrossThreads = true;
+        x.reuseFraction = 0.5;
+        x.reuseWindow = 512;
+        k.streams.push_back(x);
+
+        // y-vector store.
+        sim::StreamDesc y;
+        y.kind = sim::StreamDesc::Kind::Sequential;
+        y.footprintLines = (1ULL << 16) * 64 / p.lineBytes / ways;
+        y.weight = 0.5;
+        y.store = true;
+        k.streams.push_back(y);
+
+        // Scalar inner product over each row: modest exposed MLP, real
+        // multiply-add work per element.
+        k.window = pick(p, 10u, 5u, 5u);
+        k.computeCyclesPerOp = pick(p, 5.0, 11.8, 44.6);
+
+        if (opts.has(Opt::Vectorize)) {
+            // AVX-512/SVE gathers vectorize the row product: more rows'
+            // accesses in flight, fewer instructions per element.
+            k.window = pick(p, 14u, 8u, 8u);
+            k.computeCyclesPerOp *= pick(p, 0.75, 0.82, 0.59);
+        }
+
+        k.workPerOp = 1.0;
+        return k;
+    }
+
+    std::vector<ExperimentRow>
+    paperRows(const platforms::Platform &p) const override
+    {
+        using O = Opt;
+        OptSet base;
+        OptSet vect = base.with(O::Vectorize);
+        if (p.name == "skl") {
+            return {
+                {base, vect, "Vect", 1.0},
+                {vect, vect.with(O::Smt2), "2-way HT", 0.98},
+            };
+        }
+        if (p.name == "knl") {
+            OptSet v2 = vect.with(O::Smt2);
+            return {
+                {base, vect, "Vect", 1.15},
+                {vect, v2, "2-way HT", 1.26},
+                {v2, vect.with(O::Smt4), "4-way HT", 1.03},
+            };
+        }
+        return {
+            {base, vect, "Vect", 1.7},
+            {vect, std::nullopt, "-", 0.0},
+        };
+    }
+};
+
+} // namespace
+
+WorkloadPtr
+makeHpcg()
+{
+    return std::make_unique<Hpcg>();
+}
+
+} // namespace lll::workloads

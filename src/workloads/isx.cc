@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ISx — scalable integer sort (paper §IV-A, Table IV).
+ *
+ * The dominant routine, count_local_keys, scatters uniformly random keys
+ * into per-bucket regions: a large random-access structure dominates
+ * traffic, with a small contiguous key-read stream on the side (the
+ * paper's footnote 5).  Hardware prefetching is ineffective, so the L1
+ * MSHR queue is the limiter; prefetching the random structure into the
+ * L2 with software prefetch instructions shifts the bottleneck to the
+ * (larger) L2 MSHR queue — the paper's headline case study.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/tuning.hh"
+
+namespace lll::workloads
+{
+
+namespace
+{
+
+class Isx : public Workload
+{
+  public:
+    std::string name() const override { return "isx"; }
+
+    std::string
+    description() const override
+    {
+        return "Scalable Integer Sort";
+    }
+
+    std::string
+    problemSize() const override
+    {
+        return "Keys per PE = 25165824";
+    }
+
+    std::string routine() const override { return "count_local_keys"; }
+
+    bool randomDominated() const override { return true; }
+
+    sim::KernelSpec
+    spec(const platforms::Platform &p, const OptSet &opts) const override
+    {
+        sim::KernelSpec k;
+        k.name = "isx/" + opts.label();
+        const unsigned ways = opts.smtWays();
+
+        // Random scatter target: ~128 MiB of bucket space per rank,
+        // split across SMT ranks sharing a core.
+        sim::StreamDesc buckets;
+        buckets.kind = sim::StreamDesc::Kind::Random;
+        buckets.footprintLines = (1ULL << 21) * 64 / p.lineBytes / ways;
+        buckets.weight = 0.83;
+        buckets.swPrefetchable = true;
+        k.streams.push_back(buckets);
+
+        // The scattered keys are also written (counts/offsets update).
+        sim::StreamDesc scatter = buckets;
+        scatter.store = true;
+        scatter.weight = 0.07;
+        scatter.swPrefetchable = false;
+        k.streams.push_back(scatter);
+
+        // Contiguous key read: small share of traffic (footnote 5 — it
+        // nudges occupancy slightly above the L1 MSHR count).
+        sim::StreamDesc keys;
+        keys.kind = sim::StreamDesc::Kind::Sequential;
+        keys.footprintLines = (1ULL << 19) * 64 / p.lineBytes / ways;
+        keys.weight = 0.10;
+        k.streams.push_back(keys);
+
+        // Scalar histogramming exposes plenty of independent accesses:
+        // the OoO window keeps more random misses in flight than the L1
+        // MSHR queue can hold, so the queue is the limiter everywhere.
+        k.window = pick(p, 16u, 10u, 9u);
+        k.computeCyclesPerOp = pick(p, 3.0, 7.0, 14.45);
+
+        if (opts.has(Opt::Vectorize)) {
+            // Gathers widen exposed MLP a little, but the vectorized
+            // histogram needs conflict detection, so the body barely
+            // shrinks; with the L1 MSHRQ already full this cannot buy
+            // bandwidth anyway (the paper's point on SKL).
+            k.window += pick(p, 8u, 0u, 1u);
+            k.computeCyclesPerOp *= pick(p, 0.9, 0.98, 0.95);
+        }
+
+        if (opts.has(Opt::SwPrefetchL2)) {
+            k.swPrefetchL2 = true;
+            k.swPrefetchDistance = pick(p, 32u, 32u, 24u);
+            k.swPrefetchOverheadCycles = pick(p, 1.0, 2.0, 1.0);
+        }
+
+        k.workPerOp = 1.0;
+        return k;
+    }
+
+    std::vector<ExperimentRow>
+    paperRows(const platforms::Platform &p) const override
+    {
+        using O = Opt;
+        OptSet base;
+        if (p.name == "skl") {
+            OptSet vect = base.with(O::Vectorize);
+            return {
+                {base, vect, "Vect", 1.0},
+                {vect, vect.with(O::Smt2), "2-way HT", 1.0},
+            };
+        }
+        if (p.name == "knl") {
+            OptSet vect = base.with(O::Vectorize);
+            OptSet v2 = vect.with(O::Smt2);
+            OptSet v2p = v2.with(O::SwPrefetchL2);
+            return {
+                {base, vect, "Vect", 1.02},
+                {vect, v2, "2-way HT", 1.04},
+                {v2, vect.with(O::Smt4), "4-way HT", 0.98},
+                {v2, v2p, "L2 Pref", 1.4},
+                {v2p, std::nullopt, "-", 0.0},
+            };
+        }
+        OptSet pref = base.with(O::SwPrefetchL2);
+        return {
+            {base, pref, "L2 Pref", 1.3},
+            {pref, std::nullopt, "-", 0.0},
+        };
+    }
+};
+
+} // namespace
+
+WorkloadPtr
+makeIsx()
+{
+    return std::make_unique<Isx>();
+}
+
+} // namespace lll::workloads

@@ -1,0 +1,34 @@
+#include "workloads/workload.hh"
+
+#include "util/logging.hh"
+
+namespace lll::workloads
+{
+
+std::vector<WorkloadPtr>
+allWorkloads()
+{
+    std::vector<WorkloadPtr> all;
+    all.push_back(makeIsx());
+    all.push_back(makeHpcg());
+    all.push_back(makePennant());
+    all.push_back(makeComd());
+    all.push_back(makeMinighost());
+    all.push_back(makeSnap());
+    return all;
+}
+
+WorkloadPtr
+workloadByName(const std::string &name)
+{
+    for (WorkloadPtr &w : allWorkloads()) {
+        if (w->name() == name)
+            return std::move(w);
+    }
+    // Extensions outside the paper's Table II.
+    if (name == "dgemm")
+        return makeDgemm();
+    lll_fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace lll::workloads

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Small helpers shared by the workload models.
+ */
+
+#ifndef LLL_WORKLOADS_TUNING_HH
+#define LLL_WORKLOADS_TUNING_HH
+
+#include "platforms/platform.hh"
+#include "util/logging.hh"
+
+namespace lll::workloads
+{
+
+/**
+ * Pick a per-platform coefficient by platform id.  Workload models keep
+ * their calibration knobs in one visible place with this.
+ */
+template <typename T>
+T
+pick(const platforms::Platform &p, T skl, T knl, T a64fx)
+{
+    if (p.name == "skl")
+        return skl;
+    if (p.name == "knl")
+        return knl;
+    if (p.name == "a64fx")
+        return a64fx;
+    lll_fatal("workload has no tuning for platform '%s'", p.name.c_str());
+}
+
+} // namespace lll::workloads
+
+#endif // LLL_WORKLOADS_TUNING_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Workload model interface: the six applications of paper Table II.
+ *
+ * Each model describes the *dominant routine* the paper analyzes, as a
+ * function from (platform, applied optimizations) to a simulator
+ * KernelSpec.  The mapping encodes how each optimization transforms the
+ * routine — how vectorization widens the exposed MLP, how tiling trades
+ * memory traffic for request rate, how SMT partitions the working set —
+ * with per-platform coefficients documented inline and summarized in
+ * DESIGN.md.
+ */
+
+#ifndef LLL_WORKLOADS_WORKLOAD_HH
+#define LLL_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platforms/platform.hh"
+#include "sim/kernel_spec.hh"
+#include "workloads/optimization.hh"
+
+namespace lll::workloads
+{
+
+/**
+ * One row of a paper results table: the measured Source variant and the
+ * optimization tried on top of it.
+ */
+struct ExperimentRow
+{
+    OptSet source;                 //!< variant the row's metrics describe
+    std::optional<OptSet> applied; //!< source + tried optimization
+    std::string optLabel;          //!< paper's "Opt" column text
+    /** Paper's reported speedup for the tried optimization (for
+     *  EXPERIMENTS.md comparison; 0 when not applicable). */
+    double paperSpeedup = 0.0;
+};
+
+/**
+ * A modelled application.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short id: "isx", "hpcg", ... */
+    virtual std::string name() const = 0;
+
+    /** Paper Table II description. */
+    virtual std::string description() const = 0;
+
+    /** Paper Table II problem size. */
+    virtual std::string problemSize() const = 0;
+
+    /** The dominant routine the paper analyzes. */
+    virtual std::string routine() const = 0;
+
+    /** Build the kernel for @p platform with @p opts applied. */
+    virtual sim::KernelSpec
+    spec(const platforms::Platform &platform, const OptSet &opts) const = 0;
+
+    /** The optimization walk of the paper's table for @p platform. */
+    virtual std::vector<ExperimentRow>
+    paperRows(const platforms::Platform &platform) const = 0;
+
+    /** True if the routine's accesses are dominated by random/irregular
+     *  patterns (paper: decides whether L1 or L2 MSHRs limit). */
+    virtual bool randomDominated() const = 0;
+
+    /**
+     * Simulated warmup/measurement window (µs).  Compute-bound kernels
+     * touch memory so slowly that they need longer windows to reach the
+     * steady state the paper measures.
+     */
+    virtual double warmupUs() const { return 15.0; }
+    virtual double measureUs() const { return 40.0; }
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+WorkloadPtr makeIsx();
+WorkloadPtr makeHpcg();
+WorkloadPtr makePennant();
+WorkloadPtr makeComd();
+WorkloadPtr makeMinighost();
+WorkloadPtr makeSnap();
+
+/** Extension workload (not in the paper's Table II): the dgemm of
+ *  SIII-C/SIV-G, exercising unroll-and-jam and the compute-bound path. */
+WorkloadPtr makeDgemm();
+
+/** All six, in paper Table II order. */
+std::vector<WorkloadPtr> allWorkloads();
+
+/** Look up by short id; fatal if unknown. */
+WorkloadPtr workloadByName(const std::string &name);
+
+} // namespace lll::workloads
+
+#endif // LLL_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,137 @@
+#include "xmem/latency_profile.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace lll::xmem
+{
+
+LatencyProfile::LatencyProfile(std::string platform_name, double peak_gbs,
+                               std::vector<Point> points)
+    : platformName_(std::move(platform_name)), peakGBs_(peak_gbs),
+      points_(std::move(points))
+{
+    lll_assert(!points_.empty(), "latency profile needs at least one point");
+    std::sort(points_.begin(), points_.end(),
+              [](const Point &a, const Point &b) { return a.bwGBs < b.bwGBs; });
+    // Enforce a physically sensible curve: latency never decreases as
+    // bandwidth rises (isotonic cleanup of measurement noise).
+    for (size_t i = 1; i < points_.size(); ++i) {
+        points_[i].latencyNs =
+            std::max(points_[i].latencyNs, points_[i - 1].latencyNs);
+    }
+}
+
+double
+LatencyProfile::latencyAt(double bw_gbs) const
+{
+    lll_assert(!points_.empty(), "latencyAt on empty profile");
+    if (bw_gbs <= points_.front().bwGBs)
+        return points_.front().latencyNs;
+    if (bw_gbs >= points_.back().bwGBs)
+        return points_.back().latencyNs;
+    for (size_t i = 1; i < points_.size(); ++i) {
+        if (bw_gbs <= points_[i].bwGBs) {
+            const Point &a = points_[i - 1];
+            const Point &b = points_[i];
+            double t = (bw_gbs - a.bwGBs) / (b.bwGBs - a.bwGBs);
+            return a.latencyNs + t * (b.latencyNs - a.latencyNs);
+        }
+    }
+    return points_.back().latencyNs;
+}
+
+double
+LatencyProfile::idleLatencyNs() const
+{
+    lll_assert(!points_.empty(), "idleLatencyNs on empty profile");
+    return points_.front().latencyNs;
+}
+
+double
+LatencyProfile::maxMeasuredGBs() const
+{
+    lll_assert(!points_.empty(), "maxMeasuredGBs on empty profile");
+    return points_.back().bwGBs;
+}
+
+std::string
+LatencyProfile::serialize() const
+{
+    std::ostringstream out;
+    out << "# lll latency profile v1\n";
+    out << "platform " << platformName_ << "\n";
+    out << "peak_gbs " << peakGBs_ << "\n";
+    char buf[80];
+    for (const Point &pt : points_) {
+        std::snprintf(buf, sizeof(buf), "point %.4f %.4f\n", pt.bwGBs,
+                      pt.latencyNs);
+        out << buf;
+    }
+    return out.str();
+}
+
+LatencyProfile
+LatencyProfile::deserialize(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::string name;
+    double peak = 0.0;
+    std::vector<Point> points;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "platform") {
+            ls >> name;
+        } else if (key == "peak_gbs") {
+            ls >> peak;
+        } else if (key == "point") {
+            Point pt{};
+            ls >> pt.bwGBs >> pt.latencyNs;
+            if (ls.fail())
+                lll_fatal("malformed profile point: '%s'", line.c_str());
+            points.push_back(pt);
+        } else {
+            lll_fatal("unknown profile key: '%s'", key.c_str());
+        }
+    }
+    if (name.empty() || peak <= 0.0 || points.empty())
+        lll_fatal("incomplete latency profile text");
+    return LatencyProfile(name, peak, std::move(points));
+}
+
+void
+LatencyProfile::save(const std::string &path) const
+{
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(path);
+    if (!out)
+        lll_fatal("cannot write latency profile to '%s'", path.c_str());
+    out << serialize();
+}
+
+LatencyProfile
+LatencyProfile::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return LatencyProfile();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return deserialize(buf.str());
+}
+
+} // namespace lll::xmem

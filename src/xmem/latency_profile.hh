@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The bandwidth→latency profile of a processor.
+ *
+ * This is the artifact the paper derives from X-Mem [4]: a table of
+ * (bandwidth utilization, observed loaded latency) pairs, measured once
+ * per processor and thereafter used to translate a routine's measured
+ * bandwidth into the average memory latency its requests experienced —
+ * the lat_avg input of Equation 2.
+ */
+
+#ifndef LLL_XMEM_LATENCY_PROFILE_HH
+#define LLL_XMEM_LATENCY_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+namespace lll::xmem
+{
+
+/**
+ * Monotone bandwidth→latency curve with linear interpolation.
+ */
+class LatencyProfile
+{
+  public:
+    struct Point
+    {
+        double bwGBs;
+        double latencyNs;
+    };
+
+    LatencyProfile() = default;
+
+    /**
+     * @param platform_name identifies the processor the profile was
+     *        measured on
+     * @param peak_gbs theoretical peak bandwidth (for pct-of-peak output)
+     * @param points raw measurements; sorted and made monotone here
+     */
+    LatencyProfile(std::string platform_name, double peak_gbs,
+                   std::vector<Point> points);
+
+    /**
+     * Observed loaded latency (ns) at bandwidth @p bw_gbs.  Clamps below
+     * the first and above the last measured point.
+     */
+    double latencyAt(double bw_gbs) const;
+
+    /** Latency with no load — the vendor-datasheet number the paper warns
+     *  is NOT usable for Equation 2. */
+    double idleLatencyNs() const;
+
+    /** Highest bandwidth the measurement achieved (peak *achievable*). */
+    double maxMeasuredGBs() const;
+
+    const std::string &platformName() const { return platformName_; }
+    double peakGBs() const { return peakGBs_; }
+    const std::vector<Point> &points() const { return points_; }
+    bool empty() const { return points_.empty(); }
+
+    /** Serialize to a small text format (one point per line). */
+    std::string serialize() const;
+
+    /** Parse the serialize() format; fatal on malformed input. */
+    static LatencyProfile deserialize(const std::string &text);
+
+    /** Write to / read from a file.  load() returns an empty profile if
+     *  the file does not exist. */
+    void save(const std::string &path) const;
+    static LatencyProfile load(const std::string &path);
+
+  private:
+    std::string platformName_;
+    double peakGBs_ = 0.0;
+    std::vector<Point> points_;
+};
+
+} // namespace lll::xmem
+
+#endif // LLL_XMEM_LATENCY_PROFILE_HH

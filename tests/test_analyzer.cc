@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the analyzer: profile lookup, classification, limiting-queue
+ * selection and the threshold predicates the recipe keys on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hh"
+#include "test_common.hh"
+
+namespace lll::core
+{
+namespace
+{
+
+counters::RoutineProfile
+routine(double total_gbs, double demand_frac = 1.0, bool known = true)
+{
+    counters::RoutineProfile p;
+    p.routine = "r";
+    p.seconds = 1e-3;
+    p.readGBs = total_gbs * 0.9;
+    p.writeGBs = total_gbs * 0.1;
+    p.totalGBs = total_gbs;
+    p.demandFraction = demand_frac;
+    p.demandFractionKnown = known;
+    return p;
+}
+
+class AnalyzerTest : public ::testing::Test
+{
+  protected:
+    AnalyzerTest()
+        : plat_(test::tinyPlatform()),
+          analyzer_(plat_, test::syntheticProfile())
+    {
+    }
+
+    platforms::Platform plat_;
+    Analyzer analyzer_;
+};
+
+TEST_F(AnalyzerTest, LatencyComesFromProfileAtObservedBw)
+{
+    Analysis a = analyzer_.analyze(routine(12.0), 4);
+    // 12 GB/s is 50% of 24: between profile points, interpolated.
+    EXPECT_GT(a.latencyNs, 80.0);
+    EXPECT_LT(a.latencyNs, 200.0);
+    EXPECT_NEAR(a.idleLatencyNs, 80.3, 0.001);
+}
+
+TEST_F(AnalyzerTest, MlpIsPerCore)
+{
+    Analysis a4 = analyzer_.analyze(routine(12.0), 4);
+    Analysis a2 = analyzer_.analyze(routine(12.0), 2);
+    EXPECT_NEAR(a2.nAvg / a4.nAvg, 2.0, 1e-9);
+}
+
+TEST_F(AnalyzerTest, RandomHintSelectsL1)
+{
+    Analysis a = analyzer_.analyze(routine(12.0), 4, true);
+    EXPECT_EQ(a.accessClass, AccessClass::Random);
+    EXPECT_EQ(a.limitingLevel, MshrLevel::L1);
+    EXPECT_EQ(a.limitingMshrs, plat_.l1Mshrs);
+}
+
+TEST_F(AnalyzerTest, StreamingHintSelectsL2)
+{
+    Analysis a = analyzer_.analyze(routine(12.0), 4, false);
+    EXPECT_EQ(a.accessClass, AccessClass::Streaming);
+    EXPECT_EQ(a.limitingLevel, MshrLevel::L2);
+    EXPECT_EQ(a.limitingMshrs, plat_.l2Mshrs);
+}
+
+TEST_F(AnalyzerTest, CounterFallbackClassification)
+{
+    // High demand fraction (prefetcher ineffective) -> random.
+    Analysis hi = analyzer_.analyze(routine(12.0, 0.95), 4);
+    EXPECT_EQ(hi.accessClass, AccessClass::Random);
+    // Low demand fraction -> streaming.
+    Analysis lo = analyzer_.analyze(routine(12.0, 0.2), 4);
+    EXPECT_EQ(lo.accessClass, AccessClass::Streaming);
+}
+
+TEST_F(AnalyzerTest, UnknownCounterDefaultsStreaming)
+{
+    Analysis a = analyzer_.analyze(routine(12.0, 1.0, false), 4);
+    EXPECT_EQ(a.accessClass, AccessClass::Streaming);
+}
+
+TEST_F(AnalyzerTest, HintOverridesCounter)
+{
+    Analysis a = analyzer_.analyze(routine(12.0, 0.1), 4, true);
+    EXPECT_EQ(a.accessClass, AccessClass::Random);
+}
+
+TEST_F(AnalyzerTest, NearMshrLimitPredicate)
+{
+    // Construct a bandwidth whose nAvg lands near the L1 size (10).
+    // bw such that bw * lat(bw) / 64 / 4 ~ 10 -> bw*lat ~ 2560.
+    Analysis a = analyzer_.analyze(routine(16.0), 4, true);
+    // 16 GB/s ~ 67% of peak -> lat ~ 133 -> n ~ 8.3 of 10.
+    EXPECT_FALSE(a.nearBandwidthLimit);
+    double n = a.nAvg;
+    EXPECT_EQ(a.nearMshrLimit, n >= 0.88 * 10);
+    EXPECT_NEAR(a.headroom, 10.0 - n, 1e-9);
+}
+
+TEST_F(AnalyzerTest, NearBandwidthLimitPredicate)
+{
+    double max_gbs = analyzer_.profile().maxMeasuredGBs();
+    Analysis a = analyzer_.analyze(routine(max_gbs * 0.95), 4, false);
+    EXPECT_TRUE(a.nearBandwidthLimit);
+    Analysis b = analyzer_.analyze(routine(max_gbs * 0.5), 4, false);
+    EXPECT_FALSE(b.nearBandwidthLimit);
+}
+
+TEST_F(AnalyzerTest, PctPeakUsesTheoreticalPeak)
+{
+    Analysis a = analyzer_.analyze(routine(12.0), 4);
+    EXPECT_NEAR(a.pctPeak, 0.5, 1e-9);
+}
+
+TEST(AnalyzerDeathTest, ProfilePlatformMismatchPanics)
+{
+    platforms::Platform p = test::tinyPlatform();
+    EXPECT_DEATH(Analyzer(p, test::syntheticProfile("otherbox")),
+                 "profile is for");
+}
+
+TEST(AnalyzerDeathTest, EmptyProfilePanics)
+{
+    platforms::Platform p = test::tinyPlatform();
+    EXPECT_DEATH(Analyzer(p, xmem::LatencyProfile()), "latency profile");
+}
+
+TEST(AnalyzerNamesTest, EnumNames)
+{
+    EXPECT_STREQ(accessClassName(AccessClass::Random), "random");
+    EXPECT_STREQ(accessClassName(AccessClass::Streaming), "streaming");
+    EXPECT_STREQ(mshrLevelName(MshrLevel::L1), "L1");
+    EXPECT_STREQ(mshrLevelName(MshrLevel::L2), "L2");
+}
+
+} // namespace
+} // namespace lll::core

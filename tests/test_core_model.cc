@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the core compute model: single-thread pipeline rate,
+ * aggregate SMT capacity, the capacity curve, and ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_model.hh"
+#include "sim/event_queue.hh"
+
+namespace lll::sim
+{
+namespace
+{
+
+CoreModel::Params
+params(double st_rate, double cap2, unsigned threads, double freq = 1.0)
+{
+    CoreModel::Params p;
+    p.freqGHz = freq;
+    p.smtCapacity = {0.0, st_rate, cap2, 0.0, 0.0};
+    p.threads = threads;
+    return p;
+}
+
+TEST(CoreModelTest, PeriodFromFrequency)
+{
+    EventQueue eq;
+    CoreModel c(params(1.0, 1.0, 1, 2.0), eq);
+    EXPECT_EQ(c.period(), 500u);
+}
+
+TEST(CoreModelTest, ZeroCyclesCompletesImmediately)
+{
+    EventQueue eq;
+    CoreModel c(params(1.0, 1.0, 1), eq);
+    Tick done = 0;
+    c.compute(0, 0.0, [&] { done = eq.now(); });
+    eq.runUntil(10);
+    EXPECT_EQ(done, 0u);
+}
+
+TEST(CoreModelTest, SingleThreadRateGovernsBackToBack)
+{
+    // stRate 0.5 at 1 GHz: 10 cycles of work take 20 ns each.
+    EventQueue eq;
+    CoreModel c(params(0.5, 1.0, 1), eq);
+    std::vector<Tick> done;
+    std::function<void()> next = [&] {
+        done.push_back(eq.now());
+        if (done.size() < 4)
+            c.compute(0, 10.0, next);
+    };
+    c.compute(0, 10.0, next);
+    eq.runUntil(nsToTicks(1000));
+    ASSERT_EQ(done.size(), 4u);
+    for (size_t i = 1; i < done.size(); ++i)
+        EXPECT_EQ(done[i] - done[i - 1], nsToTicks(20.0));
+}
+
+TEST(CoreModelTest, TwoThreadsShareAggregateCapacity)
+{
+    // stRate 0.5, cap2 1.0 at 1 GHz: two threads each doing 10-cycle
+    // blocks sustain 1.0 work/cycle combined -> 10 ns per block pair
+    // member in steady state.
+    EventQueue eq;
+    CoreModel c(params(0.5, 1.0, 2), eq);
+    int done0 = 0, done1 = 0;
+    std::function<void()> loop0 = [&] {
+        ++done0;
+        c.compute(0, 10.0, loop0);
+    };
+    std::function<void()> loop1 = [&] {
+        ++done1;
+        c.compute(1, 10.0, loop1);
+    };
+    c.compute(0, 10.0, loop0);
+    c.compute(1, 10.0, loop1);
+    eq.runUntil(nsToTicks(2000));
+    // Each thread: 2000ns / 20ns-per-block (its own 0.5 rate) = 100.
+    EXPECT_NEAR(done0, 100, 3);
+    EXPECT_NEAR(done1, 100, 3);
+    // Combined throughput 200 blocks = the full 1.0 capacity.
+    EXPECT_NEAR(done0 + done1, 200, 5);
+}
+
+TEST(CoreModelTest, CapacityBindsWhenBelowSumOfThreads)
+{
+    // stRate 0.5 but cap2 only 0.6: two threads can't double.
+    EventQueue eq;
+    CoreModel c(params(0.5, 0.6, 2), eq);
+    int done = 0;
+    std::function<void()> loop0 = [&] { ++done; c.compute(0, 10.0, loop0); };
+    std::function<void()> loop1 = [&] { ++done; c.compute(1, 10.0, loop1); };
+    c.compute(0, 10.0, loop0);
+    c.compute(1, 10.0, loop1);
+    eq.runUntil(nsToTicks(2000));
+    // 0.6 work/cycle -> 120 blocks of 10 cycles in 2000 ns.
+    EXPECT_NEAR(done, 120, 5);
+}
+
+TEST(CoreModelTest, CapacityCurveInheritsUnsetEntries)
+{
+    EventQueue eq;
+    CoreModel::Params p;
+    p.freqGHz = 1.0;
+    p.smtCapacity = {0.0, 0.4, 0.0, 0.0, 0.0};   // only entry 1 given
+    p.threads = 4;
+    CoreModel c(p, eq);   // must not die: entries inherit 0.4
+    int done = 0;
+    std::function<void()> loop = [&] { ++done; c.compute(0, 4.0, loop); };
+    c.compute(0, 4.0, loop);
+    eq.runUntil(nsToTicks(100));
+    EXPECT_GT(done, 0);
+}
+
+TEST(CoreModelTest, IdleThreadDoesNotBlockOthers)
+{
+    EventQueue eq;
+    CoreModel c(params(0.5, 1.0, 2), eq);
+    Tick done = 0;
+    c.compute(1, 10.0, [&] { done = eq.now(); });
+    eq.runUntil(nsToTicks(100));
+    EXPECT_EQ(done, nsToTicks(20.0));   // thread-1 rate, no thread-0
+}
+
+TEST(CoreModelDeathTest, BadThreadIdPanics)
+{
+    EventQueue eq;
+    CoreModel c(params(0.5, 1.0, 1), eq);
+    EXPECT_DEATH(c.compute(3, 1.0, [] {}), "bad thread");
+}
+
+TEST(CoreModelDeathTest, TooManyThreadsPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(CoreModel(params(0.5, 1.0, 9), eq), "threads");
+}
+
+} // namespace
+} // namespace lll::sim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the DES kernel: ordering, tie-breaking, run-until limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/request.hh"
+
+namespace lll::sim
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.processed(), 0u);
+}
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(42, [&order, i] { order.push_back(i); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(200, [&] { ++fired; });
+    bool more = eq.runUntil(100);
+    EXPECT_TRUE(more);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueueTest, EventAtLimitIsProcessed)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, DrainedReturnsFalseAndAdvancesToLimit)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    bool more = eq.runUntil(50);
+    EXPECT_FALSE(more);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueueTest, CallbacksCanSchedule)
+{
+    EventQueue eq;
+    std::vector<Tick> times;
+    std::function<void()> chain = [&] {
+        times.push_back(eq.now());
+        if (times.size() < 4)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.runUntil(1000);
+    EXPECT_EQ(times, (std::vector<Tick>{0, 10, 20, 30}));
+}
+
+TEST(EventQueueTest, ZeroDelaySameTickRuns)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { eq.scheduleIn(0, [&] { ++fired; }); });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, ProcessedCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.runUntil(100);
+    EXPECT_EQ(eq.processed(), 7u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.runUntil(50);
+    EXPECT_DEATH(eq.schedule(10, [] {}), "past");
+}
+
+// --- request pool -------------------------------------------------------
+
+TEST(RequestPoolTest, AllocGivesZeroedRequest)
+{
+    RequestPool pool;
+    MemRequest *a = pool.alloc();
+    a->lineAddr = 99;
+    a->core = 3;
+    pool.free(a);
+    MemRequest *b = pool.alloc();
+    EXPECT_EQ(b->lineAddr, 0u);
+    EXPECT_EQ(b->core, -1);
+    pool.free(b);
+}
+
+TEST(RequestPoolTest, ReusesFreedRequests)
+{
+    RequestPool pool;
+    MemRequest *a = pool.alloc();
+    pool.free(a);
+    MemRequest *b = pool.alloc();
+    EXPECT_EQ(a, b);
+    pool.free(b);
+}
+
+TEST(RequestPoolTest, OutstandingTracksBalance)
+{
+    RequestPool pool;
+    EXPECT_EQ(pool.outstanding(), 0);
+    MemRequest *a = pool.alloc();
+    MemRequest *b = pool.alloc();
+    EXPECT_EQ(pool.outstanding(), 2);
+    pool.free(a);
+    EXPECT_EQ(pool.outstanding(), 1);
+    pool.free(b);
+    EXPECT_EQ(pool.outstanding(), 0);
+}
+
+TEST(RequestTest, TypeNamesAndDemandPredicate)
+{
+    EXPECT_STREQ(reqTypeName(ReqType::DemandLoad), "DemandLoad");
+    EXPECT_STREQ(reqTypeName(ReqType::Writeback), "Writeback");
+    EXPECT_TRUE(isDemand(ReqType::DemandLoad));
+    EXPECT_TRUE(isDemand(ReqType::DemandStore));
+    EXPECT_FALSE(isDemand(ReqType::HwPrefetch));
+    EXPECT_FALSE(isDemand(ReqType::SwPrefetch));
+}
+
+} // namespace
+} // namespace lll::sim

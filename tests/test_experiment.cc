@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the experiment runner: stage caching, speedup math and
+ * paper-table assembly, run on a reduced core count for speed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "test_common.hh"
+#include "workloads/workload.hh"
+
+namespace lll::core
+{
+namespace
+{
+
+class ExperimentTest : public ::testing::Test
+{
+  protected:
+    ExperimentTest()
+        : plat_(platforms::byName("skl")),
+          isx_(workloads::workloadByName("isx"))
+    {
+        params_.coresUsed = 6;
+        params_.warmupUs = 5.0;
+        params_.measureUs = 10.0;
+        profile_ = test::syntheticProfile("skl", plat_.peakGBs);
+    }
+
+    platforms::Platform plat_;
+    workloads::WorkloadPtr isx_;
+    xmem::LatencyProfile profile_;
+    Experiment::Params params_;
+};
+
+TEST_F(ExperimentTest, StageIsCachedByLabel)
+{
+    Experiment exp(plat_, *isx_, profile_, params_);
+    const StageMetrics &a = exp.stage({});
+    const StageMetrics &b = exp.stage({});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.label, "base");
+}
+
+TEST_F(ExperimentTest, SpeedupOfIdentityIsOne)
+{
+    Experiment exp(plat_, *isx_, profile_, params_);
+    EXPECT_DOUBLE_EQ(exp.speedup({}, {}), 1.0);
+}
+
+TEST_F(ExperimentTest, StageCarriesAnalysisAndProfile)
+{
+    Experiment exp(plat_, *isx_, profile_, params_);
+    const StageMetrics &m = exp.stage({});
+    EXPECT_GT(m.run.totalGBs, 0.0);
+    EXPECT_NEAR(m.profile.totalGBs, m.run.totalGBs, 0.01);
+    EXPECT_GT(m.analysis.nAvg, 0.0);
+    // ISx is random-dominated: the workload hint routes to L1.
+    EXPECT_EQ(m.analysis.limitingLevel, MshrLevel::L1);
+    EXPECT_EQ(m.analysis.coresUsed, 6);
+}
+
+TEST_F(ExperimentTest, PaperTableMatchesRows)
+{
+    Experiment exp(plat_, *isx_, profile_, params_);
+    auto rows = exp.paperTable();
+    auto expected = isx_->paperRows(plat_);
+    ASSERT_EQ(rows.size(), expected.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].source, expected[i].source.label());
+        EXPECT_EQ(rows[i].optLabel, expected[i].optLabel);
+        EXPECT_DOUBLE_EQ(rows[i].paperSpeedup, expected[i].paperSpeedup);
+        if (expected[i].applied)
+            EXPECT_GT(rows[i].speedup, 0.0);
+        else
+            EXPECT_DOUBLE_EQ(rows[i].speedup, 0.0);
+    }
+}
+
+TEST_F(ExperimentTest, CoresUsedDefaultsToAll)
+{
+    Experiment exp(plat_, *isx_, profile_);
+    EXPECT_EQ(exp.coresUsed(), plat_.totalCores);
+}
+
+TEST_F(ExperimentTest, ThroughputBasisIsWorkUnits)
+{
+    Experiment exp(plat_, *isx_, profile_, params_);
+    const StageMetrics &m = exp.stage({});
+    EXPECT_NEAR(m.throughput, m.run.throughput, 1e-9);
+    EXPECT_GT(m.throughput, 0.0);
+}
+
+} // namespace
+} // namespace lll::core

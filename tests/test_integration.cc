@@ -1,0 +1,170 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper's headline behaviours must
+ * hold on the full simulated platforms.  These run the real platform
+ * sizes, so they are the slowest tests in the suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/littles_law.hh"
+#include "core/recipe.hh"
+#include "test_common.hh"
+#include "workloads/workload.hh"
+#include "xmem/xmem_harness.hh"
+
+namespace lll::core
+{
+namespace
+{
+
+using workloads::Opt;
+using workloads::OptSet;
+
+/** Per-process cache of real platform profiles (measured once). */
+const xmem::LatencyProfile &
+profileFor(const platforms::Platform &p)
+{
+    static std::map<std::string, xmem::LatencyProfile> cache;
+    auto it = cache.find(p.name);
+    if (it == cache.end()) {
+        xmem::XMemHarness::Params hp;
+        hp.warmupUs = 8.0;
+        hp.measureUs = 20.0;
+        hp.windows = {1, 4, 8, 12};
+        hp.delays = {256, 32};
+        it = cache.emplace(p.name,
+                           xmem::XMemHarness(hp).measure(p)).first;
+    }
+    return it->second;
+}
+
+Experiment::Params
+fast()
+{
+    Experiment::Params ep;
+    ep.warmupUs = 8.0;
+    ep.measureUs = 20.0;
+    return ep;
+}
+
+TEST(IntegrationTest, IsxSklPinnedAtL1Mshrs)
+{
+    platforms::Platform skl = platforms::byName("skl");
+    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    Experiment exp(skl, *isx, profileFor(skl), fast());
+    const StageMetrics &m = exp.stage({});
+    // Paper Table IV row 1: ~84% of peak, n_avg ~ 10 (the L1 MSHRs).
+    EXPECT_GT(m.analysis.pctPeak, 0.75);
+    EXPECT_NEAR(m.analysis.nAvg, 10.0, 2.5);
+    EXPECT_TRUE(m.analysis.nearMshrLimit);
+    // And vectorization indeed buys nothing.
+    double s = exp.speedup({}, OptSet{Opt::Vectorize});
+    EXPECT_NEAR(s, 1.0, 0.05);
+}
+
+TEST(IntegrationTest, IsxKnlPrefetchBreaksL1Ceiling)
+{
+    platforms::Platform knl = platforms::byName("knl");
+    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    Experiment exp(knl, *isx, profileFor(knl), fast());
+    OptSet v2 = OptSet{Opt::Vectorize, Opt::Smt2};
+    OptSet v2p = v2.with(Opt::SwPrefetchL2);
+    double s = exp.speedup(v2, v2p);
+    EXPECT_GT(s, 1.15);   // paper: 1.4x
+    // Occupancy moves well past the 12 L1 MSHRs toward the paper's 20.
+    EXPECT_GT(exp.stage(v2p).analysis.nAvg, 15.0);
+}
+
+TEST(IntegrationTest, HpcgSklIsBandwidthWall)
+{
+    platforms::Platform skl = platforms::byName("skl");
+    workloads::WorkloadPtr hpcg = workloads::workloadByName("hpcg");
+    Experiment exp(skl, *hpcg, profileFor(skl), fast());
+    const StageMetrics &m = exp.stage({});
+    EXPECT_GT(m.analysis.pctPeak, 0.8);
+    // MLP-raising optimizations are futile (paper: Vect 1x, HT 0.98x).
+    EXPECT_NEAR(exp.speedup({}, OptSet{Opt::Vectorize}), 1.0, 0.06);
+}
+
+TEST(IntegrationTest, HpcgA64fxVectorizationPays)
+{
+    platforms::Platform a = platforms::byName("a64fx");
+    workloads::WorkloadPtr hpcg = workloads::workloadByName("hpcg");
+    Experiment exp(a, *hpcg, profileFor(a), fast());
+    double s = exp.speedup({}, OptSet{Opt::Vectorize});
+    EXPECT_GT(s, 1.4);   // paper: 1.7x
+}
+
+TEST(IntegrationTest, ComdSmtLadderOnKnl)
+{
+    platforms::Platform knl = platforms::byName("knl");
+    workloads::WorkloadPtr comd = workloads::workloadByName("comd");
+    Experiment exp(knl, *comd, profileFor(knl), fast());
+    OptSet v = OptSet{Opt::Vectorize};
+    double s2 = exp.speedup(v, v.with(Opt::Smt2));
+    double s4 = exp.speedup(v.with(Opt::Smt2), v.with(Opt::Smt4));
+    EXPECT_GT(s2, 1.3);            // paper: 1.52
+    EXPECT_GT(s4, 1.1);            // paper: 1.25
+    EXPECT_LT(s4, s2);             // diminishing returns
+}
+
+TEST(IntegrationTest, MinighostTilingReducesTrafficPerWork)
+{
+    platforms::Platform a = platforms::byName("a64fx");
+    workloads::WorkloadPtr mg = workloads::workloadByName("minighost");
+    Experiment exp(a, *mg, profileFor(a), fast());
+    const StageMetrics &base = exp.stage({});
+    const StageMetrics &tiled = exp.stage(OptSet{Opt::Tiling});
+    double traffic_per_work_base = base.run.totalGBs / base.throughput;
+    double traffic_per_work_tiled = tiled.run.totalGBs / tiled.throughput;
+    EXPECT_LT(traffic_per_work_tiled, traffic_per_work_base * 0.8);
+    EXPECT_GT(exp.speedup({}, OptSet{Opt::Tiling}), 1.3);  // paper 1.51
+}
+
+TEST(IntegrationTest, RecipeEndorsesThePaperWalkForIsxKnl)
+{
+    platforms::Platform knl = platforms::byName("knl");
+    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    Experiment exp(knl, *isx, profileFor(knl), fast());
+    Recipe recipe(knl);
+    // At the 2-way-HT stage the L1 queue is effectively full and the
+    // recipe must point at prefetch-to-L2 (the paper's key move).
+    OptSet v2 = OptSet{Opt::Vectorize, Opt::Smt2};
+    RecipeDecision d = recipe.advise(exp.stage(v2).analysis, v2);
+    auto recs = d.recommendedOpts();
+    ASSERT_FALSE(recs.empty());
+    EXPECT_EQ(recs.front(), Opt::SwPrefetchL2);
+}
+
+TEST(IntegrationTest, DerivedMlpTracksTrueOutstandingAcrossWorkloads)
+{
+    // The methodology property on the real platforms: n_avg derived via
+    // the measured profile stays within ~45% of the true per-core
+    // outstanding-to-memory level (profile lookup adds error on top of
+    // Little's law itself, mostly because one curve serves all access
+    // patterns — a limitation the paper shares).
+    platforms::Platform skl = platforms::byName("skl");
+    for (const char *name : {"isx", "hpcg", "minighost", "snap"}) {
+        workloads::WorkloadPtr w = workloads::workloadByName(name);
+        Experiment exp(skl, *w, profileFor(skl), fast());
+        const StageMetrics &m = exp.stage({});
+        double truth = m.run.avgMemOutstanding / exp.coresUsed();
+        ASSERT_GT(truth, 0.0) << name;
+        EXPECT_NEAR(m.analysis.nAvg / truth, 1.0, 0.45) << name;
+    }
+}
+
+TEST(IntegrationTest, SnapA64fxDistributionBeatsFusion)
+{
+    platforms::Platform a = platforms::byName("a64fx");
+    workloads::WorkloadPtr snap = workloads::workloadByName("snap");
+    Experiment exp(a, *snap, profileFor(a), fast());
+    OptSet pref = OptSet{Opt::SwPrefetchL2};
+    double s = exp.speedup(pref, pref.with(Opt::Distribution));
+    EXPECT_GT(s, 1.1);   // paper: 1.2x overall
+}
+
+} // namespace
+} // namespace lll::core

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the bandwidth→latency profile: interpolation, clamping,
+ * isotonic cleanup, and (de)serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "xmem/latency_profile.hh"
+
+namespace lll::xmem
+{
+namespace
+{
+
+LatencyProfile
+simple()
+{
+    return LatencyProfile("tst", 100.0,
+                          {{10.0, 80.0}, {50.0, 120.0}, {90.0, 240.0}});
+}
+
+TEST(LatencyProfileTest, ExactPoints)
+{
+    LatencyProfile p = simple();
+    EXPECT_DOUBLE_EQ(p.latencyAt(10.0), 80.0);
+    EXPECT_DOUBLE_EQ(p.latencyAt(50.0), 120.0);
+    EXPECT_DOUBLE_EQ(p.latencyAt(90.0), 240.0);
+}
+
+TEST(LatencyProfileTest, LinearInterpolation)
+{
+    LatencyProfile p = simple();
+    EXPECT_DOUBLE_EQ(p.latencyAt(30.0), 100.0);
+    EXPECT_DOUBLE_EQ(p.latencyAt(70.0), 180.0);
+}
+
+TEST(LatencyProfileTest, ClampsOutsideRange)
+{
+    LatencyProfile p = simple();
+    EXPECT_DOUBLE_EQ(p.latencyAt(0.0), 80.0);
+    EXPECT_DOUBLE_EQ(p.latencyAt(500.0), 240.0);
+}
+
+TEST(LatencyProfileTest, SortsUnorderedPoints)
+{
+    LatencyProfile p("tst", 100.0,
+                     {{90.0, 240.0}, {10.0, 80.0}, {50.0, 120.0}});
+    EXPECT_DOUBLE_EQ(p.latencyAt(30.0), 100.0);
+}
+
+TEST(LatencyProfileTest, IsotonicCleanupOfNoise)
+{
+    // A dip in the measured curve is raised to the running maximum.
+    LatencyProfile p("tst", 100.0,
+                     {{10.0, 100.0}, {50.0, 90.0}, {90.0, 200.0}});
+    EXPECT_DOUBLE_EQ(p.latencyAt(50.0), 100.0);
+}
+
+TEST(LatencyProfileTest, IdleAndMax)
+{
+    LatencyProfile p = simple();
+    EXPECT_DOUBLE_EQ(p.idleLatencyNs(), 80.0);
+    EXPECT_DOUBLE_EQ(p.maxMeasuredGBs(), 90.0);
+    EXPECT_DOUBLE_EQ(p.peakGBs(), 100.0);
+    EXPECT_EQ(p.platformName(), "tst");
+}
+
+TEST(LatencyProfileTest, SerializeRoundTrip)
+{
+    LatencyProfile p = simple();
+    LatencyProfile q = LatencyProfile::deserialize(p.serialize());
+    EXPECT_EQ(q.platformName(), "tst");
+    EXPECT_DOUBLE_EQ(q.peakGBs(), 100.0);
+    ASSERT_EQ(q.points().size(), 3u);
+    EXPECT_DOUBLE_EQ(q.latencyAt(30.0), 100.0);
+}
+
+TEST(LatencyProfileTest, SaveLoadRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "/lll_profile_test.profile";
+    simple().save(path);
+    LatencyProfile q = LatencyProfile::load(path);
+    ASSERT_FALSE(q.empty());
+    EXPECT_DOUBLE_EQ(q.latencyAt(70.0), 180.0);
+    std::remove(path.c_str());
+}
+
+TEST(LatencyProfileTest, SaveCreatesParentDirectories)
+{
+    std::string dir = ::testing::TempDir() + "/lll_nested/a/b";
+    std::string path = dir + "/p.profile";
+    simple().save(path);
+    EXPECT_FALSE(LatencyProfile::load(path).empty());
+    std::filesystem::remove_all(::testing::TempDir() + "/lll_nested");
+}
+
+TEST(LatencyProfileTest, LoadMissingFileIsEmpty)
+{
+    LatencyProfile p = LatencyProfile::load("/nonexistent/nope.profile");
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(LatencyProfileDeathTest, MalformedTextIsFatal)
+{
+    EXPECT_EXIT(LatencyProfile::deserialize("garbage here\n"),
+                ::testing::ExitedWithCode(1), "unknown profile key");
+}
+
+TEST(LatencyProfileDeathTest, IncompleteTextIsFatal)
+{
+    EXPECT_EXIT(LatencyProfile::deserialize("platform x\n"),
+                ::testing::ExitedWithCode(1), "incomplete");
+}
+
+TEST(LatencyProfileDeathTest, EmptyQueriesPanic)
+{
+    LatencyProfile p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_DEATH(p.latencyAt(10.0), "empty");
+    EXPECT_DEATH(p.idleLatencyNs(), "empty");
+}
+
+} // namespace
+} // namespace lll::xmem

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the banked memory controller: idle latency, bandwidth cap,
+ * emergent loaded latency, writeback handling, utilization accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/mem_ctrl.hh"
+
+namespace lll::sim
+{
+namespace
+{
+
+class MemCtrlTest : public ::testing::Test
+{
+  protected:
+    MemCtrlTest()
+    {
+        MemCtrl::Params mp;
+        mp.peakGBs = 32.0;        // 0.5 Glines/s at 64B
+        mp.frontLatencyNs = 20.0;
+        mp.bankServiceNs = 16.0;  // -> 8 banks
+        mp.backLatencyNs = 4.0;
+        mem_ = std::make_unique<MemCtrl>(mp, eq_, pool_);
+
+        Cache::Params cp;
+        cp.name = "sink";
+        cp.sets = 4096;
+        cp.ways = 8;
+        cp.mshrs = 0;
+        sink_ = std::make_unique<Cache>(cp, eq_, pool_);
+        sink_->setDownstream(mem_.get());
+    }
+
+    /** Issue a demand miss through the sink cache into the controller. */
+    void
+    read(uint64_t line)
+    {
+        MemRequest *dem = pool_.alloc();
+        dem->lineAddr = line;
+        dem->type = ReqType::DemandLoad;
+        ASSERT_TRUE(sink_->tryAccess(dem));
+    }
+
+    void settle() { eq_.runUntil(eq_.now() + nsToTicks(1000000.0)); }
+
+    EventQueue eq_;
+    RequestPool pool_;
+    std::unique_ptr<MemCtrl> mem_;
+    std::unique_ptr<Cache> sink_;
+};
+
+TEST_F(MemCtrlTest, BanksDerivedFromPeak)
+{
+    // 32 GB/s * 16 ns / 64 B = 8 banks.
+    EXPECT_EQ(mem_->banks(), 8u);
+}
+
+TEST_F(MemCtrlTest, BanksOverride)
+{
+    MemCtrl::Params mp;
+    mp.banksOverride = 3;
+    MemCtrl m(mp, eq_, pool_);
+    EXPECT_EQ(m.banks(), 3u);
+}
+
+TEST_F(MemCtrlTest, IdleLatencyIsFrontPlusServicePlusBack)
+{
+    read(1);
+    settle();
+    EXPECT_NEAR(mem_->stats().readLatencyNs.mean(), 20.0 + 16.0 + 4.0,
+                0.01);
+}
+
+TEST_F(MemCtrlTest, NeverRefuses)
+{
+    for (uint64_t i = 0; i < 200; ++i)
+        read(i);
+    // All accepted immediately (the sink cache never saw a refusal).
+    EXPECT_EQ(sink_->mshrs().fullStalls(), 0u);
+    settle();
+}
+
+TEST_F(MemCtrlTest, LatencyRisesUnderBurstLoad)
+{
+    for (uint64_t i = 0; i < 400; ++i)
+        read(i);
+    settle();
+    // 400 requests over 8 banks: queueing must dominate.
+    EXPECT_GT(mem_->stats().readLatencyNs.mean(), 100.0);
+    EXPECT_GT(mem_->stats().readLatencyNs.max(),
+              mem_->stats().readLatencyNs.min());
+}
+
+TEST_F(MemCtrlTest, ThroughputBoundedByPeak)
+{
+    const Tick t0 = eq_.now();
+    for (uint64_t i = 0; i < 2000; ++i)
+        read(i);
+    settle();
+    // Bandwidth measured over the busy interval cannot exceed peak.
+    double gbs = 2000.0 * 64.0 /
+                 ticksToNs(eq_.now() - t0 > 0 ? eq_.now() - t0 : 1);
+    // The drain happens at <= peak; with the final runUntil padding this
+    // is loose, so check the service accounting instead.
+    EXPECT_LE(mem_->utilization(t0, eq_.now()), 1.0 + 1e-9);
+    (void)gbs;
+}
+
+TEST_F(MemCtrlTest, WritebacksCountAndFree)
+{
+    MemRequest *wb = pool_.alloc();
+    wb->lineAddr = 77;
+    wb->type = ReqType::Writeback;
+    EXPECT_TRUE(mem_->tryAccess(wb));
+    settle();
+    EXPECT_EQ(mem_->stats().writeLines.value(), 1u);
+    EXPECT_EQ(mem_->stats().readLines.value(), 0u);
+    EXPECT_EQ(pool_.outstanding(), 0);
+}
+
+TEST_F(MemCtrlTest, ReadTypeAttribution)
+{
+    MemRequest *pf = pool_.alloc();
+    pf->lineAddr = 5;
+    pf->type = ReqType::HwPrefetch;
+    pf->origin = sink_.get();
+    // Needs a matching MSHR at the sink for the fill.
+    const_cast<MshrQueue &>(sink_->mshrs())
+        .allocate(5, ReqType::HwPrefetch, eq_.now());
+    mem_->tryAccess(pf);
+    settle();
+    EXPECT_EQ(mem_->stats().hwPrefetchLines.value(), 1u);
+    EXPECT_EQ(mem_->stats().demandReadLines.value(), 0u);
+}
+
+TEST_F(MemCtrlTest, OutstandingIntegratesOverWindow)
+{
+    const Tick t0 = eq_.now();
+    for (uint64_t i = 0; i < 16; ++i)
+        read(i);
+    settle();
+    double avg = mem_->avgOutstanding(t0, eq_.now());
+    EXPECT_GT(avg, 0.0);
+}
+
+TEST_F(MemCtrlTest, StatsReset)
+{
+    read(1);
+    settle();
+    mem_->resetStats(eq_.now());
+    EXPECT_EQ(mem_->stats().readLines.value(), 0u);
+    EXPECT_EQ(mem_->stats().readLatencyNs.count(), 0u);
+    EXPECT_DOUBLE_EQ(mem_->utilization(eq_.now(), eq_.now() + 100), 0.0);
+}
+
+TEST_F(MemCtrlTest, AchievedBandwidthMath)
+{
+    const Tick t0 = eq_.now();
+    for (uint64_t i = 0; i < 100; ++i)
+        read(i);
+    settle();
+    const Tick t1 = eq_.now();
+    double expect = 100.0 * 64.0 / ticksToNs(t1 - t0);
+    EXPECT_NEAR(mem_->achievedGBs(t0, t1), expect, expect * 0.01);
+}
+
+} // namespace
+} // namespace lll::sim

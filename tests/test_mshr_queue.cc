@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the MSHR queue: capacity, coalescing index, occupancy
+ * integration (the paper's n_avg ground truth) and stall accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/mshr_queue.hh"
+
+namespace lll::sim
+{
+namespace
+{
+
+TEST(MshrQueueTest, AllocateAndLookup)
+{
+    MshrQueue q("t", 4);
+    EXPECT_EQ(q.lookup(7), nullptr);
+    Mshr *m = q.allocate(7, ReqType::DemandLoad, 0);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->lineAddr, 7u);
+    EXPECT_EQ(q.lookup(7), m);
+    EXPECT_EQ(q.used(), 1u);
+}
+
+TEST(MshrQueueTest, FullAtCapacity)
+{
+    MshrQueue q("t", 2);
+    q.allocate(1, ReqType::DemandLoad, 0);
+    EXPECT_FALSE(q.full());
+    q.allocate(2, ReqType::DemandLoad, 0);
+    EXPECT_TRUE(q.full());
+}
+
+TEST(MshrQueueTest, DeallocateFrees)
+{
+    MshrQueue q("t", 2);
+    Mshr *a = q.allocate(1, ReqType::DemandLoad, 0);
+    q.allocate(2, ReqType::DemandLoad, 0);
+    q.deallocate(a, 10);
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.lookup(1), nullptr);
+    EXPECT_NE(q.lookup(2), nullptr);
+    EXPECT_EQ(q.used(), 1u);
+}
+
+TEST(MshrQueueTest, ReallocateSameLineAfterFree)
+{
+    MshrQueue q("t", 2);
+    Mshr *a = q.allocate(5, ReqType::DemandLoad, 0);
+    q.deallocate(a, 1);
+    Mshr *b = q.allocate(5, ReqType::HwPrefetch, 2);
+    EXPECT_EQ(b->originType, ReqType::HwPrefetch);
+    EXPECT_EQ(q.used(), 1u);
+}
+
+TEST(MshrQueueTest, UnboundedGrows)
+{
+    MshrQueue q("t", 0);
+    for (uint64_t i = 0; i < 500; ++i)
+        q.allocate(i, ReqType::DemandLoad, i);
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.used(), 500u);
+    // All lines remain addressable after internal growth.
+    for (uint64_t i = 0; i < 500; ++i)
+        EXPECT_NE(q.lookup(i), nullptr);
+}
+
+TEST(MshrQueueTest, OccupancyIntegration)
+{
+    MshrQueue q("t", 8);
+    // 0 until t=100, then 2 until t=200, then 1 until t=300.
+    Mshr *a = q.allocate(1, ReqType::DemandLoad, 100);
+    q.allocate(2, ReqType::DemandLoad, 100);
+    q.deallocate(a, 200);
+    // mean over [0,300] = (0*100 + 2*100 + 1*100)/300 = 1.0
+    EXPECT_NEAR(q.avgOccupancy(0, 300), 1.0, 1e-9);
+}
+
+TEST(MshrQueueTest, OccupancyWindowedAfterReset)
+{
+    MshrQueue q("t", 8);
+    q.allocate(1, ReqType::DemandLoad, 0);
+    q.resetStats(1000);
+    // level stays 1 across the reset
+    EXPECT_NEAR(q.avgOccupancy(1000, 2000), 1.0, 1e-9);
+}
+
+TEST(MshrQueueTest, MaxOccupancy)
+{
+    MshrQueue q("t", 8);
+    Mshr *a = q.allocate(1, ReqType::DemandLoad, 0);
+    q.allocate(2, ReqType::DemandLoad, 5);
+    q.allocate(3, ReqType::DemandLoad, 5);
+    q.deallocate(a, 10);
+    EXPECT_DOUBLE_EQ(q.maxOccupancy(), 3.0);
+}
+
+TEST(MshrQueueTest, FullStallAccounting)
+{
+    MshrQueue q("t", 1);
+    q.allocate(1, ReqType::DemandLoad, 0);
+    q.recordFullStall();
+    q.recordFullStall();
+    EXPECT_EQ(q.fullStalls(), 2u);
+    q.resetStats(10);
+    EXPECT_EQ(q.fullStalls(), 0u);
+}
+
+TEST(MshrQueueTest, AllocationCounter)
+{
+    MshrQueue q("t", 4);
+    q.allocate(1, ReqType::DemandLoad, 0);
+    q.allocate(2, ReqType::DemandLoad, 0);
+    EXPECT_EQ(q.allocations(), 2u);
+    q.resetStats(5);
+    EXPECT_EQ(q.allocations(), 0u);
+}
+
+TEST(MshrQueueTest, TargetsParkOnEntry)
+{
+    MshrQueue q("t", 4);
+    Mshr *m = q.allocate(9, ReqType::DemandLoad, 0);
+    MemRequest r1, r2;
+    m->targets.push_back(&r1);
+    m->targets.push_back(&r2);
+    EXPECT_EQ(q.lookup(9)->targets.size(), 2u);
+    m->targets.clear();
+    q.deallocate(m, 1);
+}
+
+TEST(MshrQueueDeathTest, AllocateWhenFullPanics)
+{
+    MshrQueue q("t", 1);
+    q.allocate(1, ReqType::DemandLoad, 0);
+    EXPECT_DEATH(q.allocate(2, ReqType::DemandLoad, 0), "full");
+}
+
+TEST(MshrQueueDeathTest, DuplicateAllocatePanics)
+{
+    MshrQueue q("t", 4);
+    q.allocate(1, ReqType::DemandLoad, 0);
+    EXPECT_DEATH(q.allocate(1, ReqType::DemandLoad, 0), "duplicate");
+}
+
+TEST(MshrQueueDeathTest, DeallocateWithTargetsPanics)
+{
+    MshrQueue q("t", 4);
+    Mshr *m = q.allocate(1, ReqType::DemandLoad, 0);
+    MemRequest r;
+    m->targets.push_back(&r);
+    EXPECT_DEATH(q.deallocate(m, 1), "targets");
+    m->targets.clear();
+    q.deallocate(m, 1);
+}
+
+} // namespace
+} // namespace lll::sim

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the stateless op-sequence generator: weighted interleave,
+ * per-kind address behaviour, reuse, region disjointness and the
+ * random-access property software prefetching depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/op_stream.hh"
+
+namespace lll::sim
+{
+namespace
+{
+
+KernelSpec
+twoStreamSpec()
+{
+    KernelSpec k;
+    StreamDesc a;
+    a.kind = StreamDesc::Kind::Sequential;
+    a.footprintLines = 1024;
+    a.weight = 3.0;
+    k.streams.push_back(a);
+    StreamDesc b;
+    b.kind = StreamDesc::Kind::Random;
+    b.footprintLines = 4096;
+    b.weight = 1.0;
+    k.streams.push_back(b);
+    return k;
+}
+
+TEST(OpStreamTest, PatternRespectsWeights)
+{
+    OpStream ops(twoStreamSpec(), 1, 1);
+    unsigned len = ops.patternLength();
+    EXPECT_EQ(ops.countInPattern(0) + ops.countInPattern(1), len);
+    double share0 = static_cast<double>(ops.countInPattern(0)) / len;
+    EXPECT_NEAR(share0, 0.75, 0.02);
+}
+
+TEST(OpStreamTest, DeterministicAndStateless)
+{
+    OpStream a(twoStreamSpec(), 5, 2);
+    OpStream b(twoStreamSpec(), 5, 2);
+    // Same op at same index regardless of query order.
+    EXPECT_EQ(a.at(1000).lineAddr, b.at(1000).lineAddr);
+    for (uint64_t n = 0; n < 64; ++n)
+        EXPECT_EQ(a.at(n).lineAddr, b.at(n).lineAddr);
+    EXPECT_EQ(a.at(1000).lineAddr, b.at(1000).lineAddr);
+}
+
+TEST(OpStreamTest, SequentialAdvancesByOne)
+{
+    KernelSpec k;
+    StreamDesc s;
+    s.kind = StreamDesc::Kind::Sequential;
+    s.footprintLines = 1 << 20;
+    k.streams.push_back(s);
+    OpStream ops(k, 1, 1);
+    uint64_t first = ops.at(0).lineAddr;
+    for (uint64_t n = 1; n < 100; ++n)
+        EXPECT_EQ(ops.at(n).lineAddr, first + n);
+}
+
+TEST(OpStreamTest, SequentialWrapsAtFootprint)
+{
+    KernelSpec k;
+    StreamDesc s;
+    s.kind = StreamDesc::Kind::Sequential;
+    s.footprintLines = 16;
+    k.streams.push_back(s);
+    OpStream ops(k, 1, 1);
+    EXPECT_EQ(ops.at(0).lineAddr, ops.at(16).lineAddr);
+    EXPECT_EQ(ops.at(3).lineAddr, ops.at(19).lineAddr);
+}
+
+TEST(OpStreamTest, StridedUsesStride)
+{
+    KernelSpec k;
+    StreamDesc s;
+    s.kind = StreamDesc::Kind::Strided;
+    s.strideLines = 7;
+    s.footprintLines = 1 << 20;
+    k.streams.push_back(s);
+    OpStream ops(k, 1, 1);
+    uint64_t first = ops.at(0).lineAddr;
+    EXPECT_EQ(ops.at(1).lineAddr, first + 7);
+    EXPECT_EQ(ops.at(10).lineAddr, first + 70);
+}
+
+TEST(OpStreamTest, RandomStaysInFootprintAndSpreads)
+{
+    KernelSpec k;
+    StreamDesc s;
+    s.kind = StreamDesc::Kind::Random;
+    s.footprintLines = 1 << 16;
+    k.streams.push_back(s);
+    OpStream ops(k, 1, 1);
+    uint64_t base = ~0ULL, top = 0;
+    std::set<uint64_t> distinct;
+    for (uint64_t n = 0; n < 2000; ++n) {
+        uint64_t a = ops.at(n).lineAddr;
+        base = std::min(base, a);
+        top = std::max(top, a);
+        distinct.insert(a);
+    }
+    EXPECT_LT(top - base, 1u << 16);
+    EXPECT_GT(distinct.size(), 1900u);   // collisions rare
+}
+
+TEST(OpStreamTest, StoreStreamsProduceStores)
+{
+    KernelSpec k;
+    StreamDesc s;
+    s.kind = StreamDesc::Kind::Sequential;
+    s.footprintLines = 64;
+    s.store = true;
+    k.streams.push_back(s);
+    OpStream ops(k, 1, 1);
+    for (uint64_t n = 0; n < 16; ++n)
+        EXPECT_EQ(ops.at(n).type, ReqType::DemandStore);
+}
+
+TEST(OpStreamTest, SwPrefetchableFlagPropagates)
+{
+    KernelSpec k = twoStreamSpec();
+    k.streams[1].swPrefetchable = true;
+    OpStream ops(k, 1, 1);
+    bool saw_flagged = false, saw_unflagged = false;
+    for (uint64_t n = 0; n < 64; ++n) {
+        Op op = ops.at(n);
+        (op.streamIdx == 1 ? saw_flagged : saw_unflagged) = true;
+        EXPECT_EQ(op.swPrefetchable, op.streamIdx == 1);
+    }
+    EXPECT_TRUE(saw_flagged);
+    EXPECT_TRUE(saw_unflagged);
+}
+
+TEST(OpStreamTest, DistinctThreadsGetDisjointPrivateRegions)
+{
+    KernelSpec k = twoStreamSpec();
+    OpStream a(k, 1, 1), b(k, 2, 1);
+    std::set<uint64_t> seen_a;
+    for (uint64_t n = 0; n < 500; ++n)
+        seen_a.insert(a.at(n).lineAddr);
+    for (uint64_t n = 0; n < 500; ++n)
+        EXPECT_EQ(seen_a.count(b.at(n).lineAddr), 0u);
+}
+
+TEST(OpStreamTest, SharedStreamSameAcrossThreadsOfCore)
+{
+    KernelSpec k;
+    StreamDesc s;
+    s.kind = StreamDesc::Kind::Sequential;
+    s.footprintLines = 256;
+    s.sharedAcrossThreads = true;
+    k.streams.push_back(s);
+    OpStream a(k, /*thread_seed=*/1, /*core_seed=*/9);
+    OpStream b(k, /*thread_seed=*/2, /*core_seed=*/9);
+    OpStream c(k, /*thread_seed=*/3, /*core_seed=*/8);
+    EXPECT_EQ(a.at(0).lineAddr, b.at(0).lineAddr);
+    EXPECT_NE(a.at(0).lineAddr, c.at(0).lineAddr);
+}
+
+TEST(OpStreamTest, ReuseRetouchesEarlierLines)
+{
+    KernelSpec k;
+    StreamDesc s;
+    s.kind = StreamDesc::Kind::Sequential;
+    s.footprintLines = 1 << 18;
+    s.reuseFraction = 0.5;
+    s.reuseWindow = 32;
+    k.streams.push_back(s);
+    OpStream ops(k, 1, 1);
+    // With 50% reuse, the number of *new* max addresses in N ops is
+    // roughly N/2.
+    uint64_t max_addr = 0;
+    unsigned advances = 0;
+    for (uint64_t n = 0; n < 2000; ++n) {
+        uint64_t a = ops.at(n).lineAddr;
+        if (a > max_addr) {
+            max_addr = a;
+            ++advances;
+        }
+    }
+    EXPECT_NEAR(advances, 1000u, 120u);
+}
+
+TEST(OpStreamTest, ZeroReuseNeverRetreats)
+{
+    KernelSpec k;
+    StreamDesc s;
+    s.kind = StreamDesc::Kind::Sequential;
+    s.footprintLines = 1 << 18;
+    k.streams.push_back(s);
+    OpStream ops(k, 1, 1);
+    uint64_t prev = 0;
+    for (uint64_t n = 0; n < 1000; ++n) {
+        uint64_t a = ops.at(n).lineAddr;
+        if (n) {
+            EXPECT_GT(a, prev);
+        }
+        prev = a;
+    }
+}
+
+TEST(OpStreamTest, InterleaveIsRegular)
+{
+    // A 3:1 weighted pattern should never put two rare-stream slots
+    // adjacent (error-diffusion spreads them).
+    OpStream ops(twoStreamSpec(), 1, 1);
+    int prev = -1;
+    for (uint64_t n = 0; n < 256; ++n) {
+        int s = ops.at(n).streamIdx;
+        if (s == 1) {
+            EXPECT_NE(prev, 1);
+        }
+        prev = s;
+    }
+}
+
+TEST(OpStreamDeathTest, EmptySpecPanics)
+{
+    KernelSpec k;
+    EXPECT_DEATH(OpStream(k, 1, 1), "no streams");
+}
+
+TEST(OpStreamDeathTest, HugeFootprintPanics)
+{
+    KernelSpec k;
+    StreamDesc s;
+    s.footprintLines = 1ULL << 40;
+    k.streams.push_back(s);
+    EXPECT_DEATH(OpStream(k, 1, 1), "footprint");
+}
+
+} // namespace
+} // namespace lll::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for optimization sets: algebra, SMT-state exclusivity, labels,
+ * and the MLP-direction taxonomy of paper §III-C.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/optimization.hh"
+
+namespace lll::workloads
+{
+namespace
+{
+
+TEST(OptSetTest, EmptyIsBase)
+{
+    OptSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.label(), "base");
+    EXPECT_EQ(s.smtWays(), 1u);
+}
+
+TEST(OptSetTest, WithAddsInOrder)
+{
+    OptSet s = OptSet{}.with(Opt::Vectorize).with(Opt::Smt2);
+    EXPECT_TRUE(s.has(Opt::Vectorize));
+    EXPECT_TRUE(s.has(Opt::Smt2));
+    EXPECT_FALSE(s.has(Opt::Tiling));
+    EXPECT_EQ(s.label(), "+ vect, 2-ht");
+}
+
+TEST(OptSetTest, WithIsIdempotent)
+{
+    OptSet s = OptSet{}.with(Opt::Tiling).with(Opt::Tiling);
+    EXPECT_EQ(s.opts().size(), 1u);
+}
+
+TEST(OptSetTest, SmtStatesReplaceEachOther)
+{
+    OptSet s2 = OptSet{}.with(Opt::Smt2);
+    EXPECT_EQ(s2.smtWays(), 2u);
+    OptSet s4 = s2.with(Opt::Smt4);
+    EXPECT_EQ(s4.smtWays(), 4u);
+    EXPECT_FALSE(s4.has(Opt::Smt2));
+    OptSet back = s4.with(Opt::Smt2);
+    EXPECT_EQ(back.smtWays(), 2u);
+    EXPECT_FALSE(back.has(Opt::Smt4));
+}
+
+TEST(OptSetTest, InitializerList)
+{
+    OptSet s{Opt::Vectorize, Opt::SwPrefetchL2};
+    EXPECT_TRUE(s.has(Opt::Vectorize));
+    EXPECT_TRUE(s.has(Opt::SwPrefetchL2));
+    EXPECT_EQ(s.label(), "+ vect, l2-pref");
+}
+
+TEST(OptSetTest, Equality)
+{
+    OptSet a{Opt::Vectorize, Opt::Smt2};
+    OptSet b = OptSet{}.with(Opt::Vectorize).with(Opt::Smt2);
+    EXPECT_TRUE(a == b);
+    OptSet c{Opt::Smt2, Opt::Vectorize};   // order differs
+    EXPECT_FALSE(a == c);
+}
+
+TEST(OptTest, MlpDirectionTaxonomy)
+{
+    // Paper §III-C: vectorization, SMT and sw prefetch raise MLP;
+    // tiling, fusion and unroll-jam reduce occupancy.
+    for (Opt o : {Opt::Vectorize, Opt::Smt2, Opt::Smt4,
+                  Opt::SwPrefetchL2}) {
+        EXPECT_TRUE(increasesMlp(o)) << optName(o);
+        EXPECT_FALSE(reducesOccupancy(o)) << optName(o);
+    }
+    for (Opt o : {Opt::Tiling, Opt::Fusion, Opt::UnrollJam}) {
+        EXPECT_FALSE(increasesMlp(o)) << optName(o);
+        EXPECT_TRUE(reducesOccupancy(o)) << optName(o);
+    }
+    EXPECT_FALSE(increasesMlp(Opt::Distribution));
+    EXPECT_FALSE(reducesOccupancy(Opt::Distribution));
+}
+
+TEST(OptTest, NamesAreDistinct)
+{
+    for (Opt a : {Opt::Vectorize, Opt::Smt2, Opt::Smt4, Opt::SwPrefetchL2,
+                  Opt::Tiling, Opt::UnrollJam, Opt::Fusion,
+                  Opt::Distribution}) {
+        for (Opt b : {Opt::Vectorize, Opt::Smt2, Opt::Smt4,
+                      Opt::SwPrefetchL2, Opt::Tiling, Opt::UnrollJam,
+                      Opt::Fusion, Opt::Distribution}) {
+            if (a != b) {
+                EXPECT_STRNE(optName(a), optName(b));
+                EXPECT_STRNE(optShortName(a), optShortName(b));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace lll::workloads

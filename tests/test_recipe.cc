@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the recipe engine: the three branches of paper Figure 1 and
+ * the platform-specific SMT handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/recipe.hh"
+#include "test_common.hh"
+
+namespace lll::core
+{
+namespace
+{
+
+using workloads::Opt;
+using workloads::OptSet;
+
+Analysis
+makeAnalysis(const platforms::Platform &p, double n_avg, bool random,
+             bool bw_wall)
+{
+    Analysis a;
+    a.platform = p.name;
+    a.coresUsed = p.totalCores;
+    a.accessClass = random ? AccessClass::Random : AccessClass::Streaming;
+    a.limitingLevel = random ? MshrLevel::L1 : MshrLevel::L2;
+    a.limitingMshrs = random ? p.l1Mshrs : p.l2Mshrs;
+    a.nAvg = n_avg;
+    a.headroom = a.limitingMshrs - n_avg;
+    a.nearMshrLimit = n_avg >= 0.88 * a.limitingMshrs;
+    a.maxAchievableGBs = 0.9 * p.peakGBs;
+    a.bwGBs = bw_wall ? 0.95 * a.maxAchievableGBs : 0.4 * p.peakGBs;
+    a.pctPeak = a.bwGBs / p.peakGBs;
+    a.nearBandwidthLimit = bw_wall;
+    a.latencyNs = 150.0;
+    return a;
+}
+
+bool
+recommends(const RecipeDecision &d, Opt opt)
+{
+    auto recs = d.recommendedOpts();
+    return std::find(recs.begin(), recs.end(), opt) != recs.end();
+}
+
+bool
+mentions(const RecipeDecision &d, Opt opt)
+{
+    for (const Recommendation &r : d.recommendations) {
+        if (r.opt == opt)
+            return true;
+    }
+    return false;
+}
+
+class RecipeTest : public ::testing::Test
+{
+  protected:
+    platforms::Platform skl_ = platforms::skl();
+    platforms::Platform knl_ = platforms::knl();
+    platforms::Platform a64fx_ = platforms::a64fx();
+};
+
+TEST_F(RecipeTest, HeadroomRecommendsVectorizationAndSmt)
+{
+    Recipe recipe(skl_);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(skl_, 2.0, false, false), OptSet{});
+    EXPECT_TRUE(recommends(d, Opt::Vectorize));
+    EXPECT_TRUE(recommends(d, Opt::Smt2));
+    EXPECT_FALSE(d.stop);
+    EXPECT_NE(d.summary.find("headroom"), std::string::npos);
+}
+
+TEST_F(RecipeTest, HeadroomDoesNotRepeatAppliedOpts)
+{
+    Recipe recipe(skl_);
+    OptSet applied = OptSet{}.with(Opt::Vectorize);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(skl_, 3.0, false, false), applied);
+    EXPECT_FALSE(recommends(d, Opt::Vectorize));
+    EXPECT_TRUE(recommends(d, Opt::Smt2));
+}
+
+TEST_F(RecipeTest, SwPrefetchOnlyForRandomInHeadroom)
+{
+    Recipe recipe(knl_);
+    RecipeDecision rnd =
+        recipe.advise(makeAnalysis(knl_, 3.0, true, false), OptSet{});
+    EXPECT_TRUE(recommends(rnd, Opt::SwPrefetchL2));
+    RecipeDecision str =
+        recipe.advise(makeAnalysis(knl_, 3.0, false, false), OptSet{});
+    EXPECT_FALSE(recommends(str, Opt::SwPrefetchL2));
+}
+
+TEST_F(RecipeTest, UnrollJamOnlyAtVeryLowMlp)
+{
+    Recipe recipe(skl_);
+    RecipeDecision low =
+        recipe.advise(makeAnalysis(skl_, 0.3, false, false), OptSet{});
+    EXPECT_TRUE(recommends(low, Opt::UnrollJam));
+    RecipeDecision mid =
+        recipe.advise(makeAnalysis(skl_, 5.0, false, false), OptSet{});
+    EXPECT_FALSE(recommends(mid, Opt::UnrollJam));
+}
+
+TEST_F(RecipeTest, MshrFullForbidsMlpRaisers)
+{
+    Recipe recipe(skl_);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(skl_, 10.1, true, false), OptSet{});
+    EXPECT_FALSE(recommends(d, Opt::Vectorize));
+    EXPECT_FALSE(recommends(d, Opt::Smt2));
+    EXPECT_NE(d.summary.find("full"), std::string::npos);
+}
+
+TEST_F(RecipeTest, IsxMoveL1FullRecommendsPrefetchToL2)
+{
+    // Random access, L1 pinned, L2 larger and bandwidth headroom: the
+    // paper's signature ISx recommendation.
+    Recipe recipe(knl_);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(knl_, 11.8, true, false), OptSet{});
+    EXPECT_TRUE(recommends(d, Opt::SwPrefetchL2));
+    // And tiling as the occupancy-reducing alternative.
+    EXPECT_TRUE(recommends(d, Opt::Tiling));
+}
+
+TEST_F(RecipeTest, L2FullStreamingDoesNotRecommendPrefetch)
+{
+    Recipe recipe(skl_);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(skl_, 15.0, false, false), OptSet{});
+    EXPECT_FALSE(recommends(d, Opt::SwPrefetchL2));
+    EXPECT_TRUE(recommends(d, Opt::Tiling));
+}
+
+TEST_F(RecipeTest, BandwidthWallRecommendsTrafficReducersOnly)
+{
+    Recipe recipe(skl_);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(skl_, 12.0, false, true), OptSet{});
+    EXPECT_TRUE(recommends(d, Opt::Tiling));
+    EXPECT_TRUE(recommends(d, Opt::Fusion));
+    EXPECT_FALSE(recommends(d, Opt::Vectorize));
+    EXPECT_FALSE(recommends(d, Opt::Smt2));
+    EXPECT_FALSE(recommends(d, Opt::SwPrefetchL2));
+    EXPECT_NE(d.summary.find("bandwidth wall"), std::string::npos);
+}
+
+TEST_F(RecipeTest, BandwidthWallStopsWhenReducersExhausted)
+{
+    Recipe recipe(skl_);
+    OptSet applied = OptSet{}.with(Opt::Tiling).with(Opt::Fusion);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(skl_, 12.0, false, true), applied);
+    EXPECT_TRUE(d.stop);
+    EXPECT_TRUE(d.recommendedOpts().empty());
+}
+
+TEST_F(RecipeTest, NoSmtOnA64fx)
+{
+    Recipe recipe(a64fx_);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(a64fx_, 2.0, false, false), OptSet{});
+    EXPECT_FALSE(recommends(d, Opt::Smt2));
+    EXPECT_TRUE(mentions(d, Opt::Smt2));   // mentioned with rationale
+}
+
+TEST_F(RecipeTest, Smt4AfterSmt2OnKnl)
+{
+    Recipe recipe(knl_);
+    OptSet applied = OptSet{}.with(Opt::Vectorize).with(Opt::Smt2);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(knl_, 5.0, false, false), applied);
+    EXPECT_TRUE(recommends(d, Opt::Smt4));
+    EXPECT_FALSE(recommends(d, Opt::Smt2));
+}
+
+TEST_F(RecipeTest, SmtExhaustedOnSklAfter2Way)
+{
+    Recipe recipe(skl_);
+    OptSet applied = OptSet{}.with(Opt::Smt2);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(skl_, 5.0, false, false), applied);
+    EXPECT_FALSE(recommends(d, Opt::Smt4));
+}
+
+TEST_F(RecipeTest, EveryRecommendationHasRationale)
+{
+    Recipe recipe(knl_);
+    for (bool random : {true, false}) {
+        for (bool wall : {true, false}) {
+            RecipeDecision d = recipe.advise(
+                makeAnalysis(knl_, wall ? 12.0 : 4.0, random, wall),
+                OptSet{});
+            EXPECT_FALSE(d.summary.empty());
+            for (const Recommendation &r : d.recommendations)
+                EXPECT_FALSE(r.rationale.empty());
+        }
+    }
+}
+
+TEST_F(RecipeTest, DistributionNeverTopRecommendationAtLowMlp)
+{
+    Recipe recipe(skl_);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(skl_, 1.0, false, false), OptSet{});
+    EXPECT_FALSE(recommends(d, Opt::Distribution));
+}
+
+} // namespace
+} // namespace lll::core

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the stream prefetcher: training, direction, degree/distance
+ * discipline, random-access immunity, confidence-protected eviction and
+ * the stop-on-drop rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/mem_ctrl.hh"
+#include "sim/stream_prefetcher.hh"
+#include "util/rng.hh"
+
+namespace lll::sim
+{
+namespace
+{
+
+class PrefetcherTest : public ::testing::Test
+{
+  protected:
+    PrefetcherTest()
+    {
+        Cache::Params cp;
+        cp.name = "l2pf";
+        cp.sets = 256;
+        cp.ways = 8;
+        cp.mshrs = 32;
+        cp.accessLat = nsToTicks(5.0);
+        cache_ = std::make_unique<Cache>(cp, eq_, pool_);
+
+        MemCtrl::Params mp;
+        mp.peakGBs = 50.0;
+        mem_ = std::make_unique<MemCtrl>(mp, eq_, pool_);
+        cache_->setDownstream(mem_.get());
+
+        StreamPrefetcher::Params pp;
+        pp.tableSize = 4;
+        pp.matchWindow = 4;
+        pp.distance = 8;
+        pp.degree = 2;
+        pp.trainThreshold = 2;
+        pf_ = std::make_unique<StreamPrefetcher>(pp, *cache_);
+    }
+
+    void settle() { eq_.runUntil(eq_.now() + nsToTicks(100000.0)); }
+
+    EventQueue eq_;
+    RequestPool pool_;
+    std::unique_ptr<Cache> cache_;
+    std::unique_ptr<MemCtrl> mem_;
+    std::unique_ptr<StreamPrefetcher> pf_;
+};
+
+TEST_F(PrefetcherTest, NoIssueBeforeTraining)
+{
+    pf_->observe(1000, 0);
+    pf_->observe(1001, 0);   // confidence 1 < threshold 2
+    EXPECT_EQ(pf_->stats().issued.value(), 0u);
+}
+
+TEST_F(PrefetcherTest, IssuesAfterTraining)
+{
+    pf_->observe(1000, 0);
+    pf_->observe(1001, 0);
+    pf_->observe(1002, 0);   // trained; issues up to degree=2
+    EXPECT_EQ(pf_->stats().issued.value(), 2u);
+    settle();
+    EXPECT_TRUE(cache_->isResident(1003));
+    EXPECT_TRUE(cache_->isResident(1004));
+}
+
+TEST_F(PrefetcherTest, RunsAheadUpToDistance)
+{
+    for (uint64_t i = 0; i < 20; ++i) {
+        pf_->observe(1000 + i, 0);
+        settle();
+    }
+    // After a long run, coverage extends `distance` past the head.
+    EXPECT_TRUE(cache_->isResident(1019 + 8));
+    EXPECT_FALSE(cache_->isResident(1019 + 9));
+}
+
+TEST_F(PrefetcherTest, DescendingStreamsWork)
+{
+    for (uint64_t i = 0; i < 12; ++i) {
+        pf_->observe(5000 - i, 0);
+        settle();
+    }
+    EXPECT_TRUE(cache_->isResident(5000 - 11 - 4));
+}
+
+TEST_F(PrefetcherTest, RandomAccessesNeverTrain)
+{
+    Rng rng(42);
+    for (int i = 0; i < 500; ++i)
+        pf_->observe(rng.next64() % (1ULL << 30), 0);
+    settle();
+    EXPECT_EQ(pf_->stats().issued.value(), 0u);
+    EXPECT_GT(pf_->stats().allocations.value(), 400u);
+}
+
+TEST_F(PrefetcherTest, RetouchOfHeadOnlyRefreshes)
+{
+    pf_->observe(100, 0);
+    uint64_t allocs = pf_->stats().allocations.value();
+    pf_->observe(100, 0);   // same line again (coalesced miss pattern)
+    EXPECT_EQ(pf_->stats().allocations.value(), allocs);
+    EXPECT_EQ(pf_->stats().issued.value(), 0u);
+}
+
+TEST_F(PrefetcherTest, TrainedStreamsSurviveTablePressure)
+{
+    // Train stream A fully.
+    for (uint64_t i = 0; i < 6; ++i) {
+        pf_->observe(10000 + i, 0);
+        settle();
+    }
+    uint64_t issued_before = pf_->stats().issued.value();
+    EXPECT_GT(issued_before, 0u);
+
+    // Blast 20 unrelated single-shot addresses (candidate streams) —
+    // more than the 4-entry table.
+    for (uint64_t i = 0; i < 20; ++i)
+        pf_->observe(50000 + i * 1000, 0);
+
+    // Stream A still advances (its entry was confidence-protected).
+    pf_->observe(10006, 0);
+    settle();
+    EXPECT_GT(pf_->stats().issued.value(), issued_before);
+}
+
+TEST_F(PrefetcherTest, InterleavedStreamsBothCovered)
+{
+    for (uint64_t i = 0; i < 10; ++i) {
+        pf_->observe(20000 + i, 0);
+        pf_->observe(40000 + i, 0);
+        settle();
+    }
+    EXPECT_TRUE(cache_->isResident(20009 + 4));
+    EXPECT_TRUE(cache_->isResident(40009 + 4));
+}
+
+TEST_F(PrefetcherTest, StrideBeyondMatchWindowNeverTrains)
+{
+    for (uint64_t i = 0; i < 50; ++i)
+        pf_->observe(70000 + i * 7, 0);   // stride 7 > matchWindow 4
+    settle();
+    EXPECT_EQ(pf_->stats().issued.value(), 0u);
+}
+
+TEST_F(PrefetcherTest, TriggerCountTracksObservations)
+{
+    for (uint64_t i = 0; i < 10; ++i)
+        pf_->observe(90000 + i, 0);
+    EXPECT_EQ(pf_->stats().triggers.value(), 10u);
+    pf_->resetStats();
+    EXPECT_EQ(pf_->stats().triggers.value(), 0u);
+}
+
+} // namespace
+} // namespace lll::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the simplified TMA baseline: slot percentages sum, the
+ * occupancy-threshold bandwidth/latency split, and the misleading
+ * averaged load latency the paper dissects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tma.hh"
+#include "test_common.hh"
+
+namespace lll::core
+{
+namespace
+{
+
+sim::RunResult
+run(double l1_occ, double util, uint64_t hits, uint64_t misses,
+    uint64_t l2_hits, double mem_lat)
+{
+    sim::RunResult r;
+    r.avgL1MshrOccupancy = l1_occ;
+    r.memUtilization = util;
+    r.l1DemandHits = hits;
+    r.l1DemandMisses = misses;
+    r.l2DemandHits = l2_hits;
+    r.avgMemLatencyNs = mem_lat;
+    return r;
+}
+
+class TmaTest : public ::testing::Test
+{
+  protected:
+    TmaTest() : tma_(test::tinyPlatform()) {}
+    Tma tma_;
+};
+
+TEST_F(TmaTest, TopLevelSumsToHundred)
+{
+    TmaReport r = tma_.analyze(run(5.0, 0.5, 1000, 500, 300, 150.0));
+    EXPECT_NEAR(r.retiringPct + r.frontendPct + r.badSpeculationPct +
+                    r.backendPct,
+                100.0, 0.01);
+}
+
+TEST_F(TmaTest, BackendSplitsIntoCoreAndMemory)
+{
+    TmaReport r = tma_.analyze(run(5.0, 0.5, 1000, 500, 300, 150.0));
+    EXPECT_NEAR(r.coreBoundPct + r.memoryBoundPct, r.backendPct, 0.01);
+}
+
+TEST_F(TmaTest, MemorySplitSumsToMemoryBound)
+{
+    TmaReport r = tma_.analyze(run(5.0, 0.5, 1000, 500, 300, 150.0));
+    EXPECT_NEAR(r.bandwidthBoundPct + r.latencyBoundPct, r.memoryBoundPct,
+                0.01);
+}
+
+TEST_F(TmaTest, HighUtilizationAttributesBandwidth)
+{
+    TmaReport hi = tma_.analyze(run(8.0, 0.9, 100, 900, 0, 180.0));
+    EXPECT_GT(hi.bandwidthBoundPct, hi.latencyBoundPct);
+    TmaReport lo = tma_.analyze(run(8.0, 0.15, 100, 900, 0, 180.0));
+    EXPECT_GT(lo.latencyBoundPct, lo.bandwidthBoundPct);
+}
+
+TEST_F(TmaTest, MidUtilizationIsAmbiguous)
+{
+    // Near the threshold the split populates both buckets — the paper's
+    // SNAP 27%/23% ambiguity.
+    TmaReport r = tma_.analyze(run(4.0, 0.45, 500, 500, 200, 120.0));
+    EXPECT_GT(r.bandwidthBoundPct, 5.0);
+    EXPECT_GT(r.latencyBoundPct, 5.0);
+}
+
+TEST_F(TmaTest, ComputeBoundLooksRetiring)
+{
+    TmaReport r = tma_.analyze(run(0.2, 0.05, 10000, 100, 90, 85.0));
+    EXPECT_GT(r.retiringPct, 50.0);
+    EXPECT_LT(r.memoryBoundPct, 20.0);
+}
+
+TEST_F(TmaTest, MemoryPinnedLooksBackendBound)
+{
+    TmaReport r = tma_.analyze(run(10.0, 0.85, 0, 1000, 0, 160.0));
+    EXPECT_GT(r.backendPct, 80.0);
+    EXPECT_GT(r.memoryBoundPct, 80.0);
+}
+
+TEST_F(TmaTest, FacilityLatencyCollapsesForPrefetchedStreams)
+{
+    // All L1 misses hit the (prefetched) L2: the facility mean is tiny
+    // even though memory latency is 180 ns — the hpcg anecdote.
+    TmaReport r = tma_.analyze(run(2.0, 0.9, 0, 1000, 1000, 180.0));
+    double true_cycles = 180.0 * test::tinyPlatform().freqGHz;
+    EXPECT_LT(r.avgLoadLatencyCycles, true_cycles * 0.2);
+}
+
+TEST_F(TmaTest, FacilityLatencyHighForRandomMisses)
+{
+    TmaReport deep = tma_.analyze(run(9.0, 0.8, 0, 1000, 0, 180.0));
+    TmaReport shallow = tma_.analyze(run(9.0, 0.8, 0, 1000, 1000, 180.0));
+    EXPECT_GT(deep.avgLoadLatencyCycles,
+              shallow.avgLoadLatencyCycles * 3.0);
+}
+
+TEST_F(TmaTest, UtilizationPassthrough)
+{
+    TmaReport r = tma_.analyze(run(1.0, 0.37, 10, 10, 5, 100.0));
+    EXPECT_DOUBLE_EQ(r.memCtrlUtilization, 0.37);
+}
+
+} // namespace
+} // namespace lll::core

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the util module: logging, RNG, statistics, table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace lll
+{
+namespace
+{
+
+// --- logging ------------------------------------------------------------
+
+std::vector<std::pair<LogLevel, std::string>> g_captured;
+
+void
+captureSink(LogLevel level, const std::string &msg)
+{
+    g_captured.emplace_back(level, msg);
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        g_captured.clear();
+        setLogSink(captureSink);
+    }
+
+    void TearDown() override { setLogSink(nullptr); }
+};
+
+TEST_F(LoggingTest, WarnGoesThroughSink)
+{
+    lll_warn("something odd: %d", 42);
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(g_captured[0].second, "something odd: 42");
+}
+
+TEST_F(LoggingTest, InformGoesThroughSink)
+{
+    lll_inform("status %s", "ok");
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].first, LogLevel::Inform);
+    EXPECT_EQ(g_captured[0].second, "status ok");
+}
+
+TEST_F(LoggingTest, WarnCountIncrements)
+{
+    unsigned long before = warnCount();
+    lll_warn("one");
+    lll_warn("two");
+    EXPECT_EQ(warnCount(), before + 2);
+}
+
+TEST_F(LoggingTest, FormatHandlesLongStrings)
+{
+    std::string big(300, 'x');
+    lll_warn("%s", big.c_str());
+    ASSERT_EQ(g_captured.size(), 1u);
+    EXPECT_EQ(g_captured[0].second.size(), 300u);
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH({ lll_assert(1 == 2, "impossible %d", 7); },
+                 "assertion");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT({ lll_fatal("user error"); },
+                ::testing::ExitedWithCode(1), "user error");
+}
+
+// --- rng ----------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, DifferentStreamsDiffer)
+{
+    Rng a(1, 10), b(1, 11);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+    Rng r(7);
+    for (uint32_t bound : {1u, 2u, 10u, 1000u}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(RngTest, BelowZeroIsZero)
+{
+    Rng r(7);
+    EXPECT_EQ(r.below(0), 0u);
+    EXPECT_EQ(r.below64(0), 0u);
+}
+
+TEST(RngTest, Below64RespectsBound)
+{
+    Rng r(9);
+    uint64_t bound = 1ULL << 40;
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LT(r.below64(bound), bound);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform)
+{
+    Rng r(13);
+    std::vector<int> buckets(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++buckets[r.below(10)];
+    for (int c : buckets)
+        EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits, 3000, 200);
+}
+
+// --- stats --------------------------------------------------------------
+
+TEST(TickTest, NsRoundTrip)
+{
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_EQ(nsToTicks(0.5), 500u);
+    EXPECT_DOUBLE_EQ(ticksToNs(2500), 2.5);
+}
+
+TEST(CounterTest, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(AverageTest, MeanMinMax)
+{
+    Average a;
+    a.sample(1.0);
+    a.sample(3.0);
+    a.sample(5.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(AverageTest, EmptyIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(TimeWeightedStatTest, ConstantLevel)
+{
+    TimeWeightedStat s;
+    s.set(0, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(0, 100), 4.0);
+}
+
+TEST(TimeWeightedStatTest, StepFunction)
+{
+    TimeWeightedStat s;
+    s.set(0, 0.0);
+    s.set(50, 10.0);       // 0 for 50 ticks, 10 for 50 ticks
+    EXPECT_DOUBLE_EQ(s.mean(0, 100), 5.0);
+}
+
+TEST(TimeWeightedStatTest, AddDelta)
+{
+    TimeWeightedStat s;
+    s.add(0, 2.0);
+    s.add(10, 3.0);        // 2 for 10 ticks, 5 for 10 ticks
+    EXPECT_DOUBLE_EQ(s.mean(0, 20), 3.5);
+    EXPECT_DOUBLE_EQ(s.current(), 5.0);
+}
+
+TEST(TimeWeightedStatTest, ResetKeepsLevel)
+{
+    TimeWeightedStat s;
+    s.set(0, 8.0);
+    s.reset(100);
+    EXPECT_DOUBLE_EQ(s.mean(100, 200), 8.0);
+    EXPECT_DOUBLE_EQ(s.current(), 8.0);
+}
+
+TEST(TimeWeightedStatTest, MaxTracksPeak)
+{
+    TimeWeightedStat s;
+    s.set(0, 1.0);
+    s.set(5, 9.0);
+    s.set(10, 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    s.reset(20);
+    EXPECT_DOUBLE_EQ(s.max(), 2.0);   // reset max to current level
+}
+
+TEST(HistogramTest, MeanAndTotal)
+{
+    Histogram h(10.0, 16);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(25.0);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(HistogramTest, PercentileBucketResolution)
+{
+    Histogram h(1.0, 128);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    double p50 = h.percentile(0.5);
+    EXPECT_NEAR(p50, 50.0, 2.0);
+    double p90 = h.percentile(0.9);
+    EXPECT_NEAR(p90, 90.0, 2.0);
+}
+
+TEST(HistogramTest, OverflowGoesToLastBucket)
+{
+    Histogram h(1.0, 4);
+    h.sample(1000.0);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_NEAR(h.percentile(1.0), 3.5, 0.6);
+}
+
+// --- table --------------------------------------------------------------
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    Table t({"a", "bbbb"});
+    t.addRow({"xx", "y"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| a  | bbbb |"), std::string::npos);
+    EXPECT_NE(out.find("| xx | y    |"), std::string::npos);
+}
+
+TEST(TableTest, CaptionOnTop)
+{
+    Table t({"c"});
+    t.setCaption("hello");
+    EXPECT_EQ(t.render().rfind("hello\n", 0), 0u);
+}
+
+TEST(TableTest, SeparatorAddsRule)
+{
+    Table t({"c"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // header rule + top + separator + bottom = 4 rules
+    size_t rules = 0, pos = 0;
+    while ((pos = out.find("+--", pos)) != std::string::npos) {
+        ++rules;
+        pos += 3;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(TableDeathTest, WrongArityPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(FmtTest, Double)
+{
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+TEST(FmtTest, BwPct)
+{
+    EXPECT_EQ(fmtBwPct(106.9, 128.0), "106.9 (84%)");
+}
+
+TEST(FmtTest, Speedup)
+{
+    EXPECT_EQ(fmtSpeedup(1.4), "1.40x");
+}
+
+} // namespace
+} // namespace lll

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the X-Mem-style characterization harness on a small
+ * platform: the sweep must produce a monotone curve spanning near-idle
+ * to near-saturation, and the cache round-trip must work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "test_common.hh"
+#include "xmem/xmem_harness.hh"
+
+namespace lll::xmem
+{
+namespace
+{
+
+XMemHarness::Params
+fastParams()
+{
+    XMemHarness::Params p;
+    p.warmupUs = 5.0;
+    p.measureUs = 10.0;
+    p.windows = {1, 4, 8, 12};
+    p.delays = {256, 32};
+    return p;
+}
+
+class XmemTest : public ::testing::Test
+{
+  protected:
+    platforms::Platform plat_ = test::tinyPlatform();
+};
+
+TEST_F(XmemTest, SweepSpansLowToHighBandwidth)
+{
+    LatencyProfile prof = XMemHarness(fastParams()).measure(plat_);
+    ASSERT_FALSE(prof.empty());
+    EXPECT_LT(prof.points().front().bwGBs, 0.25 * plat_.peakGBs);
+    EXPECT_GT(prof.maxMeasuredGBs(), 0.6 * plat_.peakGBs);
+}
+
+TEST_F(XmemTest, CurveIsMonotone)
+{
+    LatencyProfile prof = XMemHarness(fastParams()).measure(plat_);
+    double last = 0.0;
+    for (const LatencyProfile::Point &pt : prof.points()) {
+        EXPECT_GE(pt.latencyNs, last);
+        last = pt.latencyNs;
+    }
+}
+
+TEST_F(XmemTest, IdleLatencyNearControllerIdle)
+{
+    LatencyProfile prof = XMemHarness(fastParams()).measure(plat_);
+    const sim::SystemParams &s = plat_.proto;
+    double idle = ticksToNs(s.l1.accessLat + s.l2.accessLat +
+                            (s.hasL3 ? s.l3.accessLat : 0)) +
+                  s.mem.frontLatencyNs + s.mem.bankServiceNs +
+                  s.mem.backLatencyNs;
+    EXPECT_NEAR(prof.idleLatencyNs(), idle, idle * 0.15);
+}
+
+TEST_F(XmemTest, LoadedLatencyExceedsIdle)
+{
+    LatencyProfile prof = XMemHarness(fastParams()).measure(plat_);
+    double at_high = prof.latencyAt(prof.maxMeasuredGBs());
+    EXPECT_GT(at_high, prof.idleLatencyNs() * 1.3);
+}
+
+TEST_F(XmemTest, MeasureCachedRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "/tiny.profile";
+    std::remove(path.c_str());
+    XMemHarness h(fastParams());
+    LatencyProfile fresh = h.measureCached(plat_, path);
+    ASSERT_FALSE(fresh.empty());
+    // Second call loads the identical profile from disk.
+    LatencyProfile cached = h.measureCached(plat_, path);
+    ASSERT_EQ(cached.points().size(), fresh.points().size());
+    EXPECT_DOUBLE_EQ(cached.maxMeasuredGBs(), fresh.maxMeasuredGBs());
+    std::remove(path.c_str());
+}
+
+TEST_F(XmemTest, WrongPlatformCacheIsRemeasured)
+{
+    std::string path = ::testing::TempDir() + "/wrong.profile";
+    LatencyProfile("otherbox", 10.0, {{1.0, 50.0}}).save(path);
+    LatencyProfile prof =
+        XMemHarness(fastParams()).measureCached(plat_, path);
+    EXPECT_EQ(prof.platformName(), plat_.name);
+    std::remove(path.c_str());
+}
+
+TEST(XmemPathTest, DefaultPathUsesEnvOrDefault)
+{
+    platforms::Platform p = platforms::skl();
+    unsetenv("LLL_PROFILE_DIR");
+    EXPECT_EQ(defaultProfilePath(p), "data/profiles/skl.profile");
+    setenv("LLL_PROFILE_DIR", "/tmp/profdir", 1);
+    EXPECT_EQ(defaultProfilePath(p), "/tmp/profdir/skl.profile");
+    unsetenv("LLL_PROFILE_DIR");
+}
+
+} // namespace
+} // namespace lll::xmem

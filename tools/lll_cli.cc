@@ -1,0 +1,298 @@
+/**
+ * @file
+ * The `lll` command-line driver: the library's capabilities behind one
+ * binary, the way a user of the paper's method would consume them.
+ *
+ *   lll platforms                         list platforms (Table III)
+ *   lll workloads                         list workload models (Table II)
+ *   lll characterize <plat> [--fresh]     X-Mem profile (cached)
+ *   lll analyze <wl> <plat> [opts...]     one variant: analysis + recipe
+ *   lll walk <wl> <plat>                  recipe loop to convergence
+ *   lll table <wl>                        the paper-table rows for <wl>
+ *   lll roofline <plat>                   roofs + MSHR ceilings
+ *   lll vendors                           counter visibility (Table I)
+ *
+ * Variant opts: vect 2-ht 4-ht l2-pref tiling unroll-jam fusion distr
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "counters/vendor_matrix.hh"
+#include "lll/lll.hh"
+
+using namespace lll;
+using workloads::Opt;
+using workloads::OptSet;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: lll <command> [args]\n"
+        "  platforms | workloads | vendors\n"
+        "  characterize <platform|all> [--fresh]\n"
+        "  analyze <workload> <platform> [vect|2-ht|4-ht|l2-pref|tiling|"
+        "unroll-jam|fusion|distr ...]\n"
+        "  walk <workload> <platform>\n"
+        "  table <workload>\n"
+        "  roofline <platform>\n");
+    return 2;
+}
+
+OptSet
+parseOpts(int argc, char **argv, int from)
+{
+    OptSet set;
+    for (int i = from; i < argc; ++i) {
+        std::string s = argv[i];
+        if (s == "vect")
+            set = set.with(Opt::Vectorize);
+        else if (s == "2-ht")
+            set = set.with(Opt::Smt2);
+        else if (s == "4-ht")
+            set = set.with(Opt::Smt4);
+        else if (s == "l2-pref")
+            set = set.with(Opt::SwPrefetchL2);
+        else if (s == "tiling")
+            set = set.with(Opt::Tiling);
+        else if (s == "unroll-jam")
+            set = set.with(Opt::UnrollJam);
+        else if (s == "fusion")
+            set = set.with(Opt::Fusion);
+        else if (s == "distr")
+            set = set.with(Opt::Distribution);
+        else
+            lll_fatal("unknown optimization '%s'", s.c_str());
+    }
+    return set;
+}
+
+xmem::LatencyProfile
+profileFor(const platforms::Platform &p)
+{
+    return xmem::XMemHarness().measureCached(
+        p, xmem::defaultProfilePath(p));
+}
+
+int
+cmdPlatforms()
+{
+    Table t({"id", "description", "cores", "peak BW", "L1/L2 MSHRs",
+             "line", "SMT"});
+    for (const platforms::Platform &p : platforms::allPlatforms()) {
+        t.addRow({p.name, p.description, std::to_string(p.totalCores),
+                  fmtDouble(p.peakGBs, 0) + " GB/s",
+                  std::to_string(p.l1Mshrs) + "/" +
+                      std::to_string(p.l2Mshrs),
+                  std::to_string(p.lineBytes) + "B",
+                  std::to_string(p.maxSmtWays) + "-way"});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdWorkloads()
+{
+    Table t({"id", "description", "routine", "problem size", "pattern"});
+    for (const workloads::WorkloadPtr &w : workloads::allWorkloads()) {
+        t.addRow({w->name(), w->description(), w->routine(),
+                  w->problemSize(),
+                  w->randomDominated() ? "random" : "streaming"});
+    }
+    t.addRow({"dgemm", "Dense matrix multiply (extension)",
+              "dgemm_kernel", "m=n=k=2048", "streaming"});
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdVendors()
+{
+    Table t({"vendor", "stall breakdown", "L1-MSHRQ-full",
+             "L2-MSHRQ-full", "mem latency", "mem traffic"});
+    for (const counters::VendorSummary &v :
+         counters::vendorSummaries()) {
+        t.addRow({platforms::vendorName(v.vendor),
+                  counters::visibilityName(v.stallBreakdown),
+                  counters::visibilityName(v.l1MshrFullStalls),
+                  counters::visibilityName(v.l2MshrFullStalls),
+                  counters::visibilityName(v.memoryLatency),
+                  counters::visibilityName(v.memoryTraffic)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdCharacterize(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    bool fresh = argc > 3 && std::strcmp(argv[3], "--fresh") == 0;
+    std::vector<platforms::Platform> plats;
+    if (std::string(argv[2]) == "all")
+        plats = platforms::allPlatforms();
+    else
+        plats.push_back(platforms::byName(argv[2]));
+    for (const platforms::Platform &p : plats) {
+        std::string path = xmem::defaultProfilePath(p);
+        if (fresh)
+            std::remove(path.c_str());
+        xmem::LatencyProfile prof =
+            xmem::XMemHarness().measureCached(p, path);
+        std::printf("%s: idle %.0f ns, peak achievable %.0f GB/s "
+                    "(profile: %s)\n",
+                    p.name.c_str(), prof.idleLatencyNs(),
+                    prof.maxMeasuredGBs(), path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdAnalyze(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    workloads::WorkloadPtr w = workloads::workloadByName(argv[2]);
+    platforms::Platform p = platforms::byName(argv[3]);
+    OptSet opts = parseOpts(argc, argv, 4);
+
+    core::Experiment exp(p, *w, profileFor(p));
+    const core::StageMetrics &m = exp.stage(opts);
+    const core::Analysis &a = m.analysis;
+    std::printf("%s [%s] on %s:\n", w->routine().c_str(),
+                opts.label().c_str(), p.name.c_str());
+    std::printf("  BW %.1f GB/s (%.0f%% of peak), loaded latency %.0f "
+                "ns\n",
+                a.bwGBs, a.pctPeak * 100.0, a.latencyNs);
+    std::printf("  n_avg %.2f of %u %s MSHRs (%s accesses)\n", a.nAvg,
+                a.limitingMshrs, core::mshrLevelName(a.limitingLevel),
+                core::accessClassName(a.accessClass));
+    core::Recipe recipe(p);
+    core::RecipeDecision d = recipe.advise(a, opts);
+    std::printf("  %s\n", d.summary.c_str());
+    for (const core::Recommendation &r : d.recommendations) {
+        std::printf("    [%s] %-22s %s\n",
+                    r.recommended ? "TRY " : "skip",
+                    workloads::optName(r.opt), r.rationale.c_str());
+    }
+    return 0;
+}
+
+int
+cmdWalk(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    workloads::WorkloadPtr w = workloads::workloadByName(argv[2]);
+    platforms::Platform p = platforms::byName(argv[3]);
+    core::Experiment exp(p, *w, profileFor(p));
+    core::Recipe recipe(p);
+
+    OptSet state;
+    double base = exp.stage(state).throughput;
+    for (int step = 0; step < 8; ++step) {
+        const core::StageMetrics &m = exp.stage(state);
+        core::RecipeDecision d = recipe.advise(m.analysis, state);
+        std::printf("[%s] n_avg %.2f/%u, BW %.0f%%, cum %.2fx — %s\n",
+                    state.label().c_str(), m.analysis.nAvg,
+                    m.analysis.limitingMshrs, m.analysis.pctPeak * 100.0,
+                    m.throughput / base, d.summary.c_str());
+        bool moved = false;
+        for (Opt opt : d.recommendedOpts()) {
+            double s = exp.speedup(state, state.with(opt));
+            std::printf("  %s -> %.2fx\n", workloads::optName(opt), s);
+            if (s >= 1.02) {
+                state = state.with(opt);
+                moved = true;
+                break;
+            }
+        }
+        if (!moved || d.stop)
+            break;
+    }
+    std::printf("final: [%s] %.2fx\n", state.label().c_str(),
+                exp.stage(state).throughput / base);
+    return 0;
+}
+
+int
+cmdTable(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    workloads::WorkloadPtr w = workloads::workloadByName(argv[2]);
+    Table t({"Proc", "Source", "BW_obs (GB/s)", "lat_avg (ns)", "n_avg",
+             "Opt: measured", "paper"});
+    for (const platforms::Platform &p : platforms::allPlatforms()) {
+        core::Experiment exp(p, *w, profileFor(p));
+        for (const core::TableRow &row : exp.paperTable()) {
+            std::string opt = row.optLabel;
+            std::string paper = "-";
+            if (row.speedup > 0.0) {
+                opt += ": " + fmtSpeedup(row.speedup);
+                if (row.paperSpeedup > 0.0)
+                    paper = fmtSpeedup(row.paperSpeedup);
+            }
+            t.addRow({p.name, row.source,
+                      fmtBwPct(row.bwGBs, p.peakGBs),
+                      fmtDouble(row.latencyNs, 0),
+                      fmtDouble(row.nAvg, 2), opt, paper});
+        }
+        t.addSeparator();
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdRoofline(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    platforms::Platform p = platforms::byName(argv[2]);
+    core::Roofline roof(p, profileFor(p));
+    std::printf("%s: peak %.0f GFlop/s, BW roof %.0f GB/s, L1-MSHR "
+                "ceiling %.0f GB/s, L2-MSHR ceiling %.0f GB/s, ridge "
+                "%.2f flop/B\n",
+                p.name.c_str(), roof.peakGFlops(), roof.peakGBs(),
+                roof.mshrCeilingGBs(core::MshrLevel::L1, p.totalCores),
+                roof.mshrCeilingGBs(core::MshrLevel::L2, p.totalCores),
+                roof.ridgeIntensity());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd == "platforms")
+        return cmdPlatforms();
+    if (cmd == "workloads")
+        return cmdWorkloads();
+    if (cmd == "vendors")
+        return cmdVendors();
+    if (cmd == "characterize")
+        return cmdCharacterize(argc, argv);
+    if (cmd == "analyze")
+        return cmdAnalyze(argc, argv);
+    if (cmd == "walk")
+        return cmdWalk(argc, argv);
+    if (cmd == "table")
+        return cmdTable(argc, argv);
+    if (cmd == "roofline")
+        return cmdRoofline(argc, argv);
+    return usage();
+}
