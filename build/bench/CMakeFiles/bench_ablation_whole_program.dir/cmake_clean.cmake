@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_whole_program.dir/bench_ablation_whole_program.cc.o"
+  "CMakeFiles/bench_ablation_whole_program.dir/bench_ablation_whole_program.cc.o.d"
+  "bench_ablation_whole_program"
+  "bench_ablation_whole_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_whole_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

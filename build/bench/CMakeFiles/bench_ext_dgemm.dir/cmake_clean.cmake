@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dgemm.dir/bench_ext_dgemm.cc.o"
+  "CMakeFiles/bench_ext_dgemm.dir/bench_ext_dgemm.cc.o.d"
+  "bench_ext_dgemm"
+  "bench_ext_dgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

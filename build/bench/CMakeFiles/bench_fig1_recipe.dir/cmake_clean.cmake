@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_recipe.dir/bench_fig1_recipe.cc.o"
+  "CMakeFiles/bench_fig1_recipe.dir/bench_fig1_recipe.cc.o.d"
+  "bench_fig1_recipe"
+  "bench_fig1_recipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_recipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

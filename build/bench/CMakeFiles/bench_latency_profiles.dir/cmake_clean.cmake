@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_profiles.dir/bench_latency_profiles.cc.o"
+  "CMakeFiles/bench_latency_profiles.dir/bench_latency_profiles.cc.o.d"
+  "bench_latency_profiles"
+  "bench_latency_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

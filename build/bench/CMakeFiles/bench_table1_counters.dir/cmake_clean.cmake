@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_counters.dir/bench_table1_counters.cc.o"
+  "CMakeFiles/bench_table1_counters.dir/bench_table1_counters.cc.o.d"
+  "bench_table1_counters"
+  "bench_table1_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

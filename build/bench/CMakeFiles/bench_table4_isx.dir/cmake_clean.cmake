@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_isx.dir/bench_table4_isx.cc.o"
+  "CMakeFiles/bench_table4_isx.dir/bench_table4_isx.cc.o.d"
+  "bench_table4_isx"
+  "bench_table4_isx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_isx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

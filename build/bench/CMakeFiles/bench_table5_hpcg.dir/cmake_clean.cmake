@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hpcg.dir/bench_table5_hpcg.cc.o"
+  "CMakeFiles/bench_table5_hpcg.dir/bench_table5_hpcg.cc.o.d"
+  "bench_table5_hpcg"
+  "bench_table5_hpcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

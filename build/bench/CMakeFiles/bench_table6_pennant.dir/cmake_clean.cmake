@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_pennant.dir/bench_table6_pennant.cc.o"
+  "CMakeFiles/bench_table6_pennant.dir/bench_table6_pennant.cc.o.d"
+  "bench_table6_pennant"
+  "bench_table6_pennant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_pennant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_comd.dir/bench_table7_comd.cc.o"
+  "CMakeFiles/bench_table7_comd.dir/bench_table7_comd.cc.o.d"
+  "bench_table7_comd"
+  "bench_table7_comd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_comd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_minighost.dir/bench_table8_minighost.cc.o"
+  "CMakeFiles/bench_table8_minighost.dir/bench_table8_minighost.cc.o.d"
+  "bench_table8_minighost"
+  "bench_table8_minighost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_minighost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_snap.dir/bench_table9_snap.cc.o"
+  "CMakeFiles/bench_table9_snap.dir/bench_table9_snap.cc.o.d"
+  "bench_table9_snap"
+  "bench_table9_snap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_snap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

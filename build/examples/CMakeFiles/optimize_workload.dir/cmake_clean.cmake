@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_workload.dir/optimize_workload.cpp.o"
+  "CMakeFiles/optimize_workload.dir/optimize_workload.cpp.o.d"
+  "optimize_workload"
+  "optimize_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

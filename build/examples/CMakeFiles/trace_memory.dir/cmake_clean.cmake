@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_memory.dir/trace_memory.cpp.o"
+  "CMakeFiles/trace_memory.dir/trace_memory.cpp.o.d"
+  "trace_memory"
+  "trace_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

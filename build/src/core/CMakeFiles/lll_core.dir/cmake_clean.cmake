@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_core.dir/analyzer.cc.o"
+  "CMakeFiles/lll_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/lll_core.dir/experiment.cc.o"
+  "CMakeFiles/lll_core.dir/experiment.cc.o.d"
+  "CMakeFiles/lll_core.dir/littles_law.cc.o"
+  "CMakeFiles/lll_core.dir/littles_law.cc.o.d"
+  "CMakeFiles/lll_core.dir/recipe.cc.o"
+  "CMakeFiles/lll_core.dir/recipe.cc.o.d"
+  "CMakeFiles/lll_core.dir/roofline.cc.o"
+  "CMakeFiles/lll_core.dir/roofline.cc.o.d"
+  "CMakeFiles/lll_core.dir/tma.cc.o"
+  "CMakeFiles/lll_core.dir/tma.cc.o.d"
+  "liblll_core.a"
+  "liblll_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

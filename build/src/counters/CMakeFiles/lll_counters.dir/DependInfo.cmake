@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counters/counter_bank.cc" "src/counters/CMakeFiles/lll_counters.dir/counter_bank.cc.o" "gcc" "src/counters/CMakeFiles/lll_counters.dir/counter_bank.cc.o.d"
+  "/root/repo/src/counters/vendor_matrix.cc" "src/counters/CMakeFiles/lll_counters.dir/vendor_matrix.cc.o" "gcc" "src/counters/CMakeFiles/lll_counters.dir/vendor_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platforms/CMakeFiles/lll_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

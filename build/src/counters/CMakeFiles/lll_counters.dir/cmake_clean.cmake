@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_counters.dir/counter_bank.cc.o"
+  "CMakeFiles/lll_counters.dir/counter_bank.cc.o.d"
+  "CMakeFiles/lll_counters.dir/vendor_matrix.cc.o"
+  "CMakeFiles/lll_counters.dir/vendor_matrix.cc.o.d"
+  "liblll_counters.a"
+  "liblll_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

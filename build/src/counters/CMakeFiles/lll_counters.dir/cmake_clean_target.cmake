@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblll_counters.a"
+)

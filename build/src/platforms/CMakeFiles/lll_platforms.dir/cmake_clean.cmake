@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_platforms.dir/platform.cc.o"
+  "CMakeFiles/lll_platforms.dir/platform.cc.o.d"
+  "liblll_platforms.a"
+  "liblll_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

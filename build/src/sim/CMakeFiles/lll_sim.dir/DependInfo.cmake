@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/lll_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core_model.cc" "src/sim/CMakeFiles/lll_sim.dir/core_model.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/core_model.cc.o.d"
+  "/root/repo/src/sim/mem_ctrl.cc" "src/sim/CMakeFiles/lll_sim.dir/mem_ctrl.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/mem_ctrl.cc.o.d"
+  "/root/repo/src/sim/mshr_queue.cc" "src/sim/CMakeFiles/lll_sim.dir/mshr_queue.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/mshr_queue.cc.o.d"
+  "/root/repo/src/sim/op_stream.cc" "src/sim/CMakeFiles/lll_sim.dir/op_stream.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/op_stream.cc.o.d"
+  "/root/repo/src/sim/request.cc" "src/sim/CMakeFiles/lll_sim.dir/request.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/request.cc.o.d"
+  "/root/repo/src/sim/stream_prefetcher.cc" "src/sim/CMakeFiles/lll_sim.dir/stream_prefetcher.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/stream_prefetcher.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/lll_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/system.cc.o.d"
+  "/root/repo/src/sim/thread_context.cc" "src/sim/CMakeFiles/lll_sim.dir/thread_context.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/thread_context.cc.o.d"
+  "/root/repo/src/sim/tracer.cc" "src/sim/CMakeFiles/lll_sim.dir/tracer.cc.o" "gcc" "src/sim/CMakeFiles/lll_sim.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

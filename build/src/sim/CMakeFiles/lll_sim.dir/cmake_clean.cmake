@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_sim.dir/cache.cc.o"
+  "CMakeFiles/lll_sim.dir/cache.cc.o.d"
+  "CMakeFiles/lll_sim.dir/core_model.cc.o"
+  "CMakeFiles/lll_sim.dir/core_model.cc.o.d"
+  "CMakeFiles/lll_sim.dir/mem_ctrl.cc.o"
+  "CMakeFiles/lll_sim.dir/mem_ctrl.cc.o.d"
+  "CMakeFiles/lll_sim.dir/mshr_queue.cc.o"
+  "CMakeFiles/lll_sim.dir/mshr_queue.cc.o.d"
+  "CMakeFiles/lll_sim.dir/op_stream.cc.o"
+  "CMakeFiles/lll_sim.dir/op_stream.cc.o.d"
+  "CMakeFiles/lll_sim.dir/request.cc.o"
+  "CMakeFiles/lll_sim.dir/request.cc.o.d"
+  "CMakeFiles/lll_sim.dir/stream_prefetcher.cc.o"
+  "CMakeFiles/lll_sim.dir/stream_prefetcher.cc.o.d"
+  "CMakeFiles/lll_sim.dir/system.cc.o"
+  "CMakeFiles/lll_sim.dir/system.cc.o.d"
+  "CMakeFiles/lll_sim.dir/thread_context.cc.o"
+  "CMakeFiles/lll_sim.dir/thread_context.cc.o.d"
+  "CMakeFiles/lll_sim.dir/tracer.cc.o"
+  "CMakeFiles/lll_sim.dir/tracer.cc.o.d"
+  "liblll_sim.a"
+  "liblll_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

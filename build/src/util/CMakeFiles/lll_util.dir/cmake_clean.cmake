@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_util.dir/logging.cc.o"
+  "CMakeFiles/lll_util.dir/logging.cc.o.d"
+  "CMakeFiles/lll_util.dir/table.cc.o"
+  "CMakeFiles/lll_util.dir/table.cc.o.d"
+  "liblll_util.a"
+  "liblll_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/comd.cc" "src/workloads/CMakeFiles/lll_workloads.dir/comd.cc.o" "gcc" "src/workloads/CMakeFiles/lll_workloads.dir/comd.cc.o.d"
+  "/root/repo/src/workloads/dgemm.cc" "src/workloads/CMakeFiles/lll_workloads.dir/dgemm.cc.o" "gcc" "src/workloads/CMakeFiles/lll_workloads.dir/dgemm.cc.o.d"
+  "/root/repo/src/workloads/hpcg.cc" "src/workloads/CMakeFiles/lll_workloads.dir/hpcg.cc.o" "gcc" "src/workloads/CMakeFiles/lll_workloads.dir/hpcg.cc.o.d"
+  "/root/repo/src/workloads/isx.cc" "src/workloads/CMakeFiles/lll_workloads.dir/isx.cc.o" "gcc" "src/workloads/CMakeFiles/lll_workloads.dir/isx.cc.o.d"
+  "/root/repo/src/workloads/minighost.cc" "src/workloads/CMakeFiles/lll_workloads.dir/minighost.cc.o" "gcc" "src/workloads/CMakeFiles/lll_workloads.dir/minighost.cc.o.d"
+  "/root/repo/src/workloads/optimization.cc" "src/workloads/CMakeFiles/lll_workloads.dir/optimization.cc.o" "gcc" "src/workloads/CMakeFiles/lll_workloads.dir/optimization.cc.o.d"
+  "/root/repo/src/workloads/pennant.cc" "src/workloads/CMakeFiles/lll_workloads.dir/pennant.cc.o" "gcc" "src/workloads/CMakeFiles/lll_workloads.dir/pennant.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/lll_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/lll_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/snap.cc" "src/workloads/CMakeFiles/lll_workloads.dir/snap.cc.o" "gcc" "src/workloads/CMakeFiles/lll_workloads.dir/snap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platforms/CMakeFiles/lll_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

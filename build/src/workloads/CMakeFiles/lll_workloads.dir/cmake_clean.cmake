@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_workloads.dir/comd.cc.o"
+  "CMakeFiles/lll_workloads.dir/comd.cc.o.d"
+  "CMakeFiles/lll_workloads.dir/dgemm.cc.o"
+  "CMakeFiles/lll_workloads.dir/dgemm.cc.o.d"
+  "CMakeFiles/lll_workloads.dir/hpcg.cc.o"
+  "CMakeFiles/lll_workloads.dir/hpcg.cc.o.d"
+  "CMakeFiles/lll_workloads.dir/isx.cc.o"
+  "CMakeFiles/lll_workloads.dir/isx.cc.o.d"
+  "CMakeFiles/lll_workloads.dir/minighost.cc.o"
+  "CMakeFiles/lll_workloads.dir/minighost.cc.o.d"
+  "CMakeFiles/lll_workloads.dir/optimization.cc.o"
+  "CMakeFiles/lll_workloads.dir/optimization.cc.o.d"
+  "CMakeFiles/lll_workloads.dir/pennant.cc.o"
+  "CMakeFiles/lll_workloads.dir/pennant.cc.o.d"
+  "CMakeFiles/lll_workloads.dir/registry.cc.o"
+  "CMakeFiles/lll_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/lll_workloads.dir/snap.cc.o"
+  "CMakeFiles/lll_workloads.dir/snap.cc.o.d"
+  "liblll_workloads.a"
+  "liblll_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

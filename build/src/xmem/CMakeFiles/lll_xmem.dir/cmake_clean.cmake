@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_xmem.dir/latency_profile.cc.o"
+  "CMakeFiles/lll_xmem.dir/latency_profile.cc.o.d"
+  "CMakeFiles/lll_xmem.dir/xmem_harness.cc.o"
+  "CMakeFiles/lll_xmem.dir/xmem_harness.cc.o.d"
+  "liblll_xmem.a"
+  "liblll_xmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_xmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_profile.dir/test_latency_profile.cc.o"
+  "CMakeFiles/test_latency_profile.dir/test_latency_profile.cc.o.d"
+  "test_latency_profile"
+  "test_latency_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

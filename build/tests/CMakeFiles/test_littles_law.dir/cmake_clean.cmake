@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_littles_law.dir/test_littles_law.cc.o"
+  "CMakeFiles/test_littles_law.dir/test_littles_law.cc.o.d"
+  "test_littles_law"
+  "test_littles_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_littles_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

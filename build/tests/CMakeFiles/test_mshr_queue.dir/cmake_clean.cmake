@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mshr_queue.dir/test_mshr_queue.cc.o"
+  "CMakeFiles/test_mshr_queue.dir/test_mshr_queue.cc.o.d"
+  "test_mshr_queue"
+  "test_mshr_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mshr_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

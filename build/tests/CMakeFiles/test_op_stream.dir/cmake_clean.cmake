@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_stream.dir/test_op_stream.cc.o"
+  "CMakeFiles/test_op_stream.dir/test_op_stream.cc.o.d"
+  "test_op_stream"
+  "test_op_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

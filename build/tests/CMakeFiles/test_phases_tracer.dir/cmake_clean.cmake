@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phases_tracer.dir/test_phases_tracer.cc.o"
+  "CMakeFiles/test_phases_tracer.dir/test_phases_tracer.cc.o.d"
+  "test_phases_tracer"
+  "test_phases_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phases_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recipe.dir/test_recipe.cc.o"
+  "CMakeFiles/test_recipe.dir/test_recipe.cc.o.d"
+  "test_recipe"
+  "test_recipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tma.cc" "tests/CMakeFiles/test_tma.dir/test_tma.cc.o" "gcc" "tests/CMakeFiles/test_tma.dir/test_tma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lll_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lll_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmem/CMakeFiles/lll_xmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/lll_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/lll_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lll_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lll_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

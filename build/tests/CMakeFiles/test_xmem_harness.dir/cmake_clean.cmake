@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmem_harness.dir/test_xmem_harness.cc.o"
+  "CMakeFiles/test_xmem_harness.dir/test_xmem_harness.cc.o.d"
+  "test_xmem_harness"
+  "test_xmem_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmem_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

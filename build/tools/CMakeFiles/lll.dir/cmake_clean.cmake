@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll.dir/lll_cli.cc.o"
+  "CMakeFiles/lll.dir/lll_cli.cc.o.d"
+  "lll"
+  "lll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
