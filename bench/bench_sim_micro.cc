@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
 #include "platforms/platform.hh"
 #include "sim/cache.hh"
 #include "sim/event_queue.hh"
@@ -131,5 +133,31 @@ BM_SystemMicrostep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SystemMicrostep);
+
+// The same microstep with the observability sampler attached at its
+// default 250 ns cadence; the delta against BM_SystemMicrostep is the
+// telemetry overhead (budget: < 5%).
+static void
+BM_SystemMicrostepSampled(benchmark::State &state)
+{
+    platforms::Platform p = platforms::skl();
+    sim::KernelSpec spec;
+    sim::StreamDesc s;
+    s.kind = sim::StreamDesc::Kind::Random;
+    s.footprintLines = 1 << 18;
+    spec.streams.push_back(s);
+    spec.window = 8;
+    spec.computeCyclesPerOp = 4.0;
+    sim::SystemParams sp = p.sysParams(4, 1);
+    sim::System sys(sp, spec);
+    obs::MetricRegistry registry;
+    sys.attachObservability(registry);
+    sys.run(2.0, 2.0);   // warm start
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.run(0.0001, 1.0).opsIssued);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemMicrostepSampled);
 
 BENCHMARK_MAIN();

@@ -9,11 +9,14 @@
  * classification visible at the request level: ISx scores near 0,
  * HPCG near 1.
  *
- *   ./trace_memory [workload] [platform] [csv-path]
+ *   ./trace_memory [workload] [platform] [csv-path] [json-path]
+ *
+ * csv-path receives the trace window (RequestTracer::toCsv);
+ * json-path receives the full obs export — sampled time series,
+ * counters and the trace window spliced in as a "trace" section.
  */
 
 #include <cstdio>
-#include <fstream>
 
 #include "lll/lll.hh"
 #include "sim/tracer.hh"
@@ -30,10 +33,14 @@ main(int argc, char **argv)
 
     sim::KernelSpec spec = work->spec(plat, workloads::OptSet{});
     sim::SystemParams sp = plat.sysParams(plat.totalCores, 1);
+    // Declared before the System: its destructor freezes gauges into
+    // the registry, so the registry must outlive it.
+    obs::MetricRegistry registry;
+    sim::RequestTracer tracer(1 << 15);
     sim::System sys(sp, spec);
 
-    sim::RequestTracer tracer(1 << 15);
     sys.mem().setTracer(&tracer);
+    sys.attachObservability(registry);
     sim::RunResult r = sys.run(work->warmupUs(), work->measureUs());
 
     uint64_t demand = 0, hwpf = 0, swpf = 0, wb = 0;
@@ -65,10 +72,17 @@ main(int argc, char **argv)
                 r.avgMemLatencyNs, r.p50MemLatencyNs, r.p95MemLatencyNs,
                 r.p99MemLatencyNs);
 
-    if (argc > 3) {
-        std::ofstream out(argv[3]);
-        out << tracer.toCsv();
+    std::printf("  telemetry           : %llu snapshots of %zu series\n",
+                static_cast<unsigned long long>(registry.snapshots()),
+                registry.allSeries().size());
+
+    if (argc > 3 && obs::writeExport(argv[3], tracer.toCsv()))
         std::printf("  trace window written: %s\n", argv[3]);
+    if (argc > 4) {
+        std::vector<obs::JsonSection> extra{{"trace", tracer.toJson()}};
+        std::string json = obs::exportJson(registry, nullptr, extra);
+        if (obs::writeExport(argv[4], json))
+            std::printf("  metrics written     : %s\n", argv[4]);
     }
     return 0;
 }

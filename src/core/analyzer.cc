@@ -86,6 +86,21 @@ Analyzer::analyze(const counters::RoutineProfile &routine, int cores_used,
     a.maxAchievableGBs = profile_.maxMeasuredGBs();
     a.nearBandwidthLimit =
         a.bwGBs >= params_.bwWallFraction * a.maxAchievableGBs;
+
+    if (registry_) {
+        registry_->setGauge("analyzer.n_avg", a.nAvg);
+        registry_->setGauge("analyzer.bw_gbps", a.bwGBs);
+        registry_->setGauge("analyzer.pct_peak", a.pctPeak);
+        registry_->setGauge("analyzer.latency_ns", a.latencyNs);
+        registry_->setGauge("analyzer.limiting_mshrs", a.limitingMshrs);
+        registry_->setGauge("analyzer.headroom", a.headroom);
+        registry_->annotate("analyzer.limiter_level",
+                            mshrLevelName(a.limitingLevel));
+        registry_->annotate("analyzer.access_class",
+                            accessClassName(a.accessClass));
+        registry_->annotate("analyzer.routine", a.routine);
+        ++registry_->counter("analyzer.analyses");
+    }
     return a;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "counters/counter_bank.hh"
+#include "obs/registry.hh"
 #include "platforms/platform.hh"
 #include "xmem/latency_profile.hh"
 
@@ -108,10 +109,21 @@ class Analyzer
     const xmem::LatencyProfile &profile() const { return profile_; }
     const platforms::Platform &platform() const { return platform_; }
 
+    /**
+     * Publish every subsequent analysis into @p registry (gauges
+     * `analyzer.n_avg`, `analyzer.bw_gbps`, ... plus per-routine
+     * annotations).  Pass nullptr to stop publishing.
+     */
+    void setRegistry(obs::MetricRegistry *registry)
+    {
+        registry_ = registry;
+    }
+
   private:
     platforms::Platform platform_;
     xmem::LatencyProfile profile_;
     Params params_;
+    obs::MetricRegistry *registry_ = nullptr;
 };
 
 } // namespace lll::core

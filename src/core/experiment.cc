@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include "obs/span.hh"
 #include "util/logging.hh"
 
 namespace lll::core
@@ -20,6 +21,7 @@ Experiment::Experiment(const platforms::Platform &platform,
       coresUsed_(params.coresUsed > 0 ? params.coresUsed
                                       : platform.totalCores)
 {
+    analyzer_.setRegistry(params_.registry);
 }
 
 const StageMetrics &
@@ -30,19 +32,30 @@ Experiment::stage(const workloads::OptSet &opts)
     if (it != cache_.end())
         return it->second;
 
+    obs::ScopedSpan stage_span("stage[" + label + "]");
+
     sim::KernelSpec spec = workload_.spec(platform_, opts);
     sim::SystemParams sp = platform_.sysParams(coresUsed_, opts.smtWays());
     sp.seed = params_.seed;
     sim::System sys(sp, spec);
+    if (params_.registry)
+        sys.attachObservability(*params_.registry, params_.sampler);
     double warmup = params_.warmupUs > 0 ? params_.warmupUs
                                          : workload_.warmupUs();
     double measure = params_.measureUs > 0 ? params_.measureUs
                                            : workload_.measureUs();
-    sim::RunResult run = sys.run(warmup, measure);
+    sim::RunResult run;
+    {
+        obs::ScopedSpan sim_span("simulate");
+        run = sys.run(warmup, measure);
+    }
 
     counters::RoutineProfiler profiler(platform_);
-    counters::RoutineProfile profile =
-        profiler.profile(run, workload_.routine());
+    counters::RoutineProfile profile;
+    {
+        LLL_SPAN("profile");
+        profile = profiler.profile(run, workload_.routine());
+    }
 
     StageMetrics m;
     m.opts = opts;
@@ -54,8 +67,18 @@ Experiment::stage(const workloads::OptSet &opts)
     // way the paper reasons about ISx after software prefetching.
     bool random = workload_.randomDominated() &&
                   !opts.has(workloads::Opt::SwPrefetchL2);
-    m.analysis = analyzer_.analyze(profile, coresUsed_, random);
+    {
+        LLL_SPAN("analyze");
+        m.analysis = analyzer_.analyze(profile, coresUsed_, random);
+    }
     m.throughput = run.throughput;
+
+    if (params_.registry) {
+        params_.registry->setGauge("analyzer.variant." + label + ".n_avg",
+                                   m.analysis.nAvg);
+        params_.registry->setGauge(
+            "analyzer.variant." + label + ".bw_gbps", m.analysis.bwGBs);
+    }
 
     return cache_.emplace(label, std::move(m)).first->second;
 }

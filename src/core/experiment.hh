@@ -19,6 +19,8 @@
 #include "core/analyzer.hh"
 #include "core/recipe.hh"
 #include "counters/counter_bank.hh"
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
 #include "platforms/platform.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
@@ -65,6 +67,16 @@ class Experiment
         double measureUs = 0.0;
         int coresUsed = 0;      //!< 0 = all cores (paper's loaded run)
         uint64_t seed = 7;
+
+        /**
+         * When set, every simulated stage attaches its telemetry here
+         * (System::attachObservability) and the analyzer publishes its
+         * per-variant verdicts; each stage runs under a span
+         * `stage[<label>]` with `simulate`/`profile`/`analyze` phases
+         * nested inside.
+         */
+        obs::MetricRegistry *registry = nullptr;
+        obs::Sampler::Params sampler;
     };
 
     Experiment(const platforms::Platform &platform,

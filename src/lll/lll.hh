@@ -23,6 +23,10 @@
 #include "core/tma.hh"
 #include "counters/counter_bank.hh"
 #include "counters/vendor_matrix.hh"
+#include "obs/export.hh"
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
+#include "obs/span.hh"
 #include "platforms/platform.hh"
 #include "sim/system.hh"
 #include "util/table.hh"

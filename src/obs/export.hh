@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Machine-readable exporters for the observability layer.
+ *
+ * exportJson() dumps a registry — counters, gauges, histograms, sampled
+ * time series and annotations — plus optional span timings and caller-
+ * provided extra sections (pre-serialized JSON, e.g. a RequestTracer
+ * window) as one JSON object.  exportCsv() emits every time series in
+ * long form (`metric,when_ns,value`), ready for pandas/gnuplot.
+ */
+
+#ifndef LLL_OBS_EXPORT_HH
+#define LLL_OBS_EXPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hh"
+#include "obs/span.hh"
+
+namespace lll::obs
+{
+
+/** Raw JSON value to splice into the top-level export object. */
+using JsonSection = std::pair<std::string, std::string>;
+
+/** Escape @p s for use inside a JSON string literal (no quotes added). */
+std::string jsonEscape(const std::string &s);
+
+/** Format a double as a JSON number (finite; non-finite becomes null). */
+std::string jsonNumber(double v);
+
+/**
+ * Serialize @p registry (and, when given, @p spans and @p extra
+ * sections) as a JSON object.
+ */
+std::string exportJson(const MetricRegistry &registry,
+                       const SpanTracker *spans = nullptr,
+                       const std::vector<JsonSection> &extra = {});
+
+/** Serialize every time series in @p registry as long-form CSV. */
+std::string exportCsv(const MetricRegistry &registry);
+
+/** Write @p content to @p path ("-" writes to stdout); true on success. */
+bool writeExport(const std::string &path, const std::string &content);
+
+} // namespace lll::obs
+
+#endif // LLL_OBS_EXPORT_HH

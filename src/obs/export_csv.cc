@@ -1,0 +1,25 @@
+#include <cstdio>
+#include <sstream>
+
+#include "obs/export.hh"
+
+namespace lll::obs
+{
+
+std::string
+exportCsv(const MetricRegistry &registry)
+{
+    std::ostringstream out;
+    out << "metric,when_ns,value\n";
+    char buf[160];
+    for (const auto &[name, ts] : registry.allSeries()) {
+        for (const TimeSeries::Sample &s : ts.samples()) {
+            std::snprintf(buf, sizeof(buf), "%s,%.3f,%.9g\n", name.c_str(),
+                          ticksToNs(s.when), s.value);
+            out << buf;
+        }
+    }
+    return out.str();
+}
+
+} // namespace lll::obs

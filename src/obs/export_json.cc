@@ -1,0 +1,173 @@
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/export.hh"
+
+namespace lll::obs
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+namespace
+{
+
+/** Emit `"key": ` */
+void
+key(std::ostringstream &out, const std::string &name)
+{
+    out << '"' << jsonEscape(name) << "\": ";
+}
+
+template <typename Map, typename Fn>
+void
+object(std::ostringstream &out, const Map &map, Fn &&value)
+{
+    out << '{';
+    bool first = true;
+    for (const auto &[name, entry] : map) {
+        if (!first)
+            out << ", ";
+        first = false;
+        key(out, name);
+        value(entry);
+    }
+    out << '}';
+}
+
+} // namespace
+
+std::string
+exportJson(const MetricRegistry &registry, const SpanTracker *spans,
+           const std::vector<JsonSection> &extra)
+{
+    std::ostringstream out;
+    out << "{\n  ";
+
+    key(out, "counters");
+    object(out, registry.counters(),
+           [&](const CounterMetric &c) { out << c.value(); });
+    out << ",\n  ";
+
+    key(out, "gauges");
+    object(out, registry.gauges(),
+           [&](const GaugeMetric &g) { out << jsonNumber(g.read()); });
+    out << ",\n  ";
+
+    key(out, "histograms");
+    object(out, registry.histograms(), [&](const Log2Histogram &h) {
+        out << "{\"total\": " << h.total()
+            << ", \"mean\": " << jsonNumber(h.mean())
+            << ", \"p50\": " << jsonNumber(h.percentile(0.50))
+            << ", \"p99\": " << jsonNumber(h.percentile(0.99))
+            << ", \"buckets\": [";
+        bool first = true;
+        for (size_t k = 0; k < Log2Histogram::kBuckets; ++k) {
+            if (!h.bucket(k))
+                continue;
+            if (!first)
+                out << ", ";
+            first = false;
+            out << "[" << jsonNumber(Log2Histogram::bucketUpper(k)) << ", "
+                << h.bucket(k) << "]";
+        }
+        out << "]}";
+    });
+    out << ",\n  ";
+
+    key(out, "series");
+    object(out, registry.allSeries(), [&](const TimeSeries &ts) {
+        out << "{\"total\": " << ts.total() << ", \"samples\": [";
+        bool first = true;
+        for (const TimeSeries::Sample &s : ts.samples()) {
+            if (!first)
+                out << ", ";
+            first = false;
+            out << "[" << jsonNumber(ticksToNs(s.when)) << ", "
+                << jsonNumber(s.value) << "]";
+        }
+        out << "]}";
+    });
+    out << ",\n  ";
+
+    key(out, "annotations");
+    object(out, registry.annotations(), [&](const std::string &v) {
+        out << '"' << jsonEscape(v) << '"';
+    });
+
+    if (spans) {
+        out << ",\n  ";
+        key(out, "spans");
+        out << '[';
+        bool first = true;
+        for (const SpanTracker::Stat &s : spans->stats()) {
+            if (!first)
+                out << ", ";
+            first = false;
+            out << "{\"path\": \"" << jsonEscape(s.path)
+                << "\", \"depth\": " << s.depth
+                << ", \"count\": " << s.count
+                << ", \"wall_ns\": " << jsonNumber(s.wallNs) << "}";
+        }
+        out << ']';
+    }
+
+    for (const JsonSection &section : extra) {
+        out << ",\n  ";
+        key(out, section.first);
+        out << section.second;
+    }
+
+    out << "\n}\n";
+    return out.str();
+}
+
+bool
+writeExport(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        std::fwrite(content.data(), 1, content.size(), stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    size_t written = std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return written == content.size();
+}
+
+} // namespace lll::obs

@@ -1,0 +1,83 @@
+#include "obs/metric.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lll::obs
+{
+
+void
+Log2Histogram::sample(double v)
+{
+    size_t idx = 0;
+    if (v >= 1.0) {
+        idx = static_cast<size_t>(std::ilogb(v)) + 1;
+        idx = std::min(idx, kBuckets - 1);
+    }
+    ++counts_[idx];
+    ++total_;
+    sum_ += v;
+}
+
+double
+Log2Histogram::bucketUpper(size_t k)
+{
+    return std::ldexp(1.0, static_cast<int>(k));
+}
+
+double
+Log2Histogram::percentile(double frac) const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t target =
+        static_cast<uint64_t>(frac * static_cast<double>(total_));
+    uint64_t seen = 0;
+    for (size_t k = 0; k < kBuckets; ++k) {
+        seen += counts_[k];
+        if (seen >= target && counts_[k])
+            return bucketUpper(k);
+    }
+    return bucketUpper(kBuckets - 1);
+}
+
+void
+Log2Histogram::reset()
+{
+    counts_.fill(0);
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+void
+TimeSeries::push(Tick when, double value)
+{
+    Sample s{when, value};
+    if (ring_.size() < capacity_) {
+        ring_.push_back(s);
+    } else {
+        ring_[head_] = s;
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+}
+
+std::vector<TimeSeries::Sample>
+TimeSeries::samples() const
+{
+    std::vector<Sample> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+TimeSeries::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    total_ = 0;
+}
+
+} // namespace lll::obs

@@ -1,0 +1,112 @@
+#include "obs/registry.hh"
+
+namespace lll::obs
+{
+
+CounterMetric &
+MetricRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+GaugeMetric &
+MetricRegistry::registerGauge(const std::string &name,
+                              GaugeMetric::Reader reader, GaugeMode mode,
+                              GaugeOptions options)
+{
+    GaugeMetric &g = gauges_[name];
+    g = GaugeMetric(std::move(reader), mode, options.scale);
+    g.setSampled(options.sampled);
+    return g;
+}
+
+GaugeMetric &
+MetricRegistry::setGauge(const std::string &name, double value)
+{
+    GaugeMetric &g = gauges_[name];
+    if (g.mode() == GaugeMode::Value)
+        g.set(value);
+    else
+        g = [&] {
+            GaugeMetric v;
+            v.set(value);
+            return v;
+        }();
+    return g;
+}
+
+void
+MetricRegistry::freezeGauge(const std::string &name)
+{
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        return;
+    bool sampled = it->second.sampled();
+    double last = it->second.read();
+    GaugeMetric frozen;
+    frozen.set(last);
+    frozen.setSampled(sampled);
+    it->second = frozen;
+}
+
+Log2Histogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    return histograms_[name];
+}
+
+void
+MetricRegistry::annotate(const std::string &name, const std::string &value)
+{
+    annotations_[name] = value;
+}
+
+void
+MetricRegistry::setDefaultSeriesCapacity(size_t capacity)
+{
+    if (capacity > 0)
+        seriesCapacity_ = capacity;
+}
+
+void
+MetricRegistry::sampleAll(Tick now)
+{
+    for (auto &[name, gauge] : gauges_) {
+        gauge.advance(now);
+        if (!gauge.sampled())
+            continue;
+        auto it = series_.find(name);
+        if (it == series_.end()) {
+            it = series_.emplace(name, TimeSeries(seriesCapacity_)).first;
+        }
+        it->second.push(now, gauge.read());
+    }
+    ++snapshots_;
+}
+
+const TimeSeries *
+MetricRegistry::series(const std::string &name) const
+{
+    auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+}
+
+void
+MetricRegistry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    series_.clear();
+    annotations_.clear();
+    snapshots_ = 0;
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry instance;
+    return instance;
+}
+
+} // namespace lll::obs

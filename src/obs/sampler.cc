@@ -1,0 +1,15 @@
+#include "obs/sampler.hh"
+
+namespace lll::obs
+{
+
+void
+Sampler::sample(Tick now)
+{
+    if (!armed_)
+        return;
+    registry_.sampleAll(now);
+    ++taken_;
+}
+
+} // namespace lll::obs

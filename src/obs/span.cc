@@ -1,0 +1,55 @@
+#include "obs/span.hh"
+
+#include "util/logging.hh"
+
+namespace lll::obs
+{
+
+void
+SpanTracker::begin(const std::string &name)
+{
+    std::string path =
+        stack_.empty() ? name : stack_.back().path + "/" + name;
+    stack_.push_back(Open{std::move(path), Clock::now()});
+}
+
+void
+SpanTracker::end()
+{
+    lll_assert(!stack_.empty(), "span end() without a matching begin()");
+    const Open &open = stack_.back();
+    double ns = std::chrono::duration<double, std::nano>(
+                    Clock::now() - open.start)
+                    .count();
+    Agg &agg = agg_[open.path];
+    agg.depth = static_cast<unsigned>(stack_.size());
+    ++agg.count;
+    agg.wallNs += ns;
+    stack_.pop_back();
+}
+
+std::vector<SpanTracker::Stat>
+SpanTracker::stats() const
+{
+    std::vector<Stat> out;
+    out.reserve(agg_.size());
+    for (const auto &[path, agg] : agg_)
+        out.push_back(Stat{path, agg.depth, agg.count, agg.wallNs});
+    return out;
+}
+
+void
+SpanTracker::reset()
+{
+    stack_.clear();
+    agg_.clear();
+}
+
+SpanTracker &
+SpanTracker::global()
+{
+    static SpanTracker instance;
+    return instance;
+}
+
+} // namespace lll::obs

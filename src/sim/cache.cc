@@ -353,4 +353,38 @@ Cache::resetStats(Tick now)
     mshrs_.resetStats(now);
 }
 
+void
+Cache::registerMetrics(obs::MetricRegistry &reg, const std::string &prefix,
+                       std::vector<std::string> &names) const
+{
+    auto add = [&](const char *suffix, obs::GaugeMetric::Reader reader) {
+        std::string name = prefix + suffix;
+        reg.registerGauge(name, std::move(reader),
+                          obs::GaugeMode::Callback);
+        names.push_back(std::move(name));
+    };
+    add(".demand_hits",
+        [this] { return static_cast<double>(stats_.demandHits.value()); });
+    add(".demand_misses", [this] {
+        return static_cast<double>(stats_.demandMisses.value());
+    });
+    add(".mshr_hits", [this] {
+        return static_cast<double>(stats_.demandMshrHits.value());
+    });
+    add(".prefetch_fills", [this] {
+        return static_cast<double>(stats_.prefetchFills.value());
+    });
+    add(".prefetch_useful", [this] {
+        return static_cast<double>(stats_.prefetchUseful.value());
+    });
+    add(".prefetch_dropped", [this] {
+        return static_cast<double>(stats_.prefetchDropped.value());
+    });
+    add(".writebacks", [this] {
+        return static_cast<double>(stats_.writebacksOut.value());
+    });
+    add(".fills",
+        [this] { return static_cast<double>(stats_.fills.value()); });
+}
+
 } // namespace lll::sim

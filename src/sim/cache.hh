@@ -123,6 +123,14 @@ class Cache : public MemLevel
     const CacheStats &stats() const { return stats_; }
     const Params &params() const { return params_; }
 
+    /**
+     * Publish hit/miss/prefetch counters under @p prefix (export-time
+     * snapshots; the MSHR queue registers its own sampled metrics).
+     */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix,
+                         std::vector<std::string> &names) const;
+
     /** True if @p lineAddr is currently resident (test aid). */
     bool isResident(uint64_t lineAddr) const;
 

@@ -48,6 +48,8 @@ CoreModel::compute(unsigned thread, double cycles,
         cycles / capacity_ * static_cast<double>(period_) + 0.5);
     Tick server_start = std::max(now, serverFreeAt_);
     serverFreeAt_ = server_start + server_ticks;
+    busyTicks_ += server_ticks;
+    stallTicks_ += server_start - now;
 
     // Per-thread pipeline: the same work takes longer through one
     // thread's dependence chain.
@@ -58,6 +60,45 @@ CoreModel::compute(unsigned thread, double cycles,
 
     Tick done_at = std::max(serverFreeAt_, threadGate_[thread]);
     eq_.schedule(done_at, std::move(done));
+}
+
+void
+CoreModel::resetStats()
+{
+    busyTicks_ = 0;
+    stallTicks_ = 0;
+}
+
+void
+CoreModel::registerMetrics(obs::MetricRegistry &reg,
+                           const std::string &prefix,
+                           std::vector<std::string> &names) const
+{
+    auto add = [&](const char *suffix, obs::GaugeMetric::Reader reader,
+                   obs::GaugeMode mode, bool sampled) {
+        std::string name = prefix + suffix;
+        obs::MetricRegistry::GaugeOptions opt;
+        opt.sampled = sampled;
+        // Rate gauges publish ticks per nanosecond; dividing by
+        // ticksPerNs turns that into a 0..1 fraction of wall time.
+        opt.scale = mode == obs::GaugeMode::Rate
+                        ? 1.0 / static_cast<double>(ticksPerNs)
+                        : 1.0;
+        reg.registerGauge(name, std::move(reader), mode, opt);
+        names.push_back(std::move(name));
+    };
+    add(".busy_ticks",
+        [this] { return static_cast<double>(busyTicks_); },
+        obs::GaugeMode::Callback, false);
+    add(".stall_ticks",
+        [this] { return static_cast<double>(stallTicks_); },
+        obs::GaugeMode::Callback, false);
+    add(".busy_frac",
+        [this] { return static_cast<double>(busyTicks_); },
+        obs::GaugeMode::Rate, true);
+    add(".stall_frac",
+        [this] { return static_cast<double>(stallTicks_); },
+        obs::GaugeMode::Rate, true);
 }
 
 } // namespace lll::sim

@@ -18,8 +18,10 @@
 
 #include <array>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "obs/registry.hh"
 #include "sim/event_queue.hh"
 #include "util/stats.hh"
 
@@ -63,6 +65,23 @@ class CoreModel
 
     const Params &params() const { return params_; }
 
+    /** Ticks the shared compute server has been busy since reset. */
+    Tick busyTicks() const { return busyTicks_; }
+
+    /** Ticks threads spent waiting on the busy server since reset. */
+    Tick stallTicks() const { return stallTicks_; }
+
+    void resetStats();
+
+    /**
+     * Publish compute-server metrics under @p prefix.  busy_frac and
+     * stall_frac are sampler-driven rates (fraction of wall time the
+     * server was busy / threads were queued between snapshots).
+     */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix,
+                         std::vector<std::string> &names) const;
+
   private:
     Params params_;
     EventQueue &eq_;
@@ -71,6 +90,8 @@ class CoreModel
     double singleThreadRate_;  //!< per-thread pipeline rate
     Tick serverFreeAt_ = 0;
     std::vector<Tick> threadGate_;
+    Tick busyTicks_ = 0;
+    Tick stallTicks_ = 0;
 };
 
 } // namespace lll::sim

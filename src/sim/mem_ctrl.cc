@@ -94,6 +94,8 @@ MemCtrl::tryAccess(MemRequest *req)
 
     Tick resp = done + backLat_;
     double lat_ns = ticksToNs(resp - now);
+    LLL_DEBUG(memctrl, "read line %llu bank %u lat %.1f ns",
+              static_cast<unsigned long long>(req->lineAddr), bank, lat_ns);
     stats_.readLatencyNs.sample(lat_ns);
     stats_.readLatencyHist.sample(lat_ns);
     if (tracer_)
@@ -143,6 +145,64 @@ MemCtrl::resetStats(Tick now)
 {
     stats_.reset();
     outstanding_.reset(now);
+}
+
+unsigned
+MemCtrl::busyBanks(Tick now) const
+{
+    unsigned busy = 0;
+    for (Tick until : banks_)
+        busy += until > now ? 1 : 0;
+    return busy;
+}
+
+double
+MemCtrl::bytesTransferred() const
+{
+    return static_cast<double>(stats_.readLines.value() +
+                               stats_.writeLines.value()) *
+           params_.lineBytes;
+}
+
+void
+MemCtrl::registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix,
+                         std::vector<std::string> &names) const
+{
+    auto add = [&](const char *suffix, obs::GaugeMetric::Reader reader,
+                   obs::GaugeMode mode, bool sampled) {
+        std::string name = prefix + suffix;
+        obs::MetricRegistry::GaugeOptions opt;
+        opt.sampled = sampled;
+        reg.registerGauge(name, std::move(reader), mode, opt);
+        names.push_back(std::move(name));
+    };
+    // bytes per ns == GB/s, so the per-ns rate needs no scaling.
+    add(".bw_gbps", [this] { return bytesTransferred(); },
+        obs::GaugeMode::Rate, true);
+    add(".queue_depth", [this] { return outstanding_.current(); },
+        obs::GaugeMode::Callback, true);
+    add(".busy_banks",
+        [this] { return static_cast<double>(busyBanks(eq_.now())); },
+        obs::GaugeMode::Callback, true);
+    add(".banks", [this] { return static_cast<double>(banks_.size()); },
+        obs::GaugeMode::Callback, false);
+    add(".read_lines",
+        [this] { return static_cast<double>(stats_.readLines.value()); },
+        obs::GaugeMode::Callback, false);
+    add(".write_lines",
+        [this] { return static_cast<double>(stats_.writeLines.value()); },
+        obs::GaugeMode::Callback, false);
+    add(".hw_prefetch_lines",
+        [this] {
+            return static_cast<double>(stats_.hwPrefetchLines.value());
+        },
+        obs::GaugeMode::Callback, false);
+    add(".sw_prefetch_lines",
+        [this] {
+            return static_cast<double>(stats_.swPrefetchLines.value());
+        },
+        obs::GaugeMode::Callback, false);
 }
 
 } // namespace lll::sim

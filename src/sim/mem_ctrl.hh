@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hh"
 #include "sim/event_queue.hh"
 #include "sim/mem_level.hh"
 #include "sim/request.hh"
@@ -78,6 +79,24 @@ class MemCtrl : public MemLevel
     {
         return outstanding_.mean(window_start, now);
     }
+
+    /** Reads currently in flight (instantaneous). */
+    double outstandingNow() const { return outstanding_.current(); }
+
+    /** Banks still busy at @p now — the channel-queue depth proxy. */
+    unsigned busyBanks(Tick now) const;
+
+    /** Total bytes moved (reads + writes) since the last stats reset. */
+    double bytesTransferred() const;
+
+    /**
+     * Publish controller metrics under @p prefix.  Achieved bandwidth,
+     * outstanding reads and busy banks are sampler-driven time series;
+     * line counts snapshot at export.
+     */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix,
+                         std::vector<std::string> &names) const;
 
     /** Fraction of bank-time busy over the window (0..1). */
     double utilization(Tick window_start, Tick now) const;

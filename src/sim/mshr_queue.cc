@@ -55,6 +55,8 @@ MshrQueue::allocate(uint64_t lineAddr, ReqType origin, Tick now)
     ++used_;
     ++allocations_;
     occupancy_.set(now, used_);
+    LLL_DEBUG(mshr, "%s: allocate line %llu (%u/%u in use)", name_.c_str(),
+              static_cast<unsigned long long>(lineAddr), used_, size_);
     return &mshr;
 }
 
@@ -83,6 +85,32 @@ MshrQueue::resetStats(Tick now)
     occupancy_.reset(now);
     fullStalls_.reset();
     allocations_.reset();
+}
+
+void
+MshrQueue::registerMetrics(obs::MetricRegistry &reg,
+                           const std::string &prefix,
+                           std::vector<std::string> &names) const
+{
+    auto add = [&](const char *suffix, obs::GaugeMetric::Reader reader,
+                   bool sampled) {
+        std::string name = prefix + suffix;
+        obs::MetricRegistry::GaugeOptions opt;
+        opt.sampled = sampled;
+        reg.registerGauge(name, std::move(reader),
+                          obs::GaugeMode::Callback, opt);
+        names.push_back(std::move(name));
+    };
+    add(".occupancy",
+        [this] { return static_cast<double>(used_); }, true);
+    add(".size", [this] { return static_cast<double>(size_); }, false);
+    add(".max_occupancy", [this] { return occupancy_.max(); }, false);
+    add(".full_stalls",
+        [this] { return static_cast<double>(fullStalls_.value()); },
+        false);
+    add(".allocations",
+        [this] { return static_cast<double>(allocations_.value()); },
+        false);
 }
 
 } // namespace lll::sim

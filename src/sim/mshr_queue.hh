@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hh"
 #include "sim/request.hh"
 #include "util/stats.hh"
 
@@ -89,6 +90,16 @@ class MshrQueue
 
     /** Restart statistics at @p now (occupancy level is retained). */
     void resetStats(Tick now);
+
+    /**
+     * Publish this queue's metrics under @p prefix (occupancy is
+     * sampler-driven; the rest snapshot at export).  Registered names
+     * are appended to @p names so the owner can freeze them on
+     * teardown.
+     */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix,
+                         std::vector<std::string> &names) const;
 
   private:
     std::string name_;

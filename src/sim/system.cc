@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.hh"
 #include "util/logging.hh"
 
 namespace lll::sim
@@ -81,7 +82,65 @@ System::System(const SystemParams &params, std::vector<PhaseSpec> phases)
     }
 }
 
-System::~System() = default;
+System::~System()
+{
+    // The registry outlives this node: keep its gauges readable by
+    // freezing every callback at its final value.
+    if (sampler_)
+        sampler_->disarm();
+    if (obsRegistry_) {
+        for (const std::string &name : obsNames_)
+            obsRegistry_->freezeGauge(name);
+    }
+}
+
+void
+System::attachObservability(obs::MetricRegistry &registry,
+                            obs::Sampler::Params params)
+{
+    lll_assert(!sampler_, "observability already attached");
+    obsRegistry_ = &registry;
+    sampler_ = std::make_unique<obs::Sampler>(registry, params);
+
+    mem_->registerMetrics(registry, "sim.memctrl", obsNames_);
+    if (l3_) {
+        l3_->registerMetrics(registry, "sim.cache.l3", obsNames_);
+        l3_->mshrs().registerMetrics(registry, "sim.mshr.l3", obsNames_);
+    }
+    for (int c = 0; c < params_.cores; ++c) {
+        const std::string ci = std::to_string(c);
+        l1s_[c]->mshrs().registerMetrics(registry, "sim.mshr.l1." + ci,
+                                         obsNames_);
+        l2s_[c]->mshrs().registerMetrics(registry, "sim.mshr.l2." + ci,
+                                         obsNames_);
+        l1s_[c]->registerMetrics(registry, "sim.cache.l1." + ci,
+                                 obsNames_);
+        l2s_[c]->registerMetrics(registry, "sim.cache.l2." + ci,
+                                 obsNames_);
+        cores_[c]->registerMetrics(registry, "sim.core." + ci, obsNames_);
+    }
+
+    obs::MetricRegistry::GaugeOptions rate;
+    rate.sampled = true;
+    registry.registerGauge(
+        "sim.eventq.events_per_ns",
+        [this] { return static_cast<double>(eq_.processed()); },
+        obs::GaugeMode::Rate, rate);
+    obsNames_.push_back("sim.eventq.events_per_ns");
+
+    scheduleSample();
+}
+
+void
+System::scheduleSample()
+{
+    eq_.scheduleIn(sampler_->cadence(), [this] {
+        if (!sampler_ || !sampler_->armed())
+            return;
+        sampler_->sample(eq_.now());
+        scheduleSample();
+    });
+}
 
 ThreadContext &
 System::thread(int core, unsigned t)
@@ -111,6 +170,8 @@ System::resetStats()
         if (pf)
             pf->resetStats();
     }
+    for (auto &c : cores_)
+        c->resetStats();
     for (auto &t : threads_)
         t->resetStats();
 }
@@ -129,11 +190,17 @@ System::run(double warmup_us, double measure_us)
     const Tick warmup_ticks = nsToTicks(warmup_us * 1000.0);
     const Tick measure_ticks = nsToTicks(measure_us * 1000.0);
 
-    eq_.runUntil(eq_.now() + warmup_ticks);
+    if (warmup_ticks > 0) {
+        LLL_SPAN("sim.warmup");
+        eq_.runUntil(eq_.now() + warmup_ticks);
+    }
     resetStats();
     const Tick t0 = eq_.now();
     const uint64_t events0 = eq_.processed();
-    eq_.runUntil(t0 + measure_ticks);
+    {
+        LLL_SPAN("sim.measure");
+        eq_.runUntil(t0 + measure_ticks);
+    }
     const Tick t1 = eq_.now();
 
     RunResult r;

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
 #include "sim/cache.hh"
 #include "sim/core_model.hh"
 #include "sim/event_queue.hh"
@@ -147,7 +149,24 @@ class System
     /** Reset all statistics at the current tick. */
     void resetStats();
 
+    /**
+     * Publish the node's telemetry into @p registry and start a
+     * periodic sampling event on the event queue: MSHR occupancies,
+     * achieved bandwidth, memory queue depth and core busy/stall
+     * fractions become time series; cache/controller counters snapshot
+     * at export time.  Callback gauges are frozen (keeping their last
+     * value) when this System is destroyed, so the metrics survive the
+     * run; @p registry itself must therefore outlive this System.
+     * Call at most once per System.
+     */
+    void attachObservability(obs::MetricRegistry &registry,
+                             obs::Sampler::Params params = {});
+
+    /** The sampler driving the time series (null until attached). */
+    obs::Sampler *sampler() { return sampler_.get(); }
+
   private:
+    void scheduleSample();
     SystemParams params_;
     std::vector<PhaseSpec> phases_;
     EventQueue eq_;
@@ -160,6 +179,10 @@ class System
     std::vector<std::unique_ptr<StreamPrefetcher>> pfs_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
     std::vector<std::unique_ptr<ThreadContext>> threads_;
+
+    obs::MetricRegistry *obsRegistry_ = nullptr;
+    std::unique_ptr<obs::Sampler> sampler_;
+    std::vector<std::string> obsNames_;
 
     bool started_ = false;
 };

@@ -24,6 +24,28 @@ RequestTracer::toCsv() const
     return out.str();
 }
 
+std::string
+RequestTracer::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"total\": " << total_ << ", \"events\": [";
+    char buf[192];
+    bool first = true;
+    for (const Event &ev : events()) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"when_ns\": %.3f, \"line_addr\": %llu, "
+                      "\"type\": \"%s\", \"core\": %d, "
+                      "\"latency_ns\": %.2f}",
+                      first ? "" : ", ", ticksToNs(ev.when),
+                      static_cast<unsigned long long>(ev.lineAddr),
+                      reqTypeName(ev.type), ev.core, ev.latencyNs);
+        first = false;
+        out << buf;
+    }
+    out << "]}";
+    return out.str();
+}
+
 double
 RequestTracer::localityScore(unsigned window) const
 {

@@ -87,6 +87,13 @@ class RequestTracer
     std::string toCsv() const;
 
     /**
+     * The retained window as a JSON value, suitable for splicing into
+     * obs::exportJson() as an extra section:
+     * `{"total": N, "events": [{"when_ns": ..., ...}, ...]}`.
+     */
+    std::string toJson() const;
+
+    /**
      * Fraction of retained events whose line address is within
      * @p window lines of the previous event from the same core — a
      * crude spatial-locality score (1.0 = perfectly streaming).

@@ -13,6 +13,7 @@
 
 #include "workloads/workload.hh"
 
+#include "obs/span.hh"
 #include "workloads/tuning.hh"
 
 namespace lll::workloads
@@ -45,6 +46,7 @@ class Isx : public Workload
     sim::KernelSpec
     spec(const platforms::Platform &p, const OptSet &opts) const override
     {
+        LLL_SPAN("isx.count_local_keys.spec");
         sim::KernelSpec k;
         k.name = "isx/" + opts.label();
         const unsigned ways = opts.smtWays();

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/span.hh"
 #include "sim/system.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -28,6 +29,7 @@ cachePathNs(const sim::SystemParams &sp)
 LatencyProfile
 XMemHarness::measure(const platforms::Platform &platform) const
 {
+    obs::ScopedSpan span("xmem.characterize[" + platform.name + "]");
     std::vector<LatencyProfile::Point> points;
     const double path_ns = cachePathNs(platform.proto);
 

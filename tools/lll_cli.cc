@@ -7,18 +7,23 @@
  *   lll workloads                         list workload models (Table II)
  *   lll characterize <plat> [--fresh]     X-Mem profile (cached)
  *   lll analyze <wl> <plat> [opts...]     one variant: analysis + recipe
+ *   lll trace <wl> <plat> [opts...]       run with telemetry + tracer
  *   lll walk <wl> <plat>                  recipe loop to convergence
  *   lll table <wl>                        the paper-table rows for <wl>
  *   lll roofline <plat>                   roofs + MSHR ceilings
  *   lll vendors                           counter visibility (Table I)
  *
  * Variant opts: vect 2-ht 4-ht l2-pref tiling unroll-jam fusion distr
+ * analyze/trace also accept `--json FILE` (full metric export, "-" for
+ * stdout) and `--metrics FILE` (sampled time series as CSV).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "sim/tracer.hh"
 
 #include "counters/vendor_matrix.hh"
 #include "lll/lll.hh"
@@ -40,18 +45,40 @@ usage()
         "  characterize <platform|all> [--fresh]\n"
         "  analyze <workload> <platform> [vect|2-ht|4-ht|l2-pref|tiling|"
         "unroll-jam|fusion|distr ...]\n"
+        "          [--json FILE] [--metrics FILE]\n"
+        "  trace <workload> <platform> [opts ...] [--json FILE] "
+        "[--metrics FILE]\n"
         "  walk <workload> <platform>\n"
         "  table <workload>\n"
         "  roofline <platform>\n");
     return 2;
 }
 
+/**
+ * Pull `flag FILE` out of @p args (destructively); empty string when the
+ * flag is absent.  Keeps optimization names clean for parseOpts().
+ */
+std::string
+takeFlag(std::vector<std::string> &args, const std::string &flag)
+{
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != flag)
+            continue;
+        if (i + 1 >= args.size())
+            lll_fatal("%s needs a file argument", flag.c_str());
+        std::string value = args[i + 1];
+        args.erase(args.begin() + static_cast<long>(i),
+                   args.begin() + static_cast<long>(i) + 2);
+        return value;
+    }
+    return "";
+}
+
 OptSet
-parseOpts(int argc, char **argv, int from)
+parseOpts(const std::vector<std::string> &args)
 {
     OptSet set;
-    for (int i = from; i < argc; ++i) {
-        std::string s = argv[i];
+    for (const std::string &s : args) {
         if (s == "vect")
             set = set.with(Opt::Vectorize);
         else if (s == "2-ht")
@@ -163,26 +190,111 @@ cmdAnalyze(int argc, char **argv)
         return usage();
     workloads::WorkloadPtr w = workloads::workloadByName(argv[2]);
     platforms::Platform p = platforms::byName(argv[3]);
-    OptSet opts = parseOpts(argc, argv, 4);
+    std::vector<std::string> args(argv + 4, argv + argc);
+    std::string json_path = takeFlag(args, "--json");
+    std::string metrics_path = takeFlag(args, "--metrics");
+    OptSet opts = parseOpts(args);
 
-    core::Experiment exp(p, *w, profileFor(p));
+    obs::MetricRegistry registry;
+    core::Experiment::Params ep;
+    if (!json_path.empty() || !metrics_path.empty())
+        ep.registry = &registry;
+
+    // When an export goes to stdout the human report moves to stderr so
+    // `lll analyze ... --json - | jq` stays parseable.
+    FILE *rep = (json_path == "-" || metrics_path == "-") ? stderr
+                                                          : stdout;
+    core::Experiment exp(p, *w, profileFor(p), ep);
     const core::StageMetrics &m = exp.stage(opts);
     const core::Analysis &a = m.analysis;
-    std::printf("%s [%s] on %s:\n", w->routine().c_str(),
-                opts.label().c_str(), p.name.c_str());
-    std::printf("  BW %.1f GB/s (%.0f%% of peak), loaded latency %.0f "
-                "ns\n",
-                a.bwGBs, a.pctPeak * 100.0, a.latencyNs);
-    std::printf("  n_avg %.2f of %u %s MSHRs (%s accesses)\n", a.nAvg,
-                a.limitingMshrs, core::mshrLevelName(a.limitingLevel),
-                core::accessClassName(a.accessClass));
+    std::fprintf(rep, "%s [%s] on %s:\n", w->routine().c_str(),
+                 opts.label().c_str(), p.name.c_str());
+    std::fprintf(rep,
+                 "  BW %.1f GB/s (%.0f%% of peak), loaded latency %.0f "
+                 "ns\n",
+                 a.bwGBs, a.pctPeak * 100.0, a.latencyNs);
+    std::fprintf(rep, "  n_avg %.2f of %u %s MSHRs (%s accesses)\n",
+                 a.nAvg, a.limitingMshrs,
+                 core::mshrLevelName(a.limitingLevel),
+                 core::accessClassName(a.accessClass));
     core::Recipe recipe(p);
     core::RecipeDecision d = recipe.advise(a, opts);
-    std::printf("  %s\n", d.summary.c_str());
+    std::fprintf(rep, "  %s\n", d.summary.c_str());
     for (const core::Recommendation &r : d.recommendations) {
-        std::printf("    [%s] %-22s %s\n",
-                    r.recommended ? "TRY " : "skip",
-                    workloads::optName(r.opt), r.rationale.c_str());
+        std::fprintf(rep, "    [%s] %-22s %s\n",
+                     r.recommended ? "TRY " : "skip",
+                     workloads::optName(r.opt), r.rationale.c_str());
+    }
+
+    if (!json_path.empty() &&
+        !obs::writeExport(json_path,
+                          obs::exportJson(registry,
+                                          &obs::SpanTracker::global()))) {
+        lll_fatal("cannot write '%s'", json_path.c_str());
+    }
+    if (!metrics_path.empty() &&
+        !obs::writeExport(metrics_path, obs::exportCsv(registry))) {
+        lll_fatal("cannot write '%s'", metrics_path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdTrace(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    workloads::WorkloadPtr w = workloads::workloadByName(argv[2]);
+    platforms::Platform p = platforms::byName(argv[3]);
+    std::vector<std::string> args(argv + 4, argv + argc);
+    std::string json_path = takeFlag(args, "--json");
+    std::string metrics_path = takeFlag(args, "--metrics");
+    OptSet opts = parseOpts(args);
+
+    obs::MetricRegistry registry;
+    sim::RunResult run;
+    sim::RequestTracer tracer;
+    {
+        obs::ScopedSpan span("trace[" + w->name() + "/" + opts.label() +
+                             "]");
+        sim::KernelSpec spec = w->spec(p, opts);
+        sim::SystemParams sp = p.sysParams(p.totalCores, opts.smtWays());
+        sim::System sys(sp, spec);
+        sys.mem().setTracer(&tracer);
+        sys.attachObservability(registry);
+        run = sys.run(w->warmupUs(), w->measureUs());
+    }
+
+    FILE *rep = (json_path == "-" || metrics_path == "-") ? stderr
+                                                          : stdout;
+    std::fprintf(rep, "%s [%s] on %s: %.1f GB/s over %.0f us\n",
+                 w->routine().c_str(), opts.label().c_str(),
+                 p.name.c_str(), run.totalGBs, w->measureUs());
+    std::fprintf(rep, "  telemetry: %llu snapshots of %zu time series\n",
+                 static_cast<unsigned long long>(registry.snapshots()),
+                 registry.allSeries().size());
+    std::fprintf(rep,
+                 "  trace window: %zu of %llu memory requests, locality "
+                 "%.2f\n",
+                 tracer.size(),
+                 static_cast<unsigned long long>(tracer.total()),
+                 tracer.localityScore());
+    if (json_path.empty() && metrics_path.empty())
+        std::fprintf(rep, "  (use --json FILE / --metrics FILE to "
+                          "export)\n");
+
+    if (!json_path.empty()) {
+        std::vector<obs::JsonSection> extra{{"trace", tracer.toJson()}};
+        if (!obs::writeExport(json_path,
+                              obs::exportJson(registry,
+                                              &obs::SpanTracker::global(),
+                                              extra))) {
+            lll_fatal("cannot write '%s'", json_path.c_str());
+        }
+    }
+    if (!metrics_path.empty() &&
+        !obs::writeExport(metrics_path, obs::exportCsv(registry))) {
+        lll_fatal("cannot write '%s'", metrics_path.c_str());
     }
     return 0;
 }
@@ -288,6 +400,8 @@ main(int argc, char **argv)
         return cmdCharacterize(argc, argv);
     if (cmd == "analyze")
         return cmdAnalyze(argc, argv);
+    if (cmd == "trace")
+        return cmdTrace(argc, argv);
     if (cmd == "walk")
         return cmdWalk(argc, argv);
     if (cmd == "table")
