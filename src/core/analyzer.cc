@@ -1,6 +1,7 @@
 #include "core/analyzer.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/littles_law.hh"
 #include "util/logging.hh"
@@ -38,10 +39,41 @@ Analyzer::Analyzer(const platforms::Platform &platform,
                    xmem::LatencyProfile profile, Params params)
     : platform_(platform), profile_(std::move(profile)), params_(params)
 {
-    lll_assert(!profile_.empty(), "analyzer needs a latency profile");
-    lll_assert(profile_.platformName() == platform_.name,
-               "profile is for '%s' but platform is '%s'",
-               profile_.platformName().c_str(), platform_.name.c_str());
+    util::Status ok = validateInputs(platform_, profile_);
+    lll_assert(ok.ok(), "%s", ok.toString().c_str());
+}
+
+util::Status
+Analyzer::validateInputs(const platforms::Platform &platform,
+                         const xmem::LatencyProfile &profile)
+{
+    using util::ErrorCode;
+    using util::Status;
+    if (profile.empty())
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "analyzer needs a non-empty latency profile");
+    if (profile.platformName() != platform.name) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "profile is for '%s' but platform is '%s'",
+                             profile.platformName().c_str(),
+                             platform.name.c_str());
+    }
+    return Status::okStatus();
+}
+
+util::Result<Analyzer>
+Analyzer::create(const platforms::Platform &platform,
+                 xmem::LatencyProfile profile)
+{
+    return create(platform, std::move(profile), Params());
+}
+
+util::Result<Analyzer>
+Analyzer::create(const platforms::Platform &platform,
+                 xmem::LatencyProfile profile, Params params)
+{
+    LLL_RETURN_IF_ERROR(validateInputs(platform, profile));
+    return Analyzer(platform, std::move(profile), params);
 }
 
 Analysis
@@ -54,11 +86,36 @@ Analyzer::analyze(const counters::RoutineProfile &routine, int cores_used,
     a.coresUsed = cores_used;
 
     a.bwGBs = routine.totalGBs;
+    if (!std::isfinite(a.bwGBs) || a.bwGBs < 0.0) {
+        a.warnings.push_back(detail::format(
+            "routine '%s': bandwidth %g GB/s is not a usable measurement; "
+            "treating as 0 (idle)", routine.routine.c_str(), a.bwGBs));
+        a.bwGBs = 0.0;
+    }
     a.pctPeak = a.bwGBs / platform_.peakGBs;
 
     // The core of the method: look the loaded latency up at the
-    // *observed* bandwidth, then apply Little's law.
-    a.latencyNs = profile_.latencyAt(a.bwGBs);
+    // *observed* bandwidth, then apply Little's law.  Outside the
+    // measured sweep the profile clamps to the nearest measured point
+    // instead of extrapolating; flag it so the degraded fidelity is
+    // visible in reports and exports.
+    xmem::LatencyProfile::Lookup lat = profile_.lookup(a.bwGBs);
+    a.latencyNs = lat.latencyNs;
+    a.bwBelowProfileRange = lat.belowMeasuredRange;
+    a.bwAboveProfileRange = lat.aboveMeasuredRange;
+    if (lat.belowMeasuredRange) {
+        a.warnings.push_back(detail::format(
+            "routine '%s': bandwidth %.2f GB/s is below the measured "
+            "profile range (min %.2f GB/s); clamped extrapolation to the "
+            "idle-most point", routine.routine.c_str(), a.bwGBs,
+            profile_.minMeasuredGBs()));
+    } else if (lat.aboveMeasuredRange) {
+        a.warnings.push_back(detail::format(
+            "routine '%s': bandwidth %.2f GB/s is above the measured "
+            "profile range (max %.2f GB/s); clamped extrapolation to the "
+            "saturation point", routine.routine.c_str(), a.bwGBs,
+            profile_.maxMeasuredGBs()));
+    }
     a.idleLatencyNs = profile_.idleLatencyNs();
     a.nAvg = mlpPerCore(a.bwGBs, a.latencyNs, platform_.lineBytes,
                         cores_used);
@@ -87,7 +144,14 @@ Analyzer::analyze(const counters::RoutineProfile &routine, int cores_used,
     a.nearBandwidthLimit =
         a.bwGBs >= params_.bwWallFraction * a.maxAchievableGBs;
 
+    for (const std::string &w : a.warnings)
+        lll_warn("%s", w.c_str());
+
     if (registry_) {
+        for (const std::string &w : a.warnings) {
+            ++registry_->counter("input_warnings_total");
+            registry_->annotate("analyzer.warning", w);
+        }
         registry_->setGauge("analyzer.n_avg", a.nAvg);
         registry_->setGauge("analyzer.bw_gbps", a.bwGBs);
         registry_->setGauge("analyzer.pct_peak", a.pctPeak);

@@ -15,10 +15,12 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "counters/counter_bank.hh"
 #include "obs/registry.hh"
 #include "platforms/platform.hh"
+#include "util/status.hh"
 #include "xmem/latency_profile.hh"
 
 namespace lll::core
@@ -69,6 +71,15 @@ struct Analysis
     bool demandFractionKnown = false;
 
     int coresUsed = 0;
+
+    /** Lookup left the measured profile range (latency was clamped to
+     *  the nearest measured point rather than extrapolated). */
+    bool bwBelowProfileRange = false;
+    bool bwAboveProfileRange = false;
+
+    /** Human-readable degradation notes ("clamped extrapolation", bad
+     *  counter input...), also exported via the metric registry. */
+    std::vector<std::string> warnings;
 };
 
 /**
@@ -92,6 +103,21 @@ class Analyzer
              xmem::LatencyProfile profile);
     Analyzer(const platforms::Platform &platform,
              xmem::LatencyProfile profile, Params params);
+
+    /**
+     * Check that @p profile can drive an analysis of @p platform: it
+     * must be non-empty and measured on the same platform.
+     */
+    static util::Status validateInputs(const platforms::Platform &platform,
+                                       const xmem::LatencyProfile &profile);
+
+    /** Checked factory: validateInputs() then construct. */
+    static util::Result<Analyzer>
+    create(const platforms::Platform &platform,
+           xmem::LatencyProfile profile);
+    static util::Result<Analyzer>
+    create(const platforms::Platform &platform, xmem::LatencyProfile profile,
+           Params params);
 
     /**
      * Analyze one routine.

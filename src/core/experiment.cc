@@ -24,6 +24,41 @@ Experiment::Experiment(const platforms::Platform &platform,
     analyzer_.setRegistry(params_.registry);
 }
 
+util::Result<Experiment>
+Experiment::create(const platforms::Platform &platform,
+                   const workloads::Workload &workload,
+                   xmem::LatencyProfile profile)
+{
+    return create(platform, workload, std::move(profile), Params());
+}
+
+util::Result<Experiment>
+Experiment::create(const platforms::Platform &platform,
+                   const workloads::Workload &workload,
+                   xmem::LatencyProfile profile, Params params)
+{
+    using util::ErrorCode;
+    using util::Status;
+    LLL_RETURN_IF_ERROR(
+        Analyzer::validateInputs(platform, profile)
+            .withContext("experiment '%s' on '%s'",
+                         workload.name().c_str(), platform.name.c_str()));
+    int cores = params.coresUsed > 0 ? params.coresUsed
+                                     : platform.totalCores;
+    util::Result<sim::SystemParams> sp = platform.trySysParams(cores, 1);
+    if (!sp.ok())
+        return sp.status().withContext("experiment '%s'",
+                                       workload.name().c_str());
+    if (params.warmupUs < 0.0 || params.measureUs < 0.0) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "experiment '%s': negative window "
+                             "(warmup %g us, measure %g us)",
+                             workload.name().c_str(), params.warmupUs,
+                             params.measureUs);
+    }
+    return Experiment(platform, workload, std::move(profile), params);
+}
+
 const StageMetrics &
 Experiment::stage(const workloads::OptSet &opts)
 {

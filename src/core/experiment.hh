@@ -86,6 +86,20 @@ class Experiment
                const workloads::Workload &workload,
                xmem::LatencyProfile profile, Params params);
 
+    /**
+     * Checked factory: verifies the profile matches the platform, the
+     * requested core count is within the platform's range, and the
+     * window lengths are usable, instead of asserting mid-run.
+     */
+    static util::Result<Experiment>
+    create(const platforms::Platform &platform,
+           const workloads::Workload &workload,
+           xmem::LatencyProfile profile);
+    static util::Result<Experiment>
+    create(const platforms::Platform &platform,
+           const workloads::Workload &workload, xmem::LatencyProfile profile,
+           Params params);
+
     /** Simulate (or fetch the cached) state @p opts. */
     const StageMetrics &stage(const workloads::OptSet &opts);
 

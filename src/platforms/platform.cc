@@ -1,5 +1,8 @@
 #include "platforms/platform.hh"
 
+#include <cmath>
+
+#include "sim/validator.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -18,19 +21,96 @@ vendorName(Vendor v)
     return "?";
 }
 
-sim::SystemParams
-Platform::sysParams(int cores_used, unsigned threads_per_core) const
+util::Result<sim::SystemParams>
+Platform::trySysParams(int cores_used, unsigned threads_per_core) const
 {
-    lll_assert(cores_used >= 1 && cores_used <= totalCores,
-               "%s: cores_used %d out of range (1..%d)", name.c_str(),
-               cores_used, totalCores);
-    lll_assert(threads_per_core >= 1 && threads_per_core <= maxSmtWays,
-               "%s: %u SMT ways unsupported (max %u)", name.c_str(),
-               threads_per_core, maxSmtWays);
+    if (cores_used < 1 || cores_used > totalCores) {
+        return util::Status::error(
+            util::ErrorCode::FailedPrecondition,
+            "%s: cores_used %d out of range (1..%d)", name.c_str(),
+            cores_used, totalCores);
+    }
+    if (threads_per_core < 1 || threads_per_core > maxSmtWays) {
+        return util::Status::error(
+            util::ErrorCode::FailedPrecondition,
+            "%s: %u SMT ways unsupported (max %u)", name.c_str(),
+            threads_per_core, maxSmtWays);
+    }
     sim::SystemParams sp = proto;
     sp.cores = cores_used;
     sp.threadsPerCore = threads_per_core;
     return sp;
+}
+
+sim::SystemParams
+Platform::sysParams(int cores_used, unsigned threads_per_core) const
+{
+    util::Result<sim::SystemParams> sp =
+        trySysParams(cores_used, threads_per_core);
+    lll_assert(sp.ok(), "%s", sp.status().toString().c_str());
+    return sp.take();
+}
+
+util::Status
+validatePlatform(const Platform &platform)
+{
+    using util::ErrorCode;
+    using util::Status;
+    if (platform.name.empty())
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "platform needs a name");
+    auto ctx = [&](const Status &s) {
+        return s.withContext("platform '%s'", platform.name.c_str());
+    };
+    if (platform.totalCores < 1)
+        return ctx(Status::error(ErrorCode::FailedPrecondition,
+                                 "totalCores must be >= 1 (got %d)",
+                                 platform.totalCores));
+    if (platform.maxSmtWays < 1 || platform.maxSmtWays > 4)
+        return ctx(Status::error(ErrorCode::FailedPrecondition,
+                                 "maxSmtWays (%u) outside 1..4",
+                                 platform.maxSmtWays));
+    if (!(platform.peakGBs > 0.0) || !(platform.peakGFlops > 0.0))
+        return ctx(Status::error(ErrorCode::FailedPrecondition,
+                                 "peak bandwidth/flops must be positive "
+                                 "(got %g GB/s, %g GFlop/s)",
+                                 platform.peakGBs, platform.peakGFlops));
+    if (platform.l1Mshrs == 0 || platform.l2Mshrs == 0)
+        return ctx(Status::error(ErrorCode::FailedPrecondition,
+                                 "L1/L2 MSHR counts must be >= 1 "
+                                 "(got %u/%u)",
+                                 platform.l1Mshrs, platform.l2Mshrs));
+    if (platform.vectorLanes == 0)
+        return ctx(Status::error(ErrorCode::FailedPrecondition,
+                                 "vectorLanes must be >= 1"));
+
+    // Cross-layer consistency: the analysis layer divides by the
+    // platform-level line size and peak, so the simulator prototype
+    // must describe the same machine.
+    if (platform.proto.lineBytes != platform.lineBytes)
+        return ctx(Status::error(ErrorCode::FailedPrecondition,
+                                 "line size disagrees between metadata "
+                                 "(%u B) and simulator prototype (%u B)",
+                                 platform.lineBytes,
+                                 platform.proto.lineBytes));
+    if (std::abs(platform.proto.mem.peakGBs - platform.peakGBs) >
+        0.01 * platform.peakGBs) {
+        return ctx(Status::error(ErrorCode::FailedPrecondition,
+                                 "peak bandwidth disagrees between "
+                                 "metadata (%g GB/s) and memory "
+                                 "controller (%g GB/s)",
+                                 platform.peakGBs,
+                                 platform.proto.mem.peakGBs));
+    }
+
+    util::Result<sim::SystemParams> sp =
+        platform.trySysParams(platform.totalCores, 1);
+    if (!sp.ok())
+        return sp.status();
+    Status proto_ok = sim::validateSystemParams(*sp);
+    if (!proto_ok.ok())
+        return ctx(proto_ok.withContext("simulator prototype"));
+    return Status::okStatus();
 }
 
 namespace
@@ -230,15 +310,25 @@ allPlatforms()
     return {skl(), knl(), a64fx()};
 }
 
-Platform
-byName(const std::string &name)
+util::Result<Platform>
+findPlatform(const std::string &name)
 {
     for (Platform &p : allPlatforms()) {
         if (p.name == name)
-            return p;
+            return std::move(p);
     }
-    lll_fatal("unknown platform '%s' (expected skl, knl or a64fx)",
-              name.c_str());
+    return util::Status::error(
+        util::ErrorCode::NotFound,
+        "unknown platform '%s' (expected skl, knl or a64fx)", name.c_str());
+}
+
+Platform
+byName(const std::string &name)
+{
+    util::Result<Platform> p = findPlatform(name);
+    if (!p.ok())
+        lll_fatal("%s", p.status().toString().c_str());
+    return p.take();
 }
 
 } // namespace lll::platforms

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/system.hh"
+#include "util/status.hh"
 
 namespace lll::platforms
 {
@@ -57,14 +58,28 @@ struct Platform
 
     /**
      * Build simulator parameters for a run using @p cores_used cores and
-     * @p threads_per_core SMT ways.
+     * @p threads_per_core SMT ways; FailedPrecondition when either is
+     * outside this platform's range.
      */
+    util::Result<sim::SystemParams>
+    trySysParams(int cores_used, unsigned threads_per_core) const;
+
+    /** Legacy convenience wrapper: asserts instead of returning the
+     *  error (callers that already validated their inputs). */
     sim::SystemParams
     sysParams(int cores_used, unsigned threads_per_core) const;
 
     /** Default core count for loaded runs (paper: all usable cores). */
     int defaultCores() const { return totalCores; }
 };
+
+/**
+ * Check a platform description end to end: the paper-level metadata
+ * (cores, MSHR sizes, peak bandwidth) and the simulator prototype via
+ * sim::validateSystemParams, including cross-consistency between the
+ * two layers (line size and peak bandwidth must agree).
+ */
+util::Status validatePlatform(const Platform &platform);
 
 /** Intel Xeon Platinum 8160 "Skylake" (paper Table III row 1). */
 Platform skl();
@@ -78,7 +93,10 @@ Platform a64fx();
 /** The three experiment platforms, in paper order. */
 std::vector<Platform> allPlatforms();
 
-/** Look up by short id ("skl", "knl", "a64fx"); fatal if unknown. */
+/** Look up by short id ("skl", "knl", "a64fx"); NotFound if unknown. */
+util::Result<Platform> findPlatform(const std::string &name);
+
+/** Legacy convenience wrapper around findPlatform(); fatal if unknown. */
 Platform byName(const std::string &name);
 
 } // namespace lll::platforms

@@ -64,12 +64,21 @@ class EventQueue
     bool
     runUntil(Tick limit)
     {
+        stopRequested_ = false;
         while (!heap_.empty()) {
+            if (stopRequested_) {
+                stopRequested_ = false;
+                return true;
+            }
             const Item &top = heap_.top();
             if (top.when > limit) {
                 now_ = limit;
                 return true;
             }
+            LLL_INVARIANT(top.when >= now_,
+                          "event-queue time ran backwards (%llu < %llu)",
+                          static_cast<unsigned long long>(top.when),
+                          static_cast<unsigned long long>(now_));
             now_ = top.when;
             // Move the callback out before popping so the heap can be
             // safely mutated by the callback itself.
@@ -81,6 +90,13 @@ class EventQueue
         now_ = std::max(now_, limit);
         return false;
     }
+
+    /**
+     * Ask the current runUntil() to return after the in-flight callback
+     * (the watchdog uses this to abort a wedged run without unwinding
+     * through event callbacks).
+     */
+    void requestStop() { stopRequested_ = true; }
 
     /** Number of events processed so far. */
     uint64_t processed() const { return processed_; }
@@ -106,6 +122,7 @@ class EventQueue
     Tick now_ = 0;
     uint64_t seq_ = 0;
     uint64_t processed_ = 0;
+    bool stopRequested_ = false;
 };
 
 } // namespace lll::sim

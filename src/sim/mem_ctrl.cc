@@ -64,6 +64,12 @@ MemCtrl::tryAccess(MemRequest *req)
     Tick arrive = now + frontLat_;
     Tick start = std::max(arrive, banks_[bank]);
     Tick done = start + serviceLat_;
+    LLL_INVARIANT(done > banks_[bank],
+                  "%s: bank %u busy-until time not advancing",
+                  params_.name.c_str(), bank);
+    LLL_INVARIANT(outstanding_.current() >= 0.0,
+                  "%s: negative outstanding-read level",
+                  params_.name.c_str());
     banks_[bank] = done;
     stats_.busyTicks += serviceLat_;
 

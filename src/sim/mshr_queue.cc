@@ -54,6 +54,12 @@ MshrQueue::allocate(uint64_t lineAddr, ReqType origin, Tick now)
     index_[lineAddr] = idx;
     ++used_;
     ++allocations_;
+    LLL_INVARIANT(size_ == 0 || used_ <= size_,
+                  "%s: occupancy %u exceeds capacity %u", name_.c_str(),
+                  used_, size_);
+    LLL_INVARIANT(index_.size() == used_,
+                  "%s: index/occupancy mismatch (%zu vs %u)",
+                  name_.c_str(), index_.size(), used_);
     occupancy_.set(now, used_);
     LLL_DEBUG(mshr, "%s: allocate line %llu (%u/%u in use)", name_.c_str(),
               static_cast<unsigned long long>(lineAddr), used_, size_);
@@ -72,10 +78,14 @@ MshrQueue::deallocate(Mshr *mshr, Tick now)
     unsigned idx = it->second;
     lll_assert(&entries_[idx] == mshr, "%s: MSHR index mismatch",
                name_.c_str());
+    lll_assert(used_ > 0, "%s: deallocate on empty queue", name_.c_str());
     index_.erase(it);
     mshr->inUse = false;
     freeList_.push_back(idx);
     --used_;
+    LLL_INVARIANT(index_.size() == used_,
+                  "%s: index/occupancy mismatch (%zu vs %u)",
+                  name_.c_str(), index_.size(), used_);
     occupancy_.set(now, used_);
 }
 

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "obs/span.hh"
 #include "util/logging.hh"
@@ -142,6 +143,58 @@ System::scheduleSample()
     });
 }
 
+void
+System::scheduleWatchdog()
+{
+    const Tick cadence = nsToTicks(params_.watchdog.cadenceUs * 1000.0);
+    eq_.scheduleIn(cadence, [this, cadence] {
+        if (wdTripped_)
+            return;
+        const uint64_t delta = eq_.processed() - wdLastProcessed_;
+        wdLastProcessed_ = eq_.processed();
+        // Net out housekeeping: this watchdog event plus however many
+        // sampler ticks fit in one cadence.  Anything beyond that is
+        // real simulation work.
+        uint64_t housekeeping = 1;
+        if (sampler_ && sampler_->armed())
+            housekeeping += cadence / sampler_->cadence() + 1;
+        if (delta > housekeeping) {
+            wdStrikes_ = 0;
+        } else if (++wdStrikes_ >= params_.watchdog.maxStrikes) {
+            wdTripped_ = true;
+            wdDiagnostic_ = diagnosticSnapshot();
+            if (obsRegistry_) {
+                ++obsRegistry_->counter("sim_errors_total");
+                obsRegistry_->annotate("sim.watchdog.stall",
+                                       wdDiagnostic_);
+            }
+            eq_.requestStop();
+            return;
+        }
+        scheduleWatchdog();
+    });
+}
+
+std::string
+System::diagnosticSnapshot() const
+{
+    std::ostringstream out;
+    out << params_.name << " @" << ticksToNs(eq_.now()) << "ns:"
+        << " events=" << eq_.processed()
+        << " pending=" << eq_.pending()
+        << " mem_outstanding=" << mem_->outstandingNow();
+    out << " l1_mshrs=[";
+    for (int c = 0; c < params_.cores; ++c)
+        out << (c ? "," : "") << l1s_[c]->mshrs().used();
+    out << "] l2_mshrs=[";
+    for (int c = 0; c < params_.cores; ++c)
+        out << (c ? "," : "") << l2s_[c]->mshrs().used();
+    out << "]";
+    if (l3_)
+        out << " l3_mshrs=" << l3_->mshrs().used();
+    return out.str();
+}
+
 ThreadContext &
 System::thread(int core, unsigned t)
 {
@@ -176,15 +229,25 @@ System::resetStats()
         t->resetStats();
 }
 
-RunResult
-System::run(double warmup_us, double measure_us)
+util::Result<RunResult>
+System::runChecked(double warmup_us, double measure_us)
 {
-    lll_assert(measure_us > 0, "measurement window must be positive");
+    if (!(measure_us > 0)) {
+        return util::Status::error(util::ErrorCode::InvalidArgument,
+                                   "measurement window must be positive "
+                                   "(got %g us)",
+                                   measure_us);
+    }
 
     if (!started_) {
         started_ = true;
         for (auto &t : threads_)
             t->start();
+    }
+    if (params_.watchdog.enabled && !wdScheduled_) {
+        wdScheduled_ = true;
+        wdLastProcessed_ = eq_.processed();
+        scheduleWatchdog();
     }
 
     const Tick warmup_ticks = nsToTicks(warmup_us * 1000.0);
@@ -194,6 +257,14 @@ System::run(double warmup_us, double measure_us)
         LLL_SPAN("sim.warmup");
         eq_.runUntil(eq_.now() + warmup_ticks);
     }
+    if (wdTripped_) {
+        return util::Status::error(
+            util::ErrorCode::DeadlineExceeded,
+            "watchdog: event queue stopped draining during warmup "
+            "(%u strikes of %.1f us); %s",
+            wdStrikes_, params_.watchdog.cadenceUs,
+            wdDiagnostic_.c_str());
+    }
     resetStats();
     const Tick t0 = eq_.now();
     const uint64_t events0 = eq_.processed();
@@ -201,7 +272,31 @@ System::run(double warmup_us, double measure_us)
         LLL_SPAN("sim.measure");
         eq_.runUntil(t0 + measure_ticks);
     }
+    if (wdTripped_) {
+        return util::Status::error(
+            util::ErrorCode::DeadlineExceeded,
+            "watchdog: event queue stopped draining (%u strikes of "
+            "%.1f us); %s",
+            wdStrikes_, params_.watchdog.cadenceUs, wdDiagnostic_.c_str());
+    }
     const Tick t1 = eq_.now();
+
+    // Request conservation: every pooled request is either parked in an
+    // MSHR, queued in the controller, or owned by a thread — the
+    // checked-out population can only ever be transiently different
+    // from what the components account for, never negative or runaway.
+    LLL_INVARIANT(pool_.outstanding() >= 0,
+                  "request pool underflow (%lld outstanding)",
+                  static_cast<long long>(pool_.outstanding()));
+    LLL_INVARIANT(
+        pool_.outstanding() <=
+            static_cast<int64_t>(params_.cores) *
+                    (static_cast<int64_t>(params_.threadsPerCore) *
+                         params_.lqSize +
+                     params_.l1.mshrs + params_.l2.mshrs) +
+                8192,
+        "request population exploded: %lld outstanding",
+        static_cast<long long>(pool_.outstanding()));
 
     RunResult r;
     r.measureSeconds = ticksToNs(t1 - t0) * 1e-9;
@@ -260,6 +355,15 @@ System::run(double warmup_us, double measure_us)
 
     r.eventsProcessed = eq_.processed() - events0;
     return r;
+}
+
+RunResult
+System::run(double warmup_us, double measure_us)
+{
+    util::Result<RunResult> r = runChecked(warmup_us, measure_us);
+    if (!r.ok())
+        lll_fatal("%s", r.status().toString().c_str());
+    return r.take();
 }
 
 } // namespace lll::sim

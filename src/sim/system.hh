@@ -19,6 +19,7 @@
 
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
+#include "util/status.hh"
 #include "sim/cache.hh"
 #include "sim/core_model.hh"
 #include "sim/event_queue.hh"
@@ -30,6 +31,26 @@
 
 namespace lll::sim
 {
+
+/**
+ * Forward-progress watchdog knobs (see System::runChecked).
+ *
+ * Every cadence of simulated time the watchdog counts the events the
+ * queue processed since its last check, nets out its own housekeeping
+ * (the watchdog and sampler events), and records a strike when nothing
+ * real ran.  maxStrikes consecutive strikes abort the run with a
+ * diagnostic snapshot — the "simulation is wedged" signal for a
+ * service deployment.
+ */
+struct WatchdogParams
+{
+    bool enabled = true;
+    /** Check period in simulated microseconds. */
+    double cadenceUs = 5.0;
+    /** Consecutive no-progress checks before the run is declared
+     *  wedged. */
+    unsigned maxStrikes = 2;
+};
 
 /**
  * Hardware description of a node, sufficient to build a System.
@@ -55,6 +76,8 @@ struct SystemParams
     StreamPrefetcher::Params pf;
 
     MemCtrl::Params mem;
+
+    WatchdogParams watchdog;
 
     uint64_t seed = 1;
 };
@@ -129,7 +152,16 @@ class System
     /**
      * Run the kernel for @p warmup_us of simulated time, reset all
      * statistics, run @p measure_us more, and report the window.
+     *
+     * A DeadlineExceeded error (carrying a diagnostic snapshot of the
+     * queue and MSHR state) is returned when the forward-progress
+     * watchdog declares the event queue wedged; `sim_errors_total` is
+     * incremented on the attached registry, if any.
      */
+    util::Result<RunResult> runChecked(double warmup_us,
+                                       double measure_us);
+
+    /** Legacy convenience wrapper: fatal when runChecked() errors. */
     RunResult run(double warmup_us, double measure_us);
 
     // Component access for tests and the counters layer.
@@ -165,8 +197,16 @@ class System
     /** The sampler driving the time series (null until attached). */
     obs::Sampler *sampler() { return sampler_.get(); }
 
+    /**
+     * One-line diagnostic snapshot of live simulator state (tick,
+     * queue depth, per-core MSHR occupancy, memory outstanding) — what
+     * the watchdog attaches to its error and `lll selftest` prints.
+     */
+    std::string diagnosticSnapshot() const;
+
   private:
     void scheduleSample();
+    void scheduleWatchdog();
     SystemParams params_;
     std::vector<PhaseSpec> phases_;
     EventQueue eq_;
@@ -185,6 +225,13 @@ class System
     std::vector<std::string> obsNames_;
 
     bool started_ = false;
+
+    // Forward-progress watchdog state.
+    bool wdScheduled_ = false;
+    uint64_t wdLastProcessed_ = 0;
+    unsigned wdStrikes_ = 0;
+    bool wdTripped_ = false;
+    std::string wdDiagnostic_;
 };
 
 } // namespace lll::sim

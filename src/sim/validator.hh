@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Configuration validation for the simulator.
+ *
+ * Every knob a user (or a fuzzer) can reach — SystemParams, cache
+ * geometry, memory-controller bank math, KernelSpec stream mixes — is
+ * checked here and rejected with a structured FailedPrecondition error
+ * *before* a System is built.  The System constructor itself keeps only
+ * lll_assert()s: once callers validate, an invalid configuration
+ * reaching construction is a library bug.
+ */
+
+#ifndef LLL_SIM_VALIDATOR_HH
+#define LLL_SIM_VALIDATOR_HH
+
+#include "sim/kernel_spec.hh"
+#include "sim/system.hh"
+#include "util/status.hh"
+
+namespace lll::sim
+{
+
+/**
+ * Check one cache level.  @p mshrs_required is false for the shared
+ * LLC, where 0 MSHRs legitimately means "unbounded" (the paper does not
+ * model the LLC as a limiter).
+ */
+util::Status validateCacheParams(const Cache::Params &params,
+                                 const char *what, bool mshrs_required);
+
+/**
+ * Check a full node description: core/SMT counts against the capacity
+ * curve, cache geometry (power-of-two sets, nonzero ways/MSHRs), the
+ * prefetcher table, and memory-controller consistency — including that
+ * an explicit bank override can actually sustain the declared peak
+ * bandwidth (banks * lineBytes / bankServiceNs >= peakGBs).
+ */
+util::Status validateSystemParams(const SystemParams &params);
+
+/** Check a routine model: nonempty stream mix with positive weights and
+ *  footprints, sane window / compute / prefetch knobs. */
+util::Status validateKernelSpec(const KernelSpec &spec);
+
+} // namespace lll::sim
+
+#endif // LLL_SIM_VALIDATOR_HH

@@ -135,4 +135,19 @@ unsigned long warnCount();
         }                                                                   \
     } while (0)
 
+/**
+ * Expensive runtime invariant checks on simulator hot paths (MSHR
+ * occupancy vs capacity, event-queue tick monotonicity, request
+ * conservation).  Compiled in only with -DLLL_INVARIANTS=ON; the
+ * invariants-ON CI job keeps them honest.  Violation is always a
+ * library bug, so failures panic.
+ */
+#ifdef LLL_INVARIANTS_ENABLED
+#define LLL_INVARIANT(cond, ...) lll_assert(cond, __VA_ARGS__)
+#else
+#define LLL_INVARIANT(cond, ...)                                            \
+    do {                                                                    \
+    } while (0)
+#endif
+
 #endif // LLL_UTIL_LOGGING_HH

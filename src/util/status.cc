@@ -1,0 +1,76 @@
+#include "util/status.hh"
+
+#include <cstdarg>
+
+namespace lll::util
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:                 return "ok";
+      case ErrorCode::InvalidArgument:    return "invalid-argument";
+      case ErrorCode::NotFound:           return "not-found";
+      case ErrorCode::CorruptData:        return "corrupt-data";
+      case ErrorCode::FailedPrecondition: return "failed-precondition";
+      case ErrorCode::OutOfRange:         return "out-of-range";
+      case ErrorCode::IoError:            return "io-error";
+      case ErrorCode::DeadlineExceeded:   return "deadline-exceeded";
+      case ErrorCode::Internal:           return "internal";
+    }
+    return "?";
+}
+
+int
+exitCodeFor(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return 0;
+      case ErrorCode::InvalidArgument:
+        return 2;                       // usage error
+      case ErrorCode::NotFound:
+      case ErrorCode::CorruptData:
+      case ErrorCode::FailedPrecondition:
+      case ErrorCode::OutOfRange:
+      case ErrorCode::IoError:
+        return 3;                       // bad input data
+      case ErrorCode::DeadlineExceeded:
+      case ErrorCode::Internal:
+        return 4;                       // simulation failure
+    }
+    return 1;
+}
+
+Status
+Status::error(ErrorCode code, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    return Status(code, std::move(msg));
+}
+
+Status
+Status::withContext(const char *fmt, ...) const
+{
+    if (ok())
+        return *this;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string frame = detail::vformat(fmt, ap);
+    va_end(ap);
+    return Status(code_, frame + ": " + message_);
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
+} // namespace lll::util

@@ -18,17 +18,32 @@ allWorkloads()
     return all;
 }
 
-WorkloadPtr
-workloadByName(const std::string &name)
+util::Result<WorkloadPtr>
+findWorkload(const std::string &name)
 {
+    std::string known;
     for (WorkloadPtr &w : allWorkloads()) {
         if (w->name() == name)
             return std::move(w);
+        if (!known.empty())
+            known += ", ";
+        known += w->name();
     }
     // Extensions outside the paper's Table II.
     if (name == "dgemm")
         return makeDgemm();
-    lll_fatal("unknown workload '%s'", name.c_str());
+    return util::Status::error(util::ErrorCode::NotFound,
+                               "unknown workload '%s' (expected %s or dgemm)",
+                               name.c_str(), known.c_str());
+}
+
+WorkloadPtr
+workloadByName(const std::string &name)
+{
+    util::Result<WorkloadPtr> w = findWorkload(name);
+    if (!w.ok())
+        lll_fatal("%s", w.status().toString().c_str());
+    return w.take();
 }
 
 } // namespace lll::workloads

@@ -97,7 +97,10 @@ WorkloadPtr makeDgemm();
 /** All six, in paper Table II order. */
 std::vector<WorkloadPtr> allWorkloads();
 
-/** Look up by short id; fatal if unknown. */
+/** Look up by short id; NotFound (listing valid ids) if unknown. */
+util::Result<WorkloadPtr> findWorkload(const std::string &name);
+
+/** Legacy convenience wrapper around findWorkload(); fatal if unknown. */
 WorkloadPtr workloadByName(const std::string &name);
 
 } // namespace lll::workloads

@@ -1,6 +1,7 @@
 #include "xmem/latency_profile.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -10,6 +11,10 @@
 
 namespace lll::xmem
 {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
 
 LatencyProfile::LatencyProfile(std::string platform_name, double peak_gbs,
                                std::vector<Point> points)
@@ -30,20 +35,37 @@ LatencyProfile::LatencyProfile(std::string platform_name, double peak_gbs,
 double
 LatencyProfile::latencyAt(double bw_gbs) const
 {
-    lll_assert(!points_.empty(), "latencyAt on empty profile");
-    if (bw_gbs <= points_.front().bwGBs)
-        return points_.front().latencyNs;
-    if (bw_gbs >= points_.back().bwGBs)
-        return points_.back().latencyNs;
+    return lookup(bw_gbs).latencyNs;
+}
+
+LatencyProfile::Lookup
+LatencyProfile::lookup(double bw_gbs) const
+{
+    lll_assert(!points_.empty(), "lookup on empty profile");
+    Lookup result;
+    if (bw_gbs < points_.front().bwGBs) {
+        result.latencyNs = points_.front().latencyNs;
+        result.belowMeasuredRange = true;
+        return result;
+    }
+    if (bw_gbs > points_.back().bwGBs) {
+        result.latencyNs = points_.back().latencyNs;
+        result.aboveMeasuredRange = true;
+        return result;
+    }
     for (size_t i = 1; i < points_.size(); ++i) {
         if (bw_gbs <= points_[i].bwGBs) {
             const Point &a = points_[i - 1];
             const Point &b = points_[i];
-            double t = (bw_gbs - a.bwGBs) / (b.bwGBs - a.bwGBs);
-            return a.latencyNs + t * (b.latencyNs - a.latencyNs);
+            double t = b.bwGBs > a.bwGBs
+                           ? (bw_gbs - a.bwGBs) / (b.bwGBs - a.bwGBs)
+                           : 0.0;
+            result.latencyNs = a.latencyNs + t * (b.latencyNs - a.latencyNs);
+            return result;
         }
     }
-    return points_.back().latencyNs;
+    result.latencyNs = points_.back().latencyNs;
+    return result;
 }
 
 double
@@ -51,6 +73,13 @@ LatencyProfile::idleLatencyNs() const
 {
     lll_assert(!points_.empty(), "idleLatencyNs on empty profile");
     return points_.front().latencyNs;
+}
+
+double
+LatencyProfile::minMeasuredGBs() const
+{
+    lll_assert(!points_.empty(), "minMeasuredGBs on empty profile");
+    return points_.front().bwGBs;
 }
 
 double
@@ -76,15 +105,17 @@ LatencyProfile::serialize() const
     return out.str();
 }
 
-LatencyProfile
-LatencyProfile::deserialize(const std::string &text)
+Result<LatencyProfile>
+LatencyProfile::parse(const std::string &text)
 {
     std::istringstream in(text);
     std::string line;
     std::string name;
     double peak = 0.0;
     std::vector<Point> points;
+    int lineno = 0;
     while (std::getline(in, line)) {
+        ++lineno;
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ls(line);
@@ -92,24 +123,49 @@ LatencyProfile::deserialize(const std::string &text)
         ls >> key;
         if (key == "platform") {
             ls >> name;
+            if (name.empty()) {
+                return Status::error(ErrorCode::CorruptData,
+                                     "line %d: platform name missing",
+                                     lineno);
+            }
         } else if (key == "peak_gbs") {
             ls >> peak;
+            if (ls.fail() || !std::isfinite(peak) || peak <= 0.0) {
+                return Status::error(ErrorCode::CorruptData,
+                                     "line %d: bad peak_gbs: '%s'", lineno,
+                                     line.c_str());
+            }
         } else if (key == "point") {
             Point pt{};
             ls >> pt.bwGBs >> pt.latencyNs;
-            if (ls.fail())
-                lll_fatal("malformed profile point: '%s'", line.c_str());
+            if (ls.fail() || !std::isfinite(pt.bwGBs) ||
+                !std::isfinite(pt.latencyNs) || pt.bwGBs < 0.0 ||
+                pt.latencyNs <= 0.0) {
+                return Status::error(ErrorCode::CorruptData,
+                                     "line %d: malformed profile point: "
+                                     "'%s'",
+                                     lineno, line.c_str());
+            }
             points.push_back(pt);
         } else {
-            lll_fatal("unknown profile key: '%s'", key.c_str());
+            return Status::error(ErrorCode::CorruptData,
+                                 "line %d: unknown profile key: '%s'",
+                                 lineno, key.c_str());
         }
     }
-    if (name.empty() || peak <= 0.0 || points.empty())
-        lll_fatal("incomplete latency profile text");
+    if (name.empty())
+        return Status::error(ErrorCode::CorruptData,
+                             "incomplete latency profile: no platform");
+    if (peak <= 0.0)
+        return Status::error(ErrorCode::CorruptData,
+                             "incomplete latency profile: no peak_gbs");
+    if (points.empty())
+        return Status::error(ErrorCode::CorruptData,
+                             "incomplete latency profile: no points");
     return LatencyProfile(name, peak, std::move(points));
 }
 
-void
+Status
 LatencyProfile::save(const std::string &path) const
 {
     std::filesystem::path p(path);
@@ -118,20 +174,40 @@ LatencyProfile::save(const std::string &path) const
         std::filesystem::create_directories(p.parent_path(), ec);
     }
     std::ofstream out(path);
-    if (!out)
-        lll_fatal("cannot write latency profile to '%s'", path.c_str());
+    if (!out) {
+        return Status::error(ErrorCode::IoError,
+                             "cannot write latency profile to '%s'",
+                             path.c_str());
+    }
     out << serialize();
+    out.flush();
+    if (!out) {
+        return Status::error(ErrorCode::IoError,
+                             "short write to latency profile '%s'",
+                             path.c_str());
+    }
+    return Status::okStatus();
 }
 
-LatencyProfile
+Result<LatencyProfile>
 LatencyProfile::load(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in)
-        return LatencyProfile();
+    if (!in) {
+        return Status::error(ErrorCode::NotFound,
+                             "no latency profile at '%s'", path.c_str());
+    }
     std::ostringstream buf;
     buf << in.rdbuf();
-    return deserialize(buf.str());
+    if (in.bad()) {
+        return Status::error(ErrorCode::IoError,
+                             "read error on latency profile '%s'",
+                             path.c_str());
+    }
+    Result<LatencyProfile> parsed = parse(buf.str());
+    if (!parsed.ok())
+        return parsed.status().withContext("loading '%s'", path.c_str());
+    return parsed;
 }
 
 } // namespace lll::xmem

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace lll::xmem
 {
 
@@ -28,6 +30,16 @@ class LatencyProfile
     {
         double bwGBs;
         double latencyNs;
+    };
+
+    /** latencyAt() plus whether the query fell outside the measured
+     *  range (the value is then a clamped extrapolation the analyzer
+     *  must flag; see Analysis::warnings). */
+    struct Lookup
+    {
+        double latencyNs = 0.0;
+        bool belowMeasuredRange = false; //!< bw below the idle point
+        bool aboveMeasuredRange = false; //!< bw above saturation
     };
 
     LatencyProfile() = default;
@@ -47,9 +59,15 @@ class LatencyProfile
      */
     double latencyAt(double bw_gbs) const;
 
+    /** latencyAt() with out-of-measured-range flags. */
+    Lookup lookup(double bw_gbs) const;
+
     /** Latency with no load — the vendor-datasheet number the paper warns
      *  is NOT usable for Equation 2. */
     double idleLatencyNs() const;
+
+    /** Lowest bandwidth in the sweep (the idle-most measured point). */
+    double minMeasuredGBs() const;
 
     /** Highest bandwidth the measurement achieved (peak *achievable*). */
     double maxMeasuredGBs() const;
@@ -62,13 +80,24 @@ class LatencyProfile
     /** Serialize to a small text format (one point per line). */
     std::string serialize() const;
 
-    /** Parse the serialize() format; fatal on malformed input. */
-    static LatencyProfile deserialize(const std::string &text);
+    /**
+     * Parse the serialize() format.  Malformed or incomplete text is a
+     * CorruptData error with the offending line in the message — never
+     * an empty or partially filled profile.
+     */
+    static util::Result<LatencyProfile> parse(const std::string &text);
 
-    /** Write to / read from a file.  load() returns an empty profile if
-     *  the file does not exist. */
-    void save(const std::string &path) const;
-    static LatencyProfile load(const std::string &path);
+    /** Write to @p path; IoError when the file cannot be written. */
+    util::Status save(const std::string &path) const;
+
+    /**
+     * Read from @p path.  A missing file is NotFound (the "no cache
+     * yet" case callers may recover from); an unreadable or corrupt
+     * file is IoError/CorruptData and must be surfaced — a truncated
+     * profile must never silently become latency 0 and a nonsense
+     * n_avg.
+     */
+    static util::Result<LatencyProfile> load(const std::string &path);
 
   private:
     std::string platformName_;

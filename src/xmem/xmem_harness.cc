@@ -92,22 +92,39 @@ XMemHarness::measure(const platforms::Platform &platform) const
                           std::move(points));
 }
 
+util::Result<LatencyProfile>
+XMemHarness::measureCachedChecked(const platforms::Platform &platform,
+                                  const std::string &cache_path) const
+{
+    util::Result<LatencyProfile> cached = LatencyProfile::load(cache_path);
+    if (cached.ok()) {
+        if (cached->platformName() == platform.name)
+            return cached;
+        lll_warn("profile at '%s' is for platform '%s', remeasuring",
+                 cache_path.c_str(), cached->platformName().c_str());
+    } else if (cached.status().code() != util::ErrorCode::NotFound) {
+        // Corrupt or unreadable cache: surface it instead of silently
+        // measuring over it (`lll characterize <plat> --fresh` rebuilds).
+        return cached.status().withContext(
+            "cached profile for '%s' is unusable (delete it or rerun "
+            "with --fresh)",
+            platform.name.c_str());
+    }
+    LatencyProfile fresh = measure(platform);
+    LLL_RETURN_IF_ERROR(fresh.save(cache_path).withContext(
+        "caching profile for '%s'", platform.name.c_str()));
+    return fresh;
+}
+
 LatencyProfile
 XMemHarness::measureCached(const platforms::Platform &platform,
                            const std::string &cache_path) const
 {
-    LatencyProfile cached = LatencyProfile::load(cache_path);
-    if (!cached.empty()) {
-        if (cached.platformName() != platform.name) {
-            lll_warn("profile at '%s' is for platform '%s', remeasuring",
-                     cache_path.c_str(), cached.platformName().c_str());
-        } else {
-            return cached;
-        }
-    }
-    LatencyProfile fresh = measure(platform);
-    fresh.save(cache_path);
-    return fresh;
+    util::Result<LatencyProfile> r =
+        measureCachedChecked(platform, cache_path);
+    if (!r.ok())
+        lll_fatal("%s", r.status().toString().c_str());
+    return r.take();
 }
 
 std::string

@@ -61,7 +61,20 @@ class XMemHarness
      * Load the profile from @p cache_path, measuring and saving it first
      * if the file does not exist (profiles are per-processor and only
      * ever computed once, as the paper prescribes).
+     *
+     * A cache file that exists but is corrupt is a CorruptData error —
+     * it is never silently remeasured, because the same breakage could
+     * hit the freshly saved file too and the user should know their
+     * profile store is damaged.  A cached profile for a different
+     * platform is remeasured with a warning (the legacy behaviour).
      */
+    util::Result<LatencyProfile>
+    measureCachedChecked(const platforms::Platform &platform,
+                         const std::string &cache_path) const;
+
+    /** Legacy convenience wrapper: fatal on any measureCachedChecked
+     *  error (quick scripts / examples; the CLI uses the checked
+     *  variant). */
     LatencyProfile measureCached(const platforms::Platform &platform,
                                  const std::string &cache_path) const;
 

@@ -1,0 +1,24 @@
+# Asserts the CLI exit-code contract documented in README "Robustness":
+#   2 = usage error (unknown command/flag/malformed request)
+#   3 = bad input data (unknown workload/platform, corrupt profile)
+# Run via: cmake -DLLL_BIN=<path-to-lll> -P cli_exit_codes.cmake
+
+function(expect_exit code)
+    execute_process(COMMAND ${LLL_BIN} ${ARGN}
+                    RESULT_VARIABLE got
+                    OUTPUT_QUIET ERROR_QUIET)
+    if(NOT got EQUAL ${code})
+        message(FATAL_ERROR
+                "lll ${ARGN}: expected exit ${code}, got ${got}")
+    endif()
+endfunction()
+
+expect_exit(2 frobnicate)                    # unknown command
+expect_exit(2)                               # no command at all
+expect_exit(2 analyze)                       # missing operands
+expect_exit(2 analyze isx skl --bogus)       # unknown flag
+expect_exit(2 analyze isx skl nonsense-opt)  # unknown optimization
+expect_exit(2 selftest --iterations nope)    # malformed flag value
+expect_exit(2 selftest --iterations)         # dangling flag
+expect_exit(3 analyze isx nope)              # unknown platform
+expect_exit(3 analyze nope skl)              # unknown workload

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/analyzer.hh"
+#include "obs/export.hh"
 #include "test_common.hh"
 
 namespace lll::core
@@ -120,6 +121,93 @@ TEST_F(AnalyzerTest, PctPeakUsesTheoreticalPeak)
 {
     Analysis a = analyzer_.analyze(routine(12.0), 4);
     EXPECT_NEAR(a.pctPeak, 0.5, 1e-9);
+}
+
+TEST_F(AnalyzerTest, InRangeLookupHasNoWarnings)
+{
+    Analysis a = analyzer_.analyze(routine(12.0), 4);
+    EXPECT_FALSE(a.bwBelowProfileRange);
+    EXPECT_FALSE(a.bwAboveProfileRange);
+    EXPECT_TRUE(a.warnings.empty());
+}
+
+TEST_F(AnalyzerTest, BwBelowProfileRangeClampsWithWarning)
+{
+    // The synthetic profile starts at 5% of peak (1.2 GB/s); a routine
+    // below the idle-most measured point clamps to the idle latency.
+    Analysis a = analyzer_.analyze(routine(0.5), 4);
+    EXPECT_TRUE(a.bwBelowProfileRange);
+    EXPECT_FALSE(a.bwAboveProfileRange);
+    EXPECT_DOUBLE_EQ(a.latencyNs, analyzer_.profile().idleLatencyNs());
+    ASSERT_EQ(a.warnings.size(), 1u);
+    EXPECT_NE(a.warnings[0].find("below the measured"),
+              std::string::npos);
+    EXPECT_NE(a.warnings[0].find("clamped extrapolation"),
+              std::string::npos);
+}
+
+TEST_F(AnalyzerTest, BwAboveProfileRangeClampsWithWarning)
+{
+    // Above the saturation point (92% of peak = 22.08 GB/s).
+    Analysis a = analyzer_.analyze(routine(23.9), 4);
+    EXPECT_TRUE(a.bwAboveProfileRange);
+    EXPECT_FALSE(a.bwBelowProfileRange);
+    double sat = analyzer_.profile().latencyAt(
+        analyzer_.profile().maxMeasuredGBs());
+    EXPECT_DOUBLE_EQ(a.latencyNs, sat);
+    ASSERT_EQ(a.warnings.size(), 1u);
+    EXPECT_NE(a.warnings[0].find("above the measured"),
+              std::string::npos);
+    EXPECT_NE(a.warnings[0].find("clamped extrapolation"),
+              std::string::npos);
+}
+
+TEST_F(AnalyzerTest, NonFiniteBwDegradesToIdle)
+{
+    Analysis a =
+        analyzer_.analyze(routine(-std::numeric_limits<double>::infinity()),
+                          4);
+    EXPECT_DOUBLE_EQ(a.bwGBs, 0.0);
+    EXPECT_FALSE(a.warnings.empty());
+}
+
+TEST_F(AnalyzerTest, ClampWarningsReachRegistryAndJsonExport)
+{
+    obs::MetricRegistry reg;
+    analyzer_.setRegistry(&reg);
+    analyzer_.analyze(routine(23.9), 4);
+    analyzer_.setRegistry(nullptr);
+
+    EXPECT_GE(reg.counter("input_warnings_total").value(), 1u);
+    std::string json = obs::exportJson(reg);
+    EXPECT_NE(json.find("input_warnings_total"), std::string::npos);
+    EXPECT_NE(json.find("clamped extrapolation"), std::string::npos);
+}
+
+TEST(AnalyzerCreateTest, RejectsMismatchedProfile)
+{
+    platforms::Platform p = test::tinyPlatform();
+    util::Result<Analyzer> a =
+        Analyzer::create(p, test::syntheticProfile("otherbox"));
+    ASSERT_FALSE(a.ok());
+    EXPECT_EQ(a.status().code(), util::ErrorCode::FailedPrecondition);
+}
+
+TEST(AnalyzerCreateTest, RejectsEmptyProfile)
+{
+    platforms::Platform p = test::tinyPlatform();
+    util::Result<Analyzer> a = Analyzer::create(p, xmem::LatencyProfile());
+    ASSERT_FALSE(a.ok());
+    EXPECT_EQ(a.status().code(), util::ErrorCode::FailedPrecondition);
+}
+
+TEST(AnalyzerCreateTest, AcceptsMatchedProfile)
+{
+    platforms::Platform p = test::tinyPlatform();
+    util::Result<Analyzer> a = Analyzer::create(p, test::syntheticProfile());
+    ASSERT_TRUE(a.ok()) << a.status().toString();
+    Analysis an = a->analyze(routine(12.0), 4);
+    EXPECT_GT(an.nAvg, 0.0);
 }
 
 TEST(AnalyzerDeathTest, ProfilePlatformMismatchPanics)

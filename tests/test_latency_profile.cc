@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "xmem/latency_profile.hh"
 
@@ -45,6 +46,29 @@ TEST(LatencyProfileTest, ClampsOutsideRange)
     EXPECT_DOUBLE_EQ(p.latencyAt(500.0), 240.0);
 }
 
+TEST(LatencyProfileTest, LookupFlagsOutOfRangeQueries)
+{
+    LatencyProfile p = simple();
+    LatencyProfile::Lookup below = p.lookup(0.5);
+    EXPECT_TRUE(below.belowMeasuredRange);
+    EXPECT_FALSE(below.aboveMeasuredRange);
+    EXPECT_DOUBLE_EQ(below.latencyNs, 80.0);
+
+    LatencyProfile::Lookup above = p.lookup(500.0);
+    EXPECT_TRUE(above.aboveMeasuredRange);
+    EXPECT_FALSE(above.belowMeasuredRange);
+    EXPECT_DOUBLE_EQ(above.latencyNs, 240.0);
+
+    LatencyProfile::Lookup inside = p.lookup(30.0);
+    EXPECT_FALSE(inside.belowMeasuredRange);
+    EXPECT_FALSE(inside.aboveMeasuredRange);
+    EXPECT_DOUBLE_EQ(inside.latencyNs, 100.0);
+
+    // The measured endpoints themselves are in range.
+    EXPECT_FALSE(p.lookup(10.0).belowMeasuredRange);
+    EXPECT_FALSE(p.lookup(90.0).aboveMeasuredRange);
+}
+
 TEST(LatencyProfileTest, SortsUnorderedPoints)
 {
     LatencyProfile p("tst", 100.0,
@@ -72,20 +96,21 @@ TEST(LatencyProfileTest, IdleAndMax)
 TEST(LatencyProfileTest, SerializeRoundTrip)
 {
     LatencyProfile p = simple();
-    LatencyProfile q = LatencyProfile::deserialize(p.serialize());
-    EXPECT_EQ(q.platformName(), "tst");
-    EXPECT_DOUBLE_EQ(q.peakGBs(), 100.0);
-    ASSERT_EQ(q.points().size(), 3u);
-    EXPECT_DOUBLE_EQ(q.latencyAt(30.0), 100.0);
+    util::Result<LatencyProfile> q = LatencyProfile::parse(p.serialize());
+    ASSERT_TRUE(q.ok()) << q.status().toString();
+    EXPECT_EQ(q->platformName(), "tst");
+    EXPECT_DOUBLE_EQ(q->peakGBs(), 100.0);
+    ASSERT_EQ(q->points().size(), 3u);
+    EXPECT_DOUBLE_EQ(q->latencyAt(30.0), 100.0);
 }
 
 TEST(LatencyProfileTest, SaveLoadRoundTrip)
 {
     std::string path = ::testing::TempDir() + "/lll_profile_test.profile";
-    simple().save(path);
-    LatencyProfile q = LatencyProfile::load(path);
-    ASSERT_FALSE(q.empty());
-    EXPECT_DOUBLE_EQ(q.latencyAt(70.0), 180.0);
+    ASSERT_TRUE(simple().save(path).ok());
+    util::Result<LatencyProfile> q = LatencyProfile::load(path);
+    ASSERT_TRUE(q.ok()) << q.status().toString();
+    EXPECT_DOUBLE_EQ(q->latencyAt(70.0), 180.0);
     std::remove(path.c_str());
 }
 
@@ -93,27 +118,66 @@ TEST(LatencyProfileTest, SaveCreatesParentDirectories)
 {
     std::string dir = ::testing::TempDir() + "/lll_nested/a/b";
     std::string path = dir + "/p.profile";
-    simple().save(path);
-    EXPECT_FALSE(LatencyProfile::load(path).empty());
+    ASSERT_TRUE(simple().save(path).ok());
+    EXPECT_TRUE(LatencyProfile::load(path).ok());
     std::filesystem::remove_all(::testing::TempDir() + "/lll_nested");
 }
 
-TEST(LatencyProfileTest, LoadMissingFileIsEmpty)
+TEST(LatencyProfileTest, SaveToUnwritablePathIsIoError)
 {
-    LatencyProfile p = LatencyProfile::load("/nonexistent/nope.profile");
-    EXPECT_TRUE(p.empty());
+    util::Status s = simple().save("/proc/lll-cannot-write-here");
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), util::ErrorCode::IoError);
 }
 
-TEST(LatencyProfileDeathTest, MalformedTextIsFatal)
+TEST(LatencyProfileTest, LoadMissingFileIsNotFound)
 {
-    EXPECT_EXIT(LatencyProfile::deserialize("garbage here\n"),
-                ::testing::ExitedWithCode(1), "unknown profile key");
+    util::Result<LatencyProfile> p =
+        LatencyProfile::load("/nonexistent/nope.profile");
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), util::ErrorCode::NotFound);
 }
 
-TEST(LatencyProfileDeathTest, IncompleteTextIsFatal)
+TEST(LatencyProfileTest, MalformedTextIsCorruptData)
 {
-    EXPECT_EXIT(LatencyProfile::deserialize("platform x\n"),
-                ::testing::ExitedWithCode(1), "incomplete");
+    util::Result<LatencyProfile> p =
+        LatencyProfile::parse("garbage here\n");
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), util::ErrorCode::CorruptData);
+    EXPECT_NE(p.status().message().find("unknown profile key"),
+              std::string::npos);
+    // The offending line number is part of the message.
+    EXPECT_NE(p.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(LatencyProfileTest, IncompleteTextIsCorruptData)
+{
+    util::Result<LatencyProfile> p = LatencyProfile::parse("platform x\n");
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), util::ErrorCode::CorruptData);
+    EXPECT_NE(p.status().message().find("incomplete"), std::string::npos);
+}
+
+TEST(LatencyProfileTest, NegativePointIsCorruptData)
+{
+    util::Result<LatencyProfile> p = LatencyProfile::parse(
+        "platform x\npeak_gbs 100\npoint 10 -5\n");
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), util::ErrorCode::CorruptData);
+}
+
+TEST(LatencyProfileTest, LoadCorruptFileCarriesPathContext)
+{
+    std::string path = ::testing::TempDir() + "/lll_corrupt.profile";
+    {
+        std::ofstream out(path);
+        out << "platform tst\npeak_gbs 100\npoint 10";
+    }
+    util::Result<LatencyProfile> p = LatencyProfile::load(path);
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), util::ErrorCode::CorruptData);
+    EXPECT_NE(p.status().message().find(path), std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(LatencyProfileDeathTest, EmptyQueriesPanic)

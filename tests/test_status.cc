@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the structured error types: code naming, CLI exit-code
+ * mapping, printf-style construction, context chaining, and Result<T>
+ * value/error semantics (including move-only payloads).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/status.hh"
+
+namespace lll::util
+{
+namespace
+{
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+    EXPECT_TRUE(Status::okStatus().ok());
+}
+
+TEST(StatusTest, ErrorCodeNames)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+    EXPECT_STREQ(errorCodeName(ErrorCode::InvalidArgument),
+                 "invalid-argument");
+    EXPECT_STREQ(errorCodeName(ErrorCode::NotFound), "not-found");
+    EXPECT_STREQ(errorCodeName(ErrorCode::CorruptData), "corrupt-data");
+    EXPECT_STREQ(errorCodeName(ErrorCode::FailedPrecondition),
+                 "failed-precondition");
+    EXPECT_STREQ(errorCodeName(ErrorCode::OutOfRange), "out-of-range");
+    EXPECT_STREQ(errorCodeName(ErrorCode::IoError), "io-error");
+    EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded),
+                 "deadline-exceeded");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+}
+
+TEST(StatusTest, ExitCodeConvention)
+{
+    // README "Robustness": 2 usage, 3 bad input data, 4 sim failure.
+    EXPECT_EQ(exitCodeFor(ErrorCode::Ok), 0);
+    EXPECT_EQ(exitCodeFor(ErrorCode::InvalidArgument), 2);
+    EXPECT_EQ(exitCodeFor(ErrorCode::NotFound), 3);
+    EXPECT_EQ(exitCodeFor(ErrorCode::CorruptData), 3);
+    EXPECT_EQ(exitCodeFor(ErrorCode::FailedPrecondition), 3);
+    EXPECT_EQ(exitCodeFor(ErrorCode::OutOfRange), 3);
+    EXPECT_EQ(exitCodeFor(ErrorCode::IoError), 3);
+    EXPECT_EQ(exitCodeFor(ErrorCode::DeadlineExceeded), 4);
+    EXPECT_EQ(exitCodeFor(ErrorCode::Internal), 4);
+}
+
+TEST(StatusTest, PrintfConstruction)
+{
+    Status s = Status::error(ErrorCode::NotFound, "no '%s' in %d places",
+                             "thing", 3);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::NotFound);
+    EXPECT_EQ(s.message(), "no 'thing' in 3 places");
+    EXPECT_EQ(s.toString(), "not-found: no 'thing' in 3 places");
+}
+
+TEST(StatusTest, WithContextPrependsFrames)
+{
+    Status s = Status::error(ErrorCode::CorruptData, "malformed point");
+    Status c = s.withContext("line %d", 7).withContext("loading '%s'",
+                                                       "x.profile");
+    EXPECT_EQ(c.code(), ErrorCode::CorruptData);
+    EXPECT_EQ(c.message(), "loading 'x.profile': line 7: malformed point");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop)
+{
+    Status s = Status::okStatus().withContext("ignored %d", 1);
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.message(), "");
+}
+
+TEST(ResultTest, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(*r, 42);
+    EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError)
+{
+    Result<int> r(Status::error(ErrorCode::OutOfRange, "nope"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::OutOfRange);
+    EXPECT_EQ(r.valueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrPassesThroughValue)
+{
+    Result<int> r(9);
+    EXPECT_EQ(r.valueOr(-1), 9);
+}
+
+TEST(ResultTest, TakeMovesOutMoveOnlyPayload)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> p = r.take();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers)
+{
+    Result<std::string> r(std::string("abc"));
+    EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultDeathTest, ValueOnErrorPanics)
+{
+    Result<int> r(Status::error(ErrorCode::Internal, "boom"));
+    EXPECT_DEATH(r.value(), "boom");
+}
+
+TEST(ResultDeathTest, OkStatusWithoutValuePanics)
+{
+    EXPECT_DEATH(Result<int>(Status::okStatus()),
+                 "OK status without a value");
+}
+
+} // namespace
+} // namespace lll::util

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "test_common.hh"
 #include "xmem/xmem_harness.hh"
@@ -91,6 +92,38 @@ TEST_F(XmemTest, WrongPlatformCacheIsRemeasured)
     LatencyProfile prof =
         XMemHarness(fastParams()).measureCached(plat_, path);
     EXPECT_EQ(prof.platformName(), plat_.name);
+    std::remove(path.c_str());
+}
+
+TEST_F(XmemTest, MissingCacheIsMeasuredAndSaved)
+{
+    std::string path = ::testing::TempDir() + "/missing_cache.profile";
+    std::remove(path.c_str());
+    util::Result<LatencyProfile> prof =
+        XMemHarness(fastParams()).measureCachedChecked(plat_, path);
+    ASSERT_TRUE(prof.ok()) << prof.status().toString();
+    EXPECT_FALSE(prof->empty());
+    // The measurement was persisted for the next run.
+    EXPECT_TRUE(LatencyProfile::load(path).ok());
+    std::remove(path.c_str());
+}
+
+TEST_F(XmemTest, CorruptCacheIsAnErrorNotASilentRemeasure)
+{
+    std::string path = ::testing::TempDir() + "/corrupt_cache.profile";
+    {
+        std::ofstream out(path);
+        out << "platform tiny\npeak_gbs 24\npoint 3 oops\n";
+    }
+    util::Result<LatencyProfile> prof =
+        XMemHarness(fastParams()).measureCachedChecked(plat_, path);
+    ASSERT_FALSE(prof.ok());
+    EXPECT_EQ(prof.status().code(), util::ErrorCode::CorruptData);
+    // The message tells the user how to recover.
+    EXPECT_NE(prof.status().message().find("--fresh"), std::string::npos);
+    // The corrupt file was left in place for inspection.
+    std::ifstream still_there(path);
+    EXPECT_TRUE(still_there.good());
     std::remove(path.c_str());
 }
 

@@ -12,13 +12,18 @@
  *   lll table <wl>                        the paper-table rows for <wl>
  *   lll roofline <plat>                   roofs + MSHR ceilings
  *   lll vendors                           counter visibility (Table I)
+ *   lll selftest [--iterations N]         fault-injection harness
  *
  * Variant opts: vect 2-ht 4-ht l2-pref tiling unroll-jam fusion distr
  * analyze/trace also accept `--json FILE` (full metric export, "-" for
  * stdout) and `--metrics FILE` (sampled time series as CSV).
+ *
+ * Exit codes (see README "Robustness"): 0 success, 2 usage error,
+ * 3 bad input data, 4 simulation failure, 1 anything else.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -26,9 +31,13 @@
 #include "sim/tracer.hh"
 
 #include "counters/vendor_matrix.hh"
+#include "faultinject/faultinject.hh"
 #include "lll/lll.hh"
+#include "util/status.hh"
 
 using namespace lll;
+using util::ErrorCode;
+using util::Status;
 using workloads::Opt;
 using workloads::OptSet;
 
@@ -50,31 +59,42 @@ usage()
         "[--metrics FILE]\n"
         "  walk <workload> <platform>\n"
         "  table <workload>\n"
-        "  roofline <platform>\n");
+        "  roofline <platform>\n"
+        "  selftest [--iterations N] [--seed S] [--verbose]\n");
     return 2;
+}
+
+/** Report @p status on stderr and map it to the process exit code. */
+int
+failWith(const Status &status)
+{
+    std::fprintf(stderr, "lll: %s\n", status.toString().c_str());
+    return util::exitCodeFor(status.code());
 }
 
 /**
  * Pull `flag FILE` out of @p args (destructively); empty string when the
  * flag is absent.  Keeps optimization names clean for parseOpts().
  */
-std::string
+util::Result<std::string>
 takeFlag(std::vector<std::string> &args, const std::string &flag)
 {
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] != flag)
             continue;
-        if (i + 1 >= args.size())
-            lll_fatal("%s needs a file argument", flag.c_str());
+        if (i + 1 >= args.size()) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "%s needs an argument", flag.c_str());
+        }
         std::string value = args[i + 1];
         args.erase(args.begin() + static_cast<long>(i),
                    args.begin() + static_cast<long>(i) + 2);
         return value;
     }
-    return "";
+    return std::string();
 }
 
-OptSet
+util::Result<OptSet>
 parseOpts(const std::vector<std::string> &args)
 {
     OptSet set;
@@ -95,16 +115,20 @@ parseOpts(const std::vector<std::string> &args)
             set = set.with(Opt::Fusion);
         else if (s == "distr")
             set = set.with(Opt::Distribution);
+        else if (!s.empty() && s[0] == '-')
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "unknown flag '%s'", s.c_str());
         else
-            lll_fatal("unknown optimization '%s'", s.c_str());
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "unknown optimization '%s'", s.c_str());
     }
     return set;
 }
 
-xmem::LatencyProfile
+util::Result<xmem::LatencyProfile>
 profileFor(const platforms::Platform &p)
 {
-    return xmem::XMemHarness().measureCached(
+    return xmem::XMemHarness().measureCachedChecked(
         p, xmem::defaultProfilePath(p));
 }
 
@@ -163,24 +187,88 @@ cmdCharacterize(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
-    bool fresh = argc > 3 && std::strcmp(argv[3], "--fresh") == 0;
+    bool fresh = false;
+    if (argc > 3) {
+        if (std::strcmp(argv[3], "--fresh") != 0) {
+            return failWith(Status::error(ErrorCode::InvalidArgument,
+                                          "unknown flag '%s'", argv[3]));
+        }
+        fresh = true;
+    }
     std::vector<platforms::Platform> plats;
-    if (std::string(argv[2]) == "all")
+    if (std::string(argv[2]) == "all") {
         plats = platforms::allPlatforms();
-    else
-        plats.push_back(platforms::byName(argv[2]));
+    } else {
+        util::Result<platforms::Platform> p =
+            platforms::findPlatform(argv[2]);
+        if (!p.ok())
+            return failWith(p.status());
+        plats.push_back(p.take());
+    }
     for (const platforms::Platform &p : plats) {
         std::string path = xmem::defaultProfilePath(p);
         if (fresh)
             std::remove(path.c_str());
-        xmem::LatencyProfile prof =
-            xmem::XMemHarness().measureCached(p, path);
+        util::Result<xmem::LatencyProfile> prof =
+            xmem::XMemHarness().measureCachedChecked(p, path);
+        if (!prof.ok())
+            return failWith(prof.status());
         std::printf("%s: idle %.0f ns, peak achievable %.0f GB/s "
                     "(profile: %s)\n",
-                    p.name.c_str(), prof.idleLatencyNs(),
-                    prof.maxMeasuredGBs(), path.c_str());
+                    p.name.c_str(), prof->idleLatencyNs(),
+                    prof->maxMeasuredGBs(), path.c_str());
     }
     return 0;
+}
+
+/** Shared argv parsing of analyze/trace: workload platform [opts/flags]. */
+struct VariantArgs
+{
+    workloads::WorkloadPtr workload;
+    platforms::Platform platform;
+    OptSet opts;
+    std::string jsonPath;
+    std::string metricsPath;
+};
+
+util::Result<VariantArgs>
+parseVariantArgs(int argc, char **argv)
+{
+    VariantArgs va;
+    util::Result<workloads::WorkloadPtr> w =
+        workloads::findWorkload(argv[2]);
+    if (!w.ok())
+        return w.status();
+    va.workload = w.take();
+    util::Result<platforms::Platform> p = platforms::findPlatform(argv[3]);
+    if (!p.ok())
+        return p.status();
+    va.platform = p.take();
+
+    std::vector<std::string> args(argv + 4, argv + argc);
+    util::Result<std::string> json = takeFlag(args, "--json");
+    if (!json.ok())
+        return json.status();
+    va.jsonPath = json.take();
+    util::Result<std::string> metrics = takeFlag(args, "--metrics");
+    if (!metrics.ok())
+        return metrics.status();
+    va.metricsPath = metrics.take();
+    util::Result<OptSet> opts = parseOpts(args);
+    if (!opts.ok())
+        return opts.status();
+    va.opts = opts.take();
+    return va;
+}
+
+Status
+writeExportChecked(const std::string &path, const std::string &content)
+{
+    if (!obs::writeExport(path, content)) {
+        return Status::error(ErrorCode::IoError, "cannot write '%s'",
+                             path.c_str());
+    }
+    return Status::okStatus();
 }
 
 int
@@ -188,27 +276,32 @@ cmdAnalyze(int argc, char **argv)
 {
     if (argc < 4)
         return usage();
-    workloads::WorkloadPtr w = workloads::workloadByName(argv[2]);
-    platforms::Platform p = platforms::byName(argv[3]);
-    std::vector<std::string> args(argv + 4, argv + argc);
-    std::string json_path = takeFlag(args, "--json");
-    std::string metrics_path = takeFlag(args, "--metrics");
-    OptSet opts = parseOpts(args);
+    util::Result<VariantArgs> parsed = parseVariantArgs(argc, argv);
+    if (!parsed.ok())
+        return failWith(parsed.status());
+    VariantArgs &va = *parsed;
 
     obs::MetricRegistry registry;
     core::Experiment::Params ep;
-    if (!json_path.empty() || !metrics_path.empty())
+    if (!va.jsonPath.empty() || !va.metricsPath.empty())
         ep.registry = &registry;
+
+    util::Result<xmem::LatencyProfile> prof = profileFor(va.platform);
+    if (!prof.ok())
+        return failWith(prof.status());
 
     // When an export goes to stdout the human report moves to stderr so
     // `lll analyze ... --json - | jq` stays parseable.
-    FILE *rep = (json_path == "-" || metrics_path == "-") ? stderr
-                                                          : stdout;
-    core::Experiment exp(p, *w, profileFor(p), ep);
-    const core::StageMetrics &m = exp.stage(opts);
+    FILE *rep = (va.jsonPath == "-" || va.metricsPath == "-") ? stderr
+                                                              : stdout;
+    util::Result<core::Experiment> exp = core::Experiment::create(
+        va.platform, *va.workload, prof.take(), ep);
+    if (!exp.ok())
+        return failWith(exp.status());
+    const core::StageMetrics &m = exp->stage(va.opts);
     const core::Analysis &a = m.analysis;
-    std::fprintf(rep, "%s [%s] on %s:\n", w->routine().c_str(),
-                 opts.label().c_str(), p.name.c_str());
+    std::fprintf(rep, "%s [%s] on %s:\n", va.workload->routine().c_str(),
+                 va.opts.label().c_str(), va.platform.name.c_str());
     std::fprintf(rep,
                  "  BW %.1f GB/s (%.0f%% of peak), loaded latency %.0f "
                  "ns\n",
@@ -217,8 +310,10 @@ cmdAnalyze(int argc, char **argv)
                  a.nAvg, a.limitingMshrs,
                  core::mshrLevelName(a.limitingLevel),
                  core::accessClassName(a.accessClass));
-    core::Recipe recipe(p);
-    core::RecipeDecision d = recipe.advise(a, opts);
+    for (const std::string &warning : a.warnings)
+        std::fprintf(rep, "  warning: %s\n", warning.c_str());
+    core::Recipe recipe(va.platform);
+    core::RecipeDecision d = recipe.advise(a, va.opts);
     std::fprintf(rep, "  %s\n", d.summary.c_str());
     for (const core::Recommendation &r : d.recommendations) {
         std::fprintf(rep, "    [%s] %-22s %s\n",
@@ -226,15 +321,18 @@ cmdAnalyze(int argc, char **argv)
                      workloads::optName(r.opt), r.rationale.c_str());
     }
 
-    if (!json_path.empty() &&
-        !obs::writeExport(json_path,
-                          obs::exportJson(registry,
-                                          &obs::SpanTracker::global()))) {
-        lll_fatal("cannot write '%s'", json_path.c_str());
+    if (!va.jsonPath.empty()) {
+        Status s = writeExportChecked(
+            va.jsonPath,
+            obs::exportJson(registry, &obs::SpanTracker::global()));
+        if (!s.ok())
+            return failWith(s);
     }
-    if (!metrics_path.empty() &&
-        !obs::writeExport(metrics_path, obs::exportCsv(registry))) {
-        lll_fatal("cannot write '%s'", metrics_path.c_str());
+    if (!va.metricsPath.empty()) {
+        Status s = writeExportChecked(va.metricsPath,
+                                      obs::exportCsv(registry));
+        if (!s.ok())
+            return failWith(s);
     }
     return 0;
 }
@@ -244,31 +342,38 @@ cmdTrace(int argc, char **argv)
 {
     if (argc < 4)
         return usage();
-    workloads::WorkloadPtr w = workloads::workloadByName(argv[2]);
-    platforms::Platform p = platforms::byName(argv[3]);
-    std::vector<std::string> args(argv + 4, argv + argc);
-    std::string json_path = takeFlag(args, "--json");
-    std::string metrics_path = takeFlag(args, "--metrics");
-    OptSet opts = parseOpts(args);
+    util::Result<VariantArgs> parsed = parseVariantArgs(argc, argv);
+    if (!parsed.ok())
+        return failWith(parsed.status());
+    VariantArgs &va = *parsed;
+    workloads::WorkloadPtr &w = va.workload;
+    platforms::Platform &p = va.platform;
 
     obs::MetricRegistry registry;
     sim::RunResult run;
     sim::RequestTracer tracer;
     {
-        obs::ScopedSpan span("trace[" + w->name() + "/" + opts.label() +
-                             "]");
-        sim::KernelSpec spec = w->spec(p, opts);
-        sim::SystemParams sp = p.sysParams(p.totalCores, opts.smtWays());
-        sim::System sys(sp, spec);
+        obs::ScopedSpan span("trace[" + w->name() + "/" +
+                             va.opts.label() + "]");
+        sim::KernelSpec spec = w->spec(p, va.opts);
+        util::Result<sim::SystemParams> sp =
+            p.trySysParams(p.totalCores, va.opts.smtWays());
+        if (!sp.ok())
+            return failWith(sp.status());
+        sim::System sys(*sp, spec);
         sys.mem().setTracer(&tracer);
         sys.attachObservability(registry);
-        run = sys.run(w->warmupUs(), w->measureUs());
+        util::Result<sim::RunResult> r =
+            sys.runChecked(w->warmupUs(), w->measureUs());
+        if (!r.ok())
+            return failWith(r.status());
+        run = r.take();
     }
 
-    FILE *rep = (json_path == "-" || metrics_path == "-") ? stderr
-                                                          : stdout;
+    FILE *rep = (va.jsonPath == "-" || va.metricsPath == "-") ? stderr
+                                                              : stdout;
     std::fprintf(rep, "%s [%s] on %s: %.1f GB/s over %.0f us\n",
-                 w->routine().c_str(), opts.label().c_str(),
+                 w->routine().c_str(), va.opts.label().c_str(),
                  p.name.c_str(), run.totalGBs, w->measureUs());
     std::fprintf(rep, "  telemetry: %llu snapshots of %zu time series\n",
                  static_cast<unsigned long long>(registry.snapshots()),
@@ -279,22 +384,24 @@ cmdTrace(int argc, char **argv)
                  tracer.size(),
                  static_cast<unsigned long long>(tracer.total()),
                  tracer.localityScore());
-    if (json_path.empty() && metrics_path.empty())
+    if (va.jsonPath.empty() && va.metricsPath.empty())
         std::fprintf(rep, "  (use --json FILE / --metrics FILE to "
                           "export)\n");
 
-    if (!json_path.empty()) {
+    if (!va.jsonPath.empty()) {
         std::vector<obs::JsonSection> extra{{"trace", tracer.toJson()}};
-        if (!obs::writeExport(json_path,
-                              obs::exportJson(registry,
-                                              &obs::SpanTracker::global(),
-                                              extra))) {
-            lll_fatal("cannot write '%s'", json_path.c_str());
-        }
+        Status s = writeExportChecked(
+            va.jsonPath,
+            obs::exportJson(registry, &obs::SpanTracker::global(),
+                            extra));
+        if (!s.ok())
+            return failWith(s);
     }
-    if (!metrics_path.empty() &&
-        !obs::writeExport(metrics_path, obs::exportCsv(registry))) {
-        lll_fatal("cannot write '%s'", metrics_path.c_str());
+    if (!va.metricsPath.empty()) {
+        Status s = writeExportChecked(va.metricsPath,
+                                      obs::exportCsv(registry));
+        if (!s.ok())
+            return failWith(s);
     }
     return 0;
 }
@@ -304,15 +411,26 @@ cmdWalk(int argc, char **argv)
 {
     if (argc < 4)
         return usage();
-    workloads::WorkloadPtr w = workloads::workloadByName(argv[2]);
-    platforms::Platform p = platforms::byName(argv[3]);
-    core::Experiment exp(p, *w, profileFor(p));
-    core::Recipe recipe(p);
+    util::Result<workloads::WorkloadPtr> w =
+        workloads::findWorkload(argv[2]);
+    if (!w.ok())
+        return failWith(w.status());
+    util::Result<platforms::Platform> p = platforms::findPlatform(argv[3]);
+    if (!p.ok())
+        return failWith(p.status());
+    util::Result<xmem::LatencyProfile> prof = profileFor(*p);
+    if (!prof.ok())
+        return failWith(prof.status());
+    util::Result<core::Experiment> exp =
+        core::Experiment::create(*p, **w, prof.take());
+    if (!exp.ok())
+        return failWith(exp.status());
+    core::Recipe recipe(*p);
 
     OptSet state;
-    double base = exp.stage(state).throughput;
+    double base = exp->stage(state).throughput;
     for (int step = 0; step < 8; ++step) {
-        const core::StageMetrics &m = exp.stage(state);
+        const core::StageMetrics &m = exp->stage(state);
         core::RecipeDecision d = recipe.advise(m.analysis, state);
         std::printf("[%s] n_avg %.2f/%u, BW %.0f%%, cum %.2fx — %s\n",
                     state.label().c_str(), m.analysis.nAvg,
@@ -320,7 +438,7 @@ cmdWalk(int argc, char **argv)
                     m.throughput / base, d.summary.c_str());
         bool moved = false;
         for (Opt opt : d.recommendedOpts()) {
-            double s = exp.speedup(state, state.with(opt));
+            double s = exp->speedup(state, state.with(opt));
             std::printf("  %s -> %.2fx\n", workloads::optName(opt), s);
             if (s >= 1.02) {
                 state = state.with(opt);
@@ -332,7 +450,7 @@ cmdWalk(int argc, char **argv)
             break;
     }
     std::printf("final: [%s] %.2fx\n", state.label().c_str(),
-                exp.stage(state).throughput / base);
+                exp->stage(state).throughput / base);
     return 0;
 }
 
@@ -341,12 +459,21 @@ cmdTable(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
-    workloads::WorkloadPtr w = workloads::workloadByName(argv[2]);
+    util::Result<workloads::WorkloadPtr> w =
+        workloads::findWorkload(argv[2]);
+    if (!w.ok())
+        return failWith(w.status());
     Table t({"Proc", "Source", "BW_obs (GB/s)", "lat_avg (ns)", "n_avg",
              "Opt: measured", "paper"});
     for (const platforms::Platform &p : platforms::allPlatforms()) {
-        core::Experiment exp(p, *w, profileFor(p));
-        for (const core::TableRow &row : exp.paperTable()) {
+        util::Result<xmem::LatencyProfile> prof = profileFor(p);
+        if (!prof.ok())
+            return failWith(prof.status());
+        util::Result<core::Experiment> exp =
+            core::Experiment::create(p, **w, prof.take());
+        if (!exp.ok())
+            return failWith(exp.status());
+        for (const core::TableRow &row : exp->paperTable()) {
             std::string opt = row.optLabel;
             std::string paper = "-";
             if (row.speedup > 0.0) {
@@ -370,16 +497,63 @@ cmdRoofline(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
-    platforms::Platform p = platforms::byName(argv[2]);
-    core::Roofline roof(p, profileFor(p));
+    util::Result<platforms::Platform> p = platforms::findPlatform(argv[2]);
+    if (!p.ok())
+        return failWith(p.status());
+    util::Result<xmem::LatencyProfile> prof = profileFor(*p);
+    if (!prof.ok())
+        return failWith(prof.status());
+    core::Roofline roof(*p, prof.take());
     std::printf("%s: peak %.0f GFlop/s, BW roof %.0f GB/s, L1-MSHR "
                 "ceiling %.0f GB/s, L2-MSHR ceiling %.0f GB/s, ridge "
                 "%.2f flop/B\n",
-                p.name.c_str(), roof.peakGFlops(), roof.peakGBs(),
-                roof.mshrCeilingGBs(core::MshrLevel::L1, p.totalCores),
-                roof.mshrCeilingGBs(core::MshrLevel::L2, p.totalCores),
+                p->name.c_str(), roof.peakGFlops(), roof.peakGBs(),
+                roof.mshrCeilingGBs(core::MshrLevel::L1, p->totalCores),
+                roof.mshrCeilingGBs(core::MshrLevel::L2, p->totalCores),
                 roof.ridgeIntensity());
     return 0;
+}
+
+int
+cmdSelftest(int argc, char **argv)
+{
+    faultinject::Options opts;
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    util::Result<std::string> iters = takeFlag(args, "--iterations");
+    if (!iters.ok())
+        return failWith(iters.status());
+    if (!iters->empty()) {
+        char *end = nullptr;
+        long n = std::strtol(iters->c_str(), &end, 10);
+        if (*end != '\0' || n < 1) {
+            return failWith(Status::error(ErrorCode::InvalidArgument,
+                                          "--iterations wants a positive "
+                                          "integer, got '%s'",
+                                          iters->c_str()));
+        }
+        opts.fuzzIterations = static_cast<int>(n);
+    }
+    util::Result<std::string> seed = takeFlag(args, "--seed");
+    if (!seed.ok())
+        return failWith(seed.status());
+    if (!seed->empty())
+        opts.seed = std::strtoull(seed->c_str(), nullptr, 10);
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--verbose") {
+            opts.verbose = true;
+            args.erase(args.begin() + static_cast<long>(i--));
+        }
+    }
+    if (!args.empty()) {
+        return failWith(Status::error(ErrorCode::InvalidArgument,
+                                      "unknown selftest argument '%s'",
+                                      args.front().c_str()));
+    }
+
+    faultinject::Report report = faultinject::runAll(opts);
+    std::fputs(report.render(opts.verbose).c_str(), stdout);
+    return report.allPassed() ? 0 : 1;
 }
 
 } // namespace
@@ -408,5 +582,8 @@ main(int argc, char **argv)
         return cmdTable(argc, argv);
     if (cmd == "roofline")
         return cmdRoofline(argc, argv);
+    if (cmd == "selftest")
+        return cmdSelftest(argc, argv);
+    std::fprintf(stderr, "lll: unknown command '%s'\n", cmd.c_str());
     return usage();
 }
