@@ -1,0 +1,175 @@
+#include "analysis/determinism.hh"
+
+#include <cmath>
+
+#include "sim/validator.hh"
+
+namespace lll::analysis
+{
+
+using util::DiagnosticList;
+
+namespace
+{
+
+bool
+valuesDiffer(double baseline, double value, double rel_tolerance)
+{
+    if (baseline == value)
+        return false;
+    if (std::isnan(baseline) && std::isnan(value))
+        return false;
+    if (rel_tolerance <= 0.0)
+        return true;
+    const double scale =
+        std::max(std::fabs(baseline), std::fabs(value));
+    return std::fabs(baseline - value) > rel_tolerance * scale;
+}
+
+} // namespace
+
+DeterminismReport
+checkDeterminism(const Runner &runner, const DeterminismOptions &options,
+                 const std::string &subject)
+{
+    DeterminismReport report;
+    lll_assert(options.seeds.size() >= 2,
+               "determinism check needs a baseline and at least one "
+               "perturbed seed");
+
+    const MetricVector baseline = runner(options.seeds.front());
+    report.metricsCompared = baseline.size();
+    report.seedsRun = 1;
+
+    for (size_t s = 1; s < options.seeds.size(); ++s) {
+        const uint64_t seed = options.seeds[s];
+        const MetricVector run = runner(seed);
+        ++report.seedsRun;
+
+        if (run.size() != baseline.size()) {
+            report.deterministic = false;
+            report.diagnostics.error(
+                "LLL-DET-002", subject,
+                "tie-break seed 0x%llx produced %zu metrics where the "
+                "baseline produced %zu; the run's shape depends on "
+                "same-tick event order",
+                static_cast<unsigned long long>(seed), run.size(),
+                baseline.size());
+            continue;
+        }
+        for (size_t i = 0; i < run.size(); ++i) {
+            if (run[i].name != baseline[i].name) {
+                report.deterministic = false;
+                report.diagnostics.error(
+                    "LLL-DET-002", subject,
+                    "metric %zu is '%s' under tie-break seed 0x%llx "
+                    "but '%s' in the baseline",
+                    i, run[i].name.c_str(),
+                    static_cast<unsigned long long>(seed),
+                    baseline[i].name.c_str());
+                continue;
+            }
+            if (valuesDiffer(baseline[i].value, run[i].value,
+                             options.relTolerance)) {
+                report.deterministic = false;
+                report.diffs.push_back({run[i].name, seed,
+                                        baseline[i].value,
+                                        run[i].value});
+                report.diagnostics.error(
+                    "LLL-DET-001", subject,
+                    "metric '%s' depends on same-tick event pop order: "
+                    "%.17g (insertion order) vs %.17g (tie-break seed "
+                    "0x%llx) — simulator race",
+                    run[i].name.c_str(), baseline[i].value,
+                    run[i].value,
+                    static_cast<unsigned long long>(seed));
+            }
+        }
+    }
+    return report;
+}
+
+MetricVector
+runMetrics(const sim::RunResult &r)
+{
+    auto u = [](uint64_t v) { return static_cast<double>(v); };
+    return {
+        {"measure_seconds", r.measureSeconds},
+        {"work_done", r.workDone},
+        {"throughput", r.throughput},
+        {"ops_issued", u(r.opsIssued)},
+        {"read_gbs", r.readGBs},
+        {"write_gbs", r.writeGBs},
+        {"total_gbs", r.totalGBs},
+        {"demand_fraction", r.demandFraction},
+        {"mem_utilization", r.memUtilization},
+        {"avg_mem_latency_ns", r.avgMemLatencyNs},
+        {"p50_mem_latency_ns", r.p50MemLatencyNs},
+        {"p95_mem_latency_ns", r.p95MemLatencyNs},
+        {"p99_mem_latency_ns", r.p99MemLatencyNs},
+        {"avg_mem_outstanding", r.avgMemOutstanding},
+        {"avg_l1_mshr_occupancy", r.avgL1MshrOccupancy},
+        {"avg_l2_mshr_occupancy", r.avgL2MshrOccupancy},
+        {"max_l1_mshr_occupancy", r.maxL1MshrOccupancy},
+        {"max_l2_mshr_occupancy", r.maxL2MshrOccupancy},
+        {"l1_full_stalls", u(r.l1FullStalls)},
+        {"l2_full_stalls", u(r.l2FullStalls)},
+        {"l1_demand_misses", u(r.l1DemandMisses)},
+        {"l1_demand_hits", u(r.l1DemandHits)},
+        {"l2_demand_misses", u(r.l2DemandMisses)},
+        {"l2_demand_hits", u(r.l2DemandHits)},
+        {"hw_pref_issued", u(r.hwPrefIssued)},
+        {"hw_pref_useful", u(r.hwPrefUseful)},
+        {"sw_pref_issued", u(r.swPrefIssued)},
+        {"l2_prefetch_dropped", u(r.l2PrefetchDropped)},
+        {"mem_read_lines", u(r.memReadLines)},
+        {"mem_write_lines", u(r.memWriteLines)},
+        {"mem_hw_prefetch_lines", u(r.memHwPrefetchLines)},
+        {"mem_sw_prefetch_lines", u(r.memSwPrefetchLines)},
+    };
+}
+
+util::Result<DeterminismReport>
+checkRunDeterminism(const platforms::Platform &platform,
+                    const workloads::Workload &workload,
+                    const workloads::OptSet &opts,
+                    const DeterminismOptions &options)
+{
+    util::Result<sim::SystemParams> sys =
+        platform.trySysParams(platform.totalCores, opts.smtWays());
+    if (!sys.ok()) {
+        return sys.status().withContext(
+            "determinism check %s/%s [%s]", platform.name.c_str(),
+            workload.name().c_str(), opts.label().c_str());
+    }
+    const sim::KernelSpec spec = workload.spec(platform, opts);
+    LLL_RETURN_IF_ERROR(sim::validateKernelSpec(spec));
+
+    const std::string subject = platform.name + "/" + workload.name() +
+                                " [" + opts.label() + "]";
+
+    util::Status run_error = util::Status::okStatus();
+    Runner runner = [&](uint64_t seed) -> MetricVector {
+        sim::SystemParams params = *sys;
+        params.tieBreakSeed = seed;
+        sim::System system(params, spec);
+        util::Result<sim::RunResult> r =
+            system.runChecked(options.warmupUs, options.measureUs);
+        if (!r.ok()) {
+            if (run_error.ok())
+                run_error = r.status();
+            return {};
+        }
+        return runMetrics(*r);
+    };
+
+    DeterminismReport report =
+        checkDeterminism(runner, options, subject);
+    if (!run_error.ok()) {
+        return run_error.withContext(
+            "determinism check %s", subject.c_str());
+    }
+    return report;
+}
+
+} // namespace lll::analysis

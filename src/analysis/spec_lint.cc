@@ -1,0 +1,354 @@
+#include "analysis/spec_lint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/recipe.hh"
+#include "sim/validator.hh"
+#include "util/stats.hh"
+
+namespace lll::analysis
+{
+
+using util::DiagnosticList;
+using workloads::Opt;
+using workloads::OptSet;
+
+SpecBounds
+deriveBounds(const sim::SystemParams &sys, const sim::KernelSpec &spec)
+{
+    SpecBounds b;
+    b.l1Mshrs = sys.l1.mshrs;
+    b.l2Mshrs = sys.l2.mshrs;
+
+    b.exposedMlpPerThread = std::min<double>(spec.window, sys.lqSize);
+    b.exposedMlpPerCore = b.exposedMlpPerThread * sys.threadsPerCore;
+
+    double random_weight = 0.0, total_weight = 0.0;
+    for (const sim::StreamDesc &s : spec.streams) {
+        if (!(s.weight > 0.0) || !std::isfinite(s.weight))
+            continue;
+        total_weight += s.weight;
+        if (s.kind == sim::StreamDesc::Kind::Random)
+            random_weight += s.weight;
+    }
+    b.randomWeight = total_weight > 0.0 ? random_weight / total_weight
+                                        : 0.0;
+    b.randomDominated = b.randomWeight > 0.5;
+    b.prefetcherCovers = !b.randomDominated && sys.l2PrefetcherEnabled;
+
+    // Unloaded memory round trip: both private cache lookups plus the
+    // controller's request path, one bank service and the response path.
+    double idle = ticksToNs(sys.l1.accessLat + sys.l2.accessLat +
+                            (sys.hasL3 ? sys.l3.accessLat : 0));
+    idle += sys.mem.frontLatencyNs + sys.mem.bankServiceNs +
+            sys.mem.backLatencyNs;
+    b.idleLatencyNs = idle;
+
+    // Which queue caps in-flight lines: random misses hold L1 MSHRs for
+    // the full memory latency; prefetcher-covered streaming fills the
+    // (larger) L2 queue independently of the demand MLP the code
+    // exposes.
+    if (b.randomDominated) {
+        b.effectiveMlpPerCore =
+            std::min(b.exposedMlpPerCore, static_cast<double>(b.l1Mshrs));
+    } else if (b.prefetcherCovers || spec.swPrefetchL2) {
+        b.effectiveMlpPerCore = b.l2Mshrs;
+    } else {
+        b.effectiveMlpPerCore = std::min(
+            b.exposedMlpPerCore,
+            static_cast<double>(std::min(b.l1Mshrs, b.l2Mshrs)));
+    }
+
+    // Little's law (Eq. 2) solved for bandwidth: BW = n * cls / lat.
+    b.peakGBs = sys.mem.peakGBs;
+    if (idle > 0.0) {
+        const double per_line = sys.lineBytes / idle; // GB/s per request
+        b.l1CeilingGBs = sys.cores * b.l1Mshrs * per_line;
+        b.l2CeilingGBs = sys.cores * b.l2Mshrs * per_line;
+        b.mlpCeilingGBs = sys.cores * b.effectiveMlpPerCore * per_line;
+        if (sys.cores > 0) {
+            b.nAvgAtPeakPerCore =
+                b.peakGBs * idle / sys.lineBytes / sys.cores;
+        }
+    }
+    return b;
+}
+
+DiagnosticList
+lintSpec(const sim::SystemParams &sys, const sim::KernelSpec &spec,
+         const std::string &subject)
+{
+    DiagnosticList out;
+    out.append(sim::lintSystemParams(sys));
+    out.append(sim::lintKernelSpec(spec));
+    if (out.hasErrors()) {
+        // The bounds below divide by quantities the validators just
+        // rejected; an infeasible config gets no analytical findings.
+        out.setSubjects(subject);
+        return out;
+    }
+
+    const SpecBounds b = deriveBounds(sys, spec);
+
+    if (spec.window > sys.lqSize) {
+        out.warning("LLL-LINT-101", subject,
+                    "kernel exposes window=%u independent loads but the "
+                    "load queue holds only %u; exposed MLP is capped "
+                    "before any MSHR limit applies",
+                    spec.window, sys.lqSize);
+    }
+
+    if (b.mlpCeilingGBs < 0.05 * b.peakGBs) {
+        out.warning("LLL-LINT-102", subject,
+                    "effective MLP %.1f/core sustains at most %.1f GB/s "
+                    "(%.1f%% of the %.0f GB/s peak) at idle latency "
+                    "%.0f ns; the memory system is barely loaded and "
+                    "Little's-law analysis of this config will be "
+                    "vacuous",
+                    b.effectiveMlpPerCore, b.mlpCeilingGBs,
+                    100.0 * b.mlpCeilingGBs / b.peakGBs, b.peakGBs,
+                    b.idleLatencyNs);
+    }
+
+    if (b.nAvgAtPeakPerCore > b.l2Mshrs) {
+        out.warning("LLL-LINT-103", subject,
+                    "sustaining the declared peak %.0f GB/s needs "
+                    "n_avg %.1f lines in flight per core at idle "
+                    "latency %.0f ns, but the L2 MSHRQ holds only %u; "
+                    "cores can reach at most %.1f GB/s (loaded latency "
+                    "only lowers this)",
+                    b.peakGBs, b.nAvgAtPeakPerCore, b.idleLatencyNs,
+                    b.l2Mshrs, b.l2CeilingGBs);
+    }
+
+    out.note("LLL-LINT-104", subject,
+             "stream mix %.0f%% random by weight -> %s; predicted "
+             "limiter: %s MSHRQ (n_avg <= %.1f/core, node ceiling "
+             "%.1f GB/s)",
+             100.0 * b.randomWeight,
+             b.randomDominated ? "random-dominated" : "streaming",
+             b.randomDominated ? "L1" : "L2", b.effectiveMlpPerCore,
+             b.mlpCeilingGBs);
+
+    if (spec.swPrefetchL2) {
+        bool any_prefetchable = false;
+        for (const sim::StreamDesc &s : spec.streams)
+            any_prefetchable |= s.swPrefetchable;
+        if (!any_prefetchable) {
+            out.warning("LLL-LINT-105", subject,
+                        "software L2 prefetch is enabled but no stream "
+                        "is marked prefetchable; the optimization is "
+                        "vacuous and only pays its overhead");
+        }
+    }
+
+    uint64_t footprint_bytes = 0;
+    for (const sim::StreamDesc &s : spec.streams)
+        footprint_bytes += s.footprintLines * sys.lineBytes;
+    const uint64_t l1_bytes = static_cast<uint64_t>(sys.l1.sets) *
+                              sys.l1.ways * sys.lineBytes;
+    const uint64_t l2_bytes = static_cast<uint64_t>(sys.l2.sets) *
+                              sys.l2.ways * sys.lineBytes;
+    if (footprint_bytes <= l1_bytes) {
+        out.warning("LLL-LINT-106", subject,
+                    "total stream footprint (%llu B) fits in the L1 "
+                    "(%llu B); the kernel never exercises the memory "
+                    "system it is meant to characterize",
+                    static_cast<unsigned long long>(footprint_bytes),
+                    static_cast<unsigned long long>(l1_bytes));
+    } else if (footprint_bytes <= l2_bytes) {
+        out.note("LLL-LINT-107", subject,
+                 "total stream footprint (%llu B) fits in the L2 "
+                 "(%llu B); expect cache-resident behaviour, not "
+                 "memory-bound behaviour",
+                 static_cast<unsigned long long>(footprint_bytes),
+                 static_cast<unsigned long long>(l2_bytes));
+    }
+
+    out.setSubjects(subject);
+    return out;
+}
+
+namespace
+{
+
+/** All Opt values, in enum order (for reachability accounting). */
+constexpr Opt kAllOpts[] = {
+    Opt::Vectorize,  Opt::Smt2,      Opt::Smt4,   Opt::SwPrefetchL2,
+    Opt::Tiling,     Opt::UnrollJam, Opt::Fusion, Opt::Distribution,
+};
+
+} // namespace
+
+DiagnosticList
+lintRecipeReachability(const platforms::Platform &platform)
+{
+    // Probe the decision engine across its whole input space: both
+    // bandwidth regimes x both MSHR regimes x both access classes x
+    // representative occupancies, from both SMT starting states.  Any
+    // recommendation that never fires in this sweep can never fire at
+    // runtime either.
+    const core::Recipe recipe(platform);
+    bool fired[sizeof(kAllOpts) / sizeof(kAllOpts[0])] = {};
+
+    const OptSet applied_states[] = {OptSet{}, OptSet{Opt::Smt2}};
+    const double n_avgs[] = {0.5, 0.95 * platform.l1Mshrs,
+                             0.6 * platform.l2Mshrs};
+    for (bool near_bw : {false, true}) {
+        for (bool near_mshr : {false, true}) {
+            for (core::MshrLevel level :
+                 {core::MshrLevel::L1, core::MshrLevel::L2}) {
+                for (core::AccessClass cls :
+                     {core::AccessClass::Random,
+                      core::AccessClass::Streaming}) {
+                    for (double n_avg : n_avgs) {
+                        for (double demand : {0.2, 0.6}) {
+                            for (double pct : {0.3, 0.6}) {
+                                for (const OptSet &applied :
+                                     applied_states) {
+                                    core::Analysis a;
+                                    a.platform = platform.name;
+                                    a.nearBandwidthLimit = near_bw;
+                                    a.nearMshrLimit = near_mshr;
+                                    a.limitingLevel = level;
+                                    a.limitingMshrs =
+                                        level == core::MshrLevel::L1
+                                            ? platform.l1Mshrs
+                                            : platform.l2Mshrs;
+                                    a.accessClass = cls;
+                                    a.nAvg = n_avg;
+                                    a.demandFraction = demand;
+                                    a.demandFractionKnown = true;
+                                    a.pctPeak = pct;
+                                    a.bwGBs = pct * platform.peakGBs;
+                                    a.maxAchievableGBs =
+                                        0.8 * platform.peakGBs;
+                                    core::RecipeDecision d =
+                                        recipe.advise(a, applied);
+                                    for (const core::Recommendation &r :
+                                         d.recommendations) {
+                                        if (!r.recommended)
+                                            continue;
+                                        for (size_t i = 0;
+                                             i < std::size(kAllOpts);
+                                             ++i) {
+                                            if (kAllOpts[i] == r.opt)
+                                                fired[i] = true;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    DiagnosticList out;
+    for (size_t i = 0; i < std::size(kAllOpts); ++i) {
+        if (fired[i])
+            continue;
+        const Opt opt = kAllOpts[i];
+        const unsigned want_ways =
+            opt == Opt::Smt2 ? 2 : (opt == Opt::Smt4 ? 4 : 0);
+        if (want_ways != 0 && platform.maxSmtWays < want_ways) {
+            out.note("LLL-RCP-001", platform.name,
+                     "recipe state '%s' is statically unreachable: "
+                     "%s supports at most %u-way SMT",
+                     workloads::optName(opt), platform.name.c_str(),
+                     platform.maxSmtWays);
+        } else {
+            out.note("LLL-RCP-002", platform.name,
+                     "recipe never recommends '%s' on %s in any "
+                     "analysis state (dead recommendation)",
+                     workloads::optName(opt), platform.name.c_str());
+        }
+    }
+    return out;
+}
+
+ConfigLint
+lintConfig(const platforms::Platform &platform,
+           const workloads::Workload &workload, const OptSet &opts)
+{
+    ConfigLint cl;
+    cl.subject = platform.name + "/" + workload.name() + " [" +
+                 opts.label() + "]";
+
+    util::Result<sim::SystemParams> sys =
+        platform.trySysParams(platform.totalCores, opts.smtWays());
+    if (!sys.ok()) {
+        cl.diagnostics.error("LLL-PLAT-001", cl.subject, "%s",
+                             sys.status().message().c_str());
+        return cl;
+    }
+
+    const sim::KernelSpec spec = workload.spec(platform, opts);
+    cl.diagnostics = lintSpec(*sys, spec, cl.subject);
+    if (cl.diagnostics.hasErrors())
+        return cl;
+
+    cl.bounds = deriveBounds(*sys, spec);
+    cl.boundsValid = true;
+
+    // The workload model's a-priori access-pattern hint must agree
+    // with what its own stream mix implies, or the analyzer and the
+    // simulator will reason about two different routines.
+    if (workload.randomDominated() != cl.bounds.randomDominated) {
+        cl.diagnostics.warning(
+            "LLL-LINT-108", cl.subject,
+            "workload model declares the routine %s but its stream mix "
+            "is %.0f%% random by weight (%s); analyzer hint and "
+            "simulated kernel disagree",
+            workload.randomDominated() ? "random-dominated"
+                                       : "streaming",
+            100.0 * cl.bounds.randomWeight,
+            cl.bounds.randomDominated ? "random-dominated"
+                                      : "streaming");
+    }
+    return cl;
+}
+
+std::string
+boundsJson(const SpecBounds &b, int indent)
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    std::ostringstream out;
+    char buf[160];
+    auto num = [&buf](double v) {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return std::string(buf);
+    };
+    out << "{\n"
+        << pad << "  \"exposed_mlp_per_thread\": "
+        << num(b.exposedMlpPerThread) << ",\n"
+        << pad << "  \"exposed_mlp_per_core\": "
+        << num(b.exposedMlpPerCore) << ",\n"
+        << pad << "  \"l1_mshrs\": " << b.l1Mshrs << ",\n"
+        << pad << "  \"l2_mshrs\": " << b.l2Mshrs << ",\n"
+        << pad << "  \"effective_mlp_per_core\": "
+        << num(b.effectiveMlpPerCore) << ",\n"
+        << pad << "  \"idle_latency_ns\": " << num(b.idleLatencyNs)
+        << ",\n"
+        << pad << "  \"peak_gbs\": " << num(b.peakGBs) << ",\n"
+        << pad << "  \"l1_ceiling_gbs\": " << num(b.l1CeilingGBs)
+        << ",\n"
+        << pad << "  \"l2_ceiling_gbs\": " << num(b.l2CeilingGBs)
+        << ",\n"
+        << pad << "  \"mlp_ceiling_gbs\": " << num(b.mlpCeilingGBs)
+        << ",\n"
+        << pad << "  \"n_avg_at_peak_per_core\": "
+        << num(b.nAvgAtPeakPerCore) << ",\n"
+        << pad << "  \"random_weight\": " << num(b.randomWeight) << ",\n"
+        << pad << "  \"random_dominated\": "
+        << (b.randomDominated ? "true" : "false") << ",\n"
+        << pad << "  \"prefetcher_covers\": "
+        << (b.prefetcherCovers ? "true" : "false") << "\n"
+        << pad << "}";
+    return out.str();
+}
+
+} // namespace lll::analysis

@@ -10,11 +10,17 @@
  *   3. run/profile a routine      core::Experiment / counters::*
  *   4. derive the MLP             core::Analyzer (Little's law, Eq. 2)
  *   5. ask for guidance           core::Recipe (paper Fig. 1)
+ *
+ * Before step 3, analysis::lintConfig() statically checks the config
+ * (`lll lint`); analysis::checkRunDeterminism() guards the simulator
+ * against event-order races.
  */
 
 #ifndef LLL_LLL_HH
 #define LLL_LLL_HH
 
+#include "analysis/determinism.hh"
+#include "analysis/spec_lint.hh"
 #include "core/analyzer.hh"
 #include "core/experiment.hh"
 #include "core/littles_law.hh"

@@ -128,10 +128,13 @@ Cache::tryAccess(MemRequest *req)
             // Fill request from the level above: respond with the line.
             MemRequest *resp = req;
             eq_.schedule(now + params_.accessLat,
+                         fillPrio(*resp->origin, resp->lineAddr),
                          [resp] { resp->origin->handleFill(resp); });
         } else if (req->requester) {
             MemRequest *op = req;
             eq_.schedule(now + params_.accessLat,
+                         schedPrio(SchedBand::Thread,
+                                   schedThreadKey(op->core, op->thread)),
                          [op] { op->requester->opComplete(op); });
         } else {
             pool_.free(req);
@@ -169,9 +172,9 @@ Cache::tryAccess(MemRequest *req)
     fill->thread = req->thread;
     fill->issued = now;
     fill->origin = this;
-    eq_.schedule(now + params_.accessLat, [this, fill] {
-        sendDownstream(fill);
-    });
+    eq_.schedule(now + params_.accessLat,
+                 sendPrio(*this, fill->core, fill->thread, fill->lineAddr),
+                 [this, fill] { sendDownstream(fill); });
 
     if (prefetcher_ && isDemand(req->type))
         prefetcher_->observe(req->lineAddr, req->core);
@@ -225,9 +228,9 @@ Cache::startPrefetch(uint64_t lineAddr, ReqType type, int core, int thread)
     fill->thread = thread;
     fill->issued = now;
     fill->origin = this;
-    eq_.schedule(now + params_.accessLat, [this, fill] {
-        sendDownstream(fill);
-    });
+    eq_.schedule(now + params_.accessLat,
+                 sendPrio(*this, fill->core, fill->thread, fill->lineAddr),
+                 [this, fill] { sendDownstream(fill); });
 }
 
 void
@@ -290,10 +293,14 @@ Cache::completeTargets(Mshr *mshr)
             line->dirty = true;
         if (target->origin) {
             MemRequest *resp = target;
-            eq_.schedule(now, [resp] { resp->origin->handleFill(resp); });
+            eq_.schedule(now, fillPrio(*resp->origin, resp->lineAddr),
+                         [resp] { resp->origin->handleFill(resp); });
         } else if (target->requester) {
             MemRequest *op = target;
-            eq_.schedule(now, [op] { op->requester->opComplete(op); });
+            eq_.schedule(now,
+                         schedPrio(SchedBand::Thread,
+                                   schedThreadKey(op->core, op->thread)),
+                         [op] { op->requester->opComplete(op); });
         } else {
             pool_.free(target);
         }

@@ -71,6 +71,11 @@ class Cache : public MemLevel
         /** Hash the set index (shared LLCs use hashed indexing to spread
          *  correlated streams; L1/L2 use plain low bits). */
         bool hashedSets = false;
+
+        /** Unique component id ordering this cache's same-tick events
+         *  against other components' (see SchedBand); assigned by
+         *  System, 0 for standalone test caches. */
+        unsigned schedActor = 0;
     };
 
     struct CacheStats
@@ -122,6 +127,7 @@ class Cache : public MemLevel
     const MshrQueue &mshrs() const { return mshrs_; }
     const CacheStats &stats() const { return stats_; }
     const Params &params() const { return params_; }
+    unsigned schedActor() const { return params_.schedActor; }
 
     /**
      * Publish hit/miss/prefetch counters under @p prefix (export-time
@@ -198,6 +204,36 @@ class Cache : public MemLevel
 
     std::vector<std::function<void()>> retryWaiters_;
 };
+
+/**
+ * Priority for delivering a fill of @p lineAddr into @p cache: fills to
+ * different caches order by component, same-tick fills into one cache
+ * order by (mixed) line address, so LRU state never depends on pop
+ * order.  Two fills for one line cannot coexist (one MSHR per line).
+ */
+inline uint64_t
+fillPrio(const Cache &cache, uint64_t lineAddr)
+{
+    return schedPrio(SchedBand::Fill,
+                     (static_cast<uint64_t>(cache.schedActor()) << 44) |
+                         (schedMix64(lineAddr) >> 20));
+}
+
+/**
+ * Priority for moving a miss of @p lineAddr from @p cache downstream on
+ * behalf of (@p core, @p thread): ordered by component, then requesting
+ * thread (fixed arbitration for downstream MSHRs and controller banks),
+ * then line address.
+ */
+inline uint64_t
+sendPrio(const Cache &cache, int core, int thread, uint64_t lineAddr)
+{
+    return schedPrio(
+        SchedBand::Send,
+        (static_cast<uint64_t>(cache.schedActor()) << 44) |
+            ((schedThreadKey(core, thread) & 0xfff) << 32) |
+            (schedMix64(lineAddr) >> 32));
+}
 
 } // namespace lll::sim
 

@@ -37,8 +37,11 @@ CoreModel::compute(unsigned thread, double cycles,
     lll_assert(thread < threadGate_.size(), "bad thread id %u", thread);
     const Tick now = eq_.now();
 
+    const uint64_t prio =
+        schedPrio(SchedBand::Thread, schedThreadKey(params_.id,
+                                                    static_cast<int>(thread)));
     if (cycles <= 0.0) {
-        eq_.schedule(now, std::move(done));
+        eq_.schedule(now, prio, std::move(done));
         return;
     }
 
@@ -59,7 +62,7 @@ CoreModel::compute(unsigned thread, double cycles,
     threadGate_[thread] = thread_start + thread_ticks;
 
     Tick done_at = std::max(serverFreeAt_, threadGate_[thread]);
-    eq_.schedule(done_at, std::move(done));
+    eq_.schedule(done_at, prio, std::move(done));
 }
 
 void

@@ -2,11 +2,29 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single global event queue orders callbacks by (tick, insertion
- * sequence); insertion order breaks ties so simulations are fully
- * deterministic.  One tick is one picosecond (see util/stats.hh), which
- * comfortably expresses core clocks from 1.4 to 2.1 GHz without rounding
- * drift over the millisecond-scale windows this project simulates.
+ * A single global event queue orders callbacks by (tick, priority,
+ * insertion sequence).  One tick is one picosecond (see util/stats.hh),
+ * which comfortably expresses core clocks from 1.4 to 2.1 GHz without
+ * rounding drift over the millisecond-scale windows this project
+ * simulates.
+ *
+ * The priority pins every same-tick ordering the model's outcome is
+ * allowed to depend on.  Handlers that touch shared state (MSHR slots,
+ * the core's shared issue server, controller bank queues, cache LRU
+ * state) must schedule with a priority that totally orders them against
+ * every other handler they can interact with — see SchedBand below.
+ * Two events left at the *same* (tick, priority) thereby assert that
+ * their handlers commute; nothing about the outcome may depend on which
+ * pops first.
+ *
+ * That assertion is checkable.  For the determinism checker
+ * (analysis/determinism.hh) the residual tie-break among equal
+ * (tick, priority) events can be permuted with a seed: instead of the
+ * raw insertion sequence, ties compare a seeded bijective mix of it.
+ * Event timing and all pinned ordering are unchanged — only the pop
+ * order of events that *claim* to commute moves — so any simulation
+ * whose results shift under a nonzero seed has a handler whose effect
+ * depends on unspecified scheduling order: a simulator race.
  */
 
 #ifndef LLL_SIM_EVENT_QUEUE_HH
@@ -24,6 +42,63 @@ namespace lll::sim
 {
 
 /**
+ * Same-tick scheduling bands, popped in enum order within one tick.
+ * Resources are released before anyone claims them: fills first, then
+ * in-flight miss traffic, then thread issue slots, with bookkeeping
+ * last so it observes the tick's final state.
+ */
+enum class SchedBand : uint64_t
+{
+    Fill = 1,         //!< fill delivery into a cache (frees MSHRs)
+    Send = 2,         //!< miss traffic moving downstream (claims
+                      //!< downstream MSHRs / controller banks)
+    Thread = 3,       //!< per-thread compute-done and op-complete
+    Default = 4,      //!< unclassified (plain two-argument schedule())
+    Housekeeping = 5, //!< sampler and watchdog
+};
+
+/**
+ * Compose a scheduling priority: the band orders event *kinds* within
+ * a tick, the 56-bit key orders actors within a band (component ids,
+ * thread ids, line-address hashes).  Events that may interact must end
+ * up with distinct priorities; events sharing one assert commutativity.
+ */
+constexpr uint64_t
+schedPrio(SchedBand band, uint64_t key = 0)
+{
+    return (static_cast<uint64_t>(band) << 56) |
+           (key & ((uint64_t{1} << 56) - 1));
+}
+
+/**
+ * Arbitration key for events acting on behalf of one hardware thread
+ * (lower key issues first at a tick: fixed-priority arbitration, like
+ * a hardware arbiter).  thread -1 (a per-core agent such as the stream
+ * prefetcher) sorts ahead of that core's threads.
+ */
+constexpr uint64_t
+schedThreadKey(int core, int thread)
+{
+    return (static_cast<uint64_t>(core) + 1) * 8 +
+           static_cast<uint64_t>(thread + 1);
+}
+
+/**
+ * splitmix64 finalizer: a bijection on uint64_t, so distinct inputs
+ * keep distinct outputs while the relative order is effectively
+ * random.  Used both for the determinism checker's tie-break
+ * permutation and to spread line addresses across priority keys.
+ */
+constexpr uint64_t
+schedMix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
  * The event queue: schedule() callbacks in the future, then run().
  *
  * Not thread safe; a System owns exactly one queue and all components
@@ -37,14 +112,41 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    /**
+     * Permute the pop order of equal-(tick, priority) events.  Seed 0
+     * (default) keeps insertion order; any other value orders ties by
+     * splitmix64(seq ^ seed) — a bijection, so the order is still a
+     * total, deterministic one, just a different one per seed.  Must be
+     * set before the first event is scheduled.
+     */
     void
-    schedule(Tick when, Callback cb)
+    setTieBreakSeed(uint64_t seed)
+    {
+        lll_assert(heap_.empty() && processed_ == 0,
+                   "tie-break seed must be set before any event");
+        tieSeed_ = seed;
+    }
+
+    uint64_t tieBreakSeed() const { return tieSeed_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when (>= now), ordered
+     * among same-tick events by @p prio (see schedPrio()).
+     */
+    void
+    schedule(Tick when, uint64_t prio, Callback cb)
     {
         lll_assert(when >= now_, "scheduling in the past (%llu < %llu)",
                    static_cast<unsigned long long>(when),
                    static_cast<unsigned long long>(now_));
-        heap_.push(Item{when, seq_++, std::move(cb)});
+        heap_.push(Item{when, prio, tieKey(seq_++), std::move(cb)});
+    }
+
+    /** Schedule @p cb at @p when in the Default band. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        schedule(when, schedPrio(SchedBand::Default), std::move(cb));
     }
 
     /** Schedule @p cb to run @p delay ticks from now. */
@@ -52,6 +154,13 @@ class EventQueue
     scheduleIn(Tick delay, Callback cb)
     {
         schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Schedule @p cb @p delay ticks from now with priority @p prio. */
+    void
+    scheduleIn(Tick delay, uint64_t prio, Callback cb)
+    {
+        schedule(now_ + delay, prio, std::move(cb));
     }
 
     /**
@@ -108,19 +217,31 @@ class EventQueue
     struct Item
     {
         Tick when;
-        uint64_t seq;
+        uint64_t prio; //!< pinned same-tick order (schedPrio)
+        uint64_t key;  //!< tie-break: seq, or its seeded permutation
         Callback cb;
 
         bool
         operator>(const Item &o) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return key > o.key;
         }
     };
+
+    uint64_t
+    tieKey(uint64_t seq) const
+    {
+        return tieSeed_ == 0 ? seq : schedMix64(seq ^ tieSeed_);
+    }
 
     std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
     Tick now_ = 0;
     uint64_t seq_ = 0;
+    uint64_t tieSeed_ = 0;
     uint64_t processed_ = 0;
     bool stopRequested_ = false;
 };

@@ -109,10 +109,11 @@ MemCtrl::tryAccess(MemRequest *req)
 
     lll_assert(req->origin != nullptr, "memory read without origin cache");
     MemRequest *fill = req;
-    eq_.schedule(resp, [this, fill] {
-        outstanding_.add(eq_.now(), -1.0);
-        fill->origin->handleFill(fill);
-    });
+    eq_.schedule(resp, fillPrio(*fill->origin, fill->lineAddr),
+                 [this, fill] {
+                     outstanding_.add(eq_.now(), -1.0);
+                     fill->origin->handleFill(fill);
+                 });
     return true;
 }
 

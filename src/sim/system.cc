@@ -21,6 +21,8 @@ System::System(const SystemParams &params, std::vector<PhaseSpec> phases)
     lll_assert(params_.cores >= 1, "system needs at least one core");
     lll_assert(params_.threadsPerCore >= 1, "need at least one thread");
 
+    eq_.setTieBreakSeed(params_.tieBreakSeed);
+
     MemCtrl::Params mem_params = params_.mem;
     mem_params.lineBytes = params_.lineBytes;
     mem_ = std::make_unique<MemCtrl>(mem_params, eq_, pool_);
@@ -29,6 +31,7 @@ System::System(const SystemParams &params, std::vector<PhaseSpec> phases)
     if (params_.hasL3) {
         Cache::Params l3p = params_.l3;
         l3p.level = 3;
+        l3p.schedActor = 1;
         l3_ = std::make_unique<Cache>(l3p, eq_, pool_);
         l3_->setDownstream(mem_.get());
         below_l2 = l3_.get();
@@ -45,6 +48,7 @@ System::System(const SystemParams &params, std::vector<PhaseSpec> phases)
         Cache::Params l2p = params_.l2;
         l2p.name = params_.l2.name + "." + std::to_string(c);
         l2p.level = 2;
+        l2p.schedActor = 2 + 2 * static_cast<unsigned>(c);
         l2s_.push_back(std::make_unique<Cache>(l2p, eq_, pool_));
         l2s_.back()->setDownstream(below_l2);
         if (l3_)
@@ -63,6 +67,7 @@ System::System(const SystemParams &params, std::vector<PhaseSpec> phases)
         Cache::Params l1p = params_.l1;
         l1p.name = params_.l1.name + "." + std::to_string(c);
         l1p.level = 1;
+        l1p.schedActor = 3 + 2 * static_cast<unsigned>(c);
         l1s_.push_back(std::make_unique<Cache>(l1p, eq_, pool_));
         l1s_.back()->setDownstream(l2s_.back().get());
 
@@ -135,19 +140,21 @@ System::attachObservability(obs::MetricRegistry &registry,
 void
 System::scheduleSample()
 {
-    eq_.scheduleIn(sampler_->cadence(), [this] {
-        if (!sampler_ || !sampler_->armed())
-            return;
-        sampler_->sample(eq_.now());
-        scheduleSample();
-    });
+    eq_.scheduleIn(sampler_->cadence(),
+                   schedPrio(SchedBand::Housekeeping, 0), [this] {
+                       if (!sampler_ || !sampler_->armed())
+                           return;
+                       sampler_->sample(eq_.now());
+                       scheduleSample();
+                   });
 }
 
 void
 System::scheduleWatchdog()
 {
     const Tick cadence = nsToTicks(params_.watchdog.cadenceUs * 1000.0);
-    eq_.scheduleIn(cadence, [this, cadence] {
+    eq_.scheduleIn(cadence, schedPrio(SchedBand::Housekeeping, 1),
+                   [this, cadence] {
         if (wdTripped_)
             return;
         const uint64_t delta = eq_.processed() - wdLastProcessed_;

@@ -80,6 +80,11 @@ struct SystemParams
     WatchdogParams watchdog;
 
     uint64_t seed = 1;
+
+    /** Permutes pop order of equal-tick events (0 = insertion order);
+     *  only the determinism checker should set this — see
+     *  EventQueue::setTieBreakSeed(). */
+    uint64_t tieBreakSeed = 0;
 };
 
 /**

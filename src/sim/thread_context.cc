@@ -83,6 +83,12 @@ ThreadContext::tryIssue()
     if (!computeReady_)
         return;
 
+    // An L1 retry is already registered: let it do the issuing.  Issuing
+    // from another trigger (a same-tick load completion, say) would make
+    // the stall accounting depend on which event popped first.
+    if (waitingRetry_)
+        return;
+
     PhaseState &st = states_[phase_];
     const KernelSpec &k = st.phase.spec;
 

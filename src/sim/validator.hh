@@ -4,10 +4,16 @@
  *
  * Every knob a user (or a fuzzer) can reach — SystemParams, cache
  * geometry, memory-controller bank math, KernelSpec stream mixes — is
- * checked here and rejected with a structured FailedPrecondition error
- * *before* a System is built.  The System constructor itself keeps only
- * lll_assert()s: once callers validate, an invalid configuration
- * reaching construction is a library bug.
+ * checked here and rejected *before* a System is built.  The System
+ * constructor itself keeps only lll_assert()s: once callers validate,
+ * an invalid configuration reaching construction is a library bug.
+ *
+ * Each check emits a structured util::Diagnostic with a stable ID
+ * (`LLL-SPEC-0xx` for SystemParams, `LLL-KRN-0xx` for KernelSpec; see
+ * DESIGN.md §10), so `lll lint` and System construction report the
+ * same finding identically.  The lint*() functions collect *every*
+ * violated check; the validate*() wrappers keep the original Status
+ * surface (first error, FailedPrecondition) for existing callers.
  */
 
 #ifndef LLL_SIM_VALIDATOR_HH
@@ -15,6 +21,7 @@
 
 #include "sim/kernel_spec.hh"
 #include "sim/system.hh"
+#include "util/diagnostic.hh"
 #include "util/status.hh"
 
 namespace lll::sim
@@ -25,8 +32,9 @@ namespace lll::sim
  * LLC, where 0 MSHRs legitimately means "unbounded" (the paper does not
  * model the LLC as a limiter).
  */
-util::Status validateCacheParams(const Cache::Params &params,
-                                 const char *what, bool mshrs_required);
+util::DiagnosticList lintCacheParams(const Cache::Params &params,
+                                     const char *what,
+                                     bool mshrs_required);
 
 /**
  * Check a full node description: core/SMT counts against the capacity
@@ -35,10 +43,17 @@ util::Status validateCacheParams(const Cache::Params &params,
  * an explicit bank override can actually sustain the declared peak
  * bandwidth (banks * lineBytes / bankServiceNs >= peakGBs).
  */
-util::Status validateSystemParams(const SystemParams &params);
+util::DiagnosticList lintSystemParams(const SystemParams &params);
 
 /** Check a routine model: nonempty stream mix with positive weights and
  *  footprints, sane window / compute / prefetch knobs. */
+util::DiagnosticList lintKernelSpec(const KernelSpec &spec);
+
+/** Status views of the lints above: OK, or FailedPrecondition carrying
+ *  the first error's "LLL-…-0xx: message" text. */
+util::Status validateCacheParams(const Cache::Params &params,
+                                 const char *what, bool mshrs_required);
+util::Status validateSystemParams(const SystemParams &params);
 util::Status validateKernelSpec(const KernelSpec &spec);
 
 } // namespace lll::sim

@@ -1,0 +1,186 @@
+#include "util/diagnostic.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace lll::util
+{
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Note:
+        return "note";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::string out = severityName(severity);
+    out += " ";
+    out += id;
+    if (!subject.empty()) {
+        out += " [";
+        out += subject;
+        out += "]";
+    }
+    out += ": ";
+    out += message;
+    return out;
+}
+
+void
+DiagnosticList::vadd(Severity sev, const char *id, std::string subject,
+                     const char *fmt, va_list ap)
+{
+    Diagnostic d;
+    d.id = id;
+    d.severity = sev;
+    d.subject = std::move(subject);
+    d.message = detail::vformat(fmt, ap);
+    diags_.push_back(std::move(d));
+}
+
+void
+DiagnosticList::error(const char *id, std::string subject,
+                      const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vadd(Severity::Error, id, std::move(subject), fmt, ap);
+    va_end(ap);
+}
+
+void
+DiagnosticList::warning(const char *id, std::string subject,
+                        const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vadd(Severity::Warning, id, std::move(subject), fmt, ap);
+    va_end(ap);
+}
+
+void
+DiagnosticList::note(const char *id, std::string subject, const char *fmt,
+                     ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vadd(Severity::Note, id, std::move(subject), fmt, ap);
+    va_end(ap);
+}
+
+void
+DiagnosticList::append(const DiagnosticList &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+void
+DiagnosticList::setSubjects(const std::string &subject)
+{
+    for (Diagnostic &d : diags_)
+        d.subject = subject;
+}
+
+size_t
+DiagnosticList::count(Severity s) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diags_) {
+        if (d.severity == s)
+            ++n;
+    }
+    return n;
+}
+
+Status
+DiagnosticList::toStatus(ErrorCode code) const
+{
+    for (const Diagnostic &d : diags_) {
+        if (d.severity == Severity::Error)
+            return Status(code, d.id + ": " + d.message);
+    }
+    return Status::okStatus();
+}
+
+std::string
+DiagnosticList::renderText() const
+{
+    std::string out;
+    for (const Diagnostic &d : diags_) {
+        out += d.toString();
+        out += "\n";
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Minimal JSON string escape (the exporters in obs/ have their own;
+ *  diagnostics must stay usable without the obs library). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+DiagnosticList::renderJson(int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    std::ostringstream out;
+    out << "[";
+    for (size_t i = 0; i < diags_.size(); ++i) {
+        const Diagnostic &d = diags_[i];
+        out << (i ? "," : "") << "\n"
+            << pad << "  {\"id\": \"" << jsonEscape(d.id)
+            << "\", \"severity\": \"" << severityName(d.severity)
+            << "\", \"subject\": \"" << jsonEscape(d.subject)
+            << "\", \"message\": \"" << jsonEscape(d.message) << "\"}";
+    }
+    if (!diags_.empty())
+        out << "\n" << pad;
+    out << "]";
+    return out.str();
+}
+
+} // namespace lll::util

@@ -18,6 +18,14 @@ allWorkloads()
     return all;
 }
 
+std::vector<WorkloadPtr>
+allWorkloadsAndExtensions()
+{
+    std::vector<WorkloadPtr> all = allWorkloads();
+    all.push_back(makeDgemm());
+    return all;
+}
+
 util::Result<WorkloadPtr>
 findWorkload(const std::string &name)
 {

@@ -97,6 +97,10 @@ WorkloadPtr makeDgemm();
 /** All six, in paper Table II order. */
 std::vector<WorkloadPtr> allWorkloads();
 
+/** The full registry `lll lint` walks: Table II plus extensions
+ *  (currently dgemm). */
+std::vector<WorkloadPtr> allWorkloadsAndExtensions();
+
 /** Look up by short id; NotFound (listing valid ids) if unknown. */
 util::Result<WorkloadPtr> findWorkload(const std::string &name);
 

@@ -22,3 +22,23 @@ expect_exit(2 selftest --iterations nope)    # malformed flag value
 expect_exit(2 selftest --iterations)         # dangling flag
 expect_exit(3 analyze isx nope)              # unknown platform
 expect_exit(3 analyze nope skl)              # unknown workload
+
+# Unknown flags/operands after a valid subcommand are usage errors on
+# every subcommand, not just analyze.
+expect_exit(2 platforms --bogus)
+expect_exit(2 workloads --bogus)
+expect_exit(2 vendors extra)
+expect_exit(2 characterize skl --bogus)
+expect_exit(2 walk isx skl --bogus)
+expect_exit(2 table isx extra)
+expect_exit(2 roofline skl --bogus)
+
+# lint: usage errors exit 2, infeasible configs exit 3 with LLL-PLAT-001.
+expect_exit(2 lint isx)                      # platform missing
+expect_exit(2 lint isx skl nonsense-opt)     # unknown optimization
+expect_exit(2 lint --json)                   # dangling flag
+expect_exit(2 lint isx skl --bogus)          # unknown flag
+expect_exit(3 lint isx nope)                 # unknown platform
+expect_exit(3 lint nope skl)                 # unknown workload
+expect_exit(3 lint isx skl 4-ht)             # statically infeasible
+expect_exit(0 lint isx skl)                  # feasible spec lints clean

@@ -1,0 +1,41 @@
+# Golden-file test for `lll lint` text and JSON reports.  Lint is a pure
+# function of the static platform/workload tables (no profile, no event
+# queue), so its output is byte-reproducible and any drift is a
+# deliberate diagnostic change — regenerate with:
+#   lll lint isx skl            > tests/golden/lint_feasible.txt
+#   lll lint isx skl 4-ht       > tests/golden/lint_infeasible.txt
+#   lll lint isx skl --json tests/golden/lint_feasible.json
+#   lll lint isx skl 4-ht --json tests/golden/lint_infeasible.json
+# Run via: cmake -DLLL_BIN=... -DGOLDEN_DIR=... -DWORK_DIR=... -P lint_golden.cmake
+
+function(check_case name expected_exit)
+    set(json "${WORK_DIR}/lint_golden_${name}.json")
+    execute_process(COMMAND ${LLL_BIN} lint ${ARGN} --json ${json}
+                    RESULT_VARIABLE got_exit
+                    OUTPUT_VARIABLE got_text
+                    ERROR_QUIET)
+    if(NOT got_exit EQUAL ${expected_exit})
+        message(FATAL_ERROR "lll lint ${ARGN}: expected exit "
+                            "${expected_exit}, got ${got_exit}")
+    endif()
+
+    file(READ "${GOLDEN_DIR}/lint_${name}.txt" want_text)
+    if(NOT got_text STREQUAL want_text)
+        file(WRITE "${WORK_DIR}/lint_golden_${name}.txt" "${got_text}")
+        message(FATAL_ERROR
+            "lll lint ${ARGN}: text differs from golden "
+            "${GOLDEN_DIR}/lint_${name}.txt (actual saved to "
+            "${WORK_DIR}/lint_golden_${name}.txt)")
+    endif()
+
+    file(READ "${json}" got_json)
+    file(READ "${GOLDEN_DIR}/lint_${name}.json" want_json)
+    if(NOT got_json STREQUAL want_json)
+        message(FATAL_ERROR
+            "lll lint ${ARGN}: JSON differs from golden "
+            "${GOLDEN_DIR}/lint_${name}.json (actual in ${json})")
+    endif()
+endfunction()
+
+check_case(feasible 0 isx skl)
+check_case(infeasible 3 isx skl 4-ht)

@@ -107,6 +107,84 @@ TEST(EventQueueTest, ProcessedCounts)
     EXPECT_EQ(eq.processed(), 7u);
 }
 
+TEST(EventQueueTest, PriorityOrdersSameTickAcrossBands)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(42, schedPrio(SchedBand::Housekeeping),
+                [&] { order.push_back(4); });
+    eq.schedule(42, schedPrio(SchedBand::Thread, schedThreadKey(0, 0)),
+                [&] { order.push_back(3); });
+    eq.schedule(42, schedPrio(SchedBand::Send), [&] { order.push_back(2); });
+    eq.schedule(42, schedPrio(SchedBand::Fill), [&] { order.push_back(1); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PriorityNeverOutranksTime)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, schedPrio(SchedBand::Housekeeping),
+                [&] { order.push_back(1); });
+    eq.schedule(20, schedPrio(SchedBand::Fill), [&] { order.push_back(2); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, ThreadKeysArbitrateLowestCoreAndThreadFirst)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(42, schedPrio(SchedBand::Thread, schedThreadKey(1, 0)),
+                [&] { order.push_back(10); });
+    eq.schedule(42, schedPrio(SchedBand::Thread, schedThreadKey(0, 1)),
+                [&] { order.push_back(1); });
+    eq.schedule(42, schedPrio(SchedBand::Thread, schedThreadKey(0, -1)),
+                [&] { order.push_back(0); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 10}));
+}
+
+TEST(EventQueueTest, TieBreakSeedPermutesOnlyEqualPriorityTies)
+{
+    // Within one (tick, priority) class the seeded permutation may
+    // reorder; across priorities the pinned order must survive any seed.
+    auto run = [](uint64_t seed) {
+        EventQueue eq;
+        eq.setTieBreakSeed(seed);
+        std::vector<int> order;
+        eq.schedule(42, schedPrio(SchedBand::Thread, 7),
+                    [&] { order.push_back(100); });
+        for (int i = 0; i < 6; ++i)
+            eq.schedule(42, schedPrio(SchedBand::Fill),
+                        [&order, i] { order.push_back(i); });
+        eq.runUntil(100);
+        return order;
+    };
+
+    std::vector<int> base = run(0);
+    EXPECT_EQ(base.back(), 100);
+    EXPECT_EQ(base, (std::vector<int>{0, 1, 2, 3, 4, 5, 100}));
+
+    bool permuted = false;
+    for (uint64_t seed : {0x9e3779b97f4a7c15ULL, 0xc0ffee42c0ffee42ULL}) {
+        std::vector<int> got = run(seed);
+        ASSERT_EQ(got.size(), base.size());
+        EXPECT_EQ(got.back(), 100) << "priority order broken by seed";
+        if (got != base)
+            permuted = true;
+    }
+    EXPECT_TRUE(permuted) << "seeds failed to perturb equal-prio ties";
+}
+
+TEST(EventQueueDeathTest, SeedAfterFirstEventPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    EXPECT_DEATH(eq.setTieBreakSeed(1), "before any event");
+}
+
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)
 {
     EventQueue eq;

@@ -13,26 +13,35 @@
  *   lll roofline <plat>                   roofs + MSHR ceilings
  *   lll vendors                           counter visibility (Table I)
  *   lll selftest [--iterations N]         fault-injection harness
+ *   lll lint [<wl> <plat> [opts...]]      static analyzer (+ determinism)
  *
  * Variant opts: vect 2-ht 4-ht l2-pref tiling unroll-jam fusion distr
  * analyze/trace also accept `--json FILE` (full metric export, "-" for
  * stdout) and `--metrics FILE` (sampled time series as CSV).
+ * lint accepts `--json FILE` and `--determinism` (event-order race
+ * check); without a workload/platform it scans the whole registry.
  *
  * Exit codes (see README "Robustness"): 0 success, 2 usage error,
- * 3 bad input data, 4 simulation failure, 1 anything else.
+ * 3 bad input data (including lint errors), 4 simulation failure
+ * (including determinism divergence), 1 anything else.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/tracer.hh"
 
+#include "analysis/determinism.hh"
+#include "analysis/spec_lint.hh"
 #include "counters/vendor_matrix.hh"
 #include "faultinject/faultinject.hh"
 #include "lll/lll.hh"
+#include "util/diagnostic.hh"
 #include "util/status.hh"
 
 using namespace lll;
@@ -60,8 +69,27 @@ usage()
         "  walk <workload> <platform>\n"
         "  table <workload>\n"
         "  roofline <platform>\n"
-        "  selftest [--iterations N] [--seed S] [--verbose]\n");
+        "  selftest [--iterations N] [--seed S] [--verbose]\n"
+        "  lint [<workload> <platform> [opts ...]] [--json FILE] "
+        "[--determinism]\n");
     return 2;
+}
+
+/**
+ * Every subcommand rejects operands it does not consume: a typo'd
+ * trailing flag silently ignored is a run the user did not ask for.
+ * Exit-code contract: unknown flags/arguments are usage errors (2).
+ */
+Status
+rejectExtraArgs(int argc, char **argv, int first_extra)
+{
+    if (argc <= first_extra)
+        return Status::okStatus();
+    const char *arg = argv[first_extra];
+    return Status::error(ErrorCode::InvalidArgument,
+                         arg[0] == '-' ? "unknown flag '%s'"
+                                       : "unexpected argument '%s'",
+                         arg);
 }
 
 /** Report @p status on stderr and map it to the process exit code. */
@@ -133,8 +161,11 @@ profileFor(const platforms::Platform &p)
 }
 
 int
-cmdPlatforms()
+cmdPlatforms(int argc, char **argv)
 {
+    Status extra = rejectExtraArgs(argc, argv, 2);
+    if (!extra.ok())
+        return failWith(extra);
     Table t({"id", "description", "cores", "peak BW", "L1/L2 MSHRs",
              "line", "SMT"});
     for (const platforms::Platform &p : platforms::allPlatforms()) {
@@ -150,8 +181,11 @@ cmdPlatforms()
 }
 
 int
-cmdWorkloads()
+cmdWorkloads(int argc, char **argv)
 {
+    Status extra = rejectExtraArgs(argc, argv, 2);
+    if (!extra.ok())
+        return failWith(extra);
     Table t({"id", "description", "routine", "problem size", "pattern"});
     for (const workloads::WorkloadPtr &w : workloads::allWorkloads()) {
         t.addRow({w->name(), w->description(), w->routine(),
@@ -165,8 +199,11 @@ cmdWorkloads()
 }
 
 int
-cmdVendors()
+cmdVendors(int argc, char **argv)
 {
+    Status extra = rejectExtraArgs(argc, argv, 2);
+    if (!extra.ok())
+        return failWith(extra);
     Table t({"vendor", "stall breakdown", "L1-MSHRQ-full",
              "L2-MSHRQ-full", "mem latency", "mem traffic"});
     for (const counters::VendorSummary &v :
@@ -195,6 +232,9 @@ cmdCharacterize(int argc, char **argv)
         }
         fresh = true;
     }
+    Status extra = rejectExtraArgs(argc, argv, 4);
+    if (!extra.ok())
+        return failWith(extra);
     std::vector<platforms::Platform> plats;
     if (std::string(argv[2]) == "all") {
         plats = platforms::allPlatforms();
@@ -411,6 +451,9 @@ cmdWalk(int argc, char **argv)
 {
     if (argc < 4)
         return usage();
+    Status extra = rejectExtraArgs(argc, argv, 4);
+    if (!extra.ok())
+        return failWith(extra);
     util::Result<workloads::WorkloadPtr> w =
         workloads::findWorkload(argv[2]);
     if (!w.ok())
@@ -459,6 +502,9 @@ cmdTable(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
+    Status extra = rejectExtraArgs(argc, argv, 3);
+    if (!extra.ok())
+        return failWith(extra);
     util::Result<workloads::WorkloadPtr> w =
         workloads::findWorkload(argv[2]);
     if (!w.ok())
@@ -497,6 +543,9 @@ cmdRoofline(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
+    Status extra = rejectExtraArgs(argc, argv, 3);
+    if (!extra.ok())
+        return failWith(extra);
     util::Result<platforms::Platform> p = platforms::findPlatform(argv[2]);
     if (!p.ok())
         return failWith(p.status());
@@ -556,6 +605,188 @@ cmdSelftest(int argc, char **argv)
     return report.allPassed() ? 0 : 1;
 }
 
+/** One platform x workload x variant the linter examines. */
+struct LintJob
+{
+    platforms::Platform platform;
+    workloads::WorkloadPtr workload;
+    OptSet opts;
+};
+
+void
+printDiags(FILE *rep, const util::DiagnosticList &diags)
+{
+    for (const util::Diagnostic &d : diags.all())
+        std::fprintf(rep, "%s\n", d.toString().c_str());
+}
+
+int
+cmdLint(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 2, argv + argc);
+    util::Result<std::string> json = takeFlag(args, "--json");
+    if (!json.ok())
+        return failWith(json.status());
+    bool determinism = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--determinism") {
+            determinism = true;
+            args.erase(args.begin() + static_cast<long>(i--));
+        }
+    }
+
+    // Operands: none (scan the whole registry) or workload platform
+    // [opts...].  Unlike analyze/trace, an *infeasible* variant is a
+    // valid lint request — that is the point of linting — so opts are
+    // parsed but never pre-checked against the platform.
+    std::vector<LintJob> jobs;
+    if (args.empty()) {
+        for (const platforms::Platform &p : platforms::allPlatforms()) {
+            for (workloads::WorkloadPtr &w :
+                 workloads::allWorkloadsAndExtensions()) {
+                jobs.push_back({p, std::move(w), OptSet()});
+            }
+        }
+    } else if (args.size() == 1) {
+        return usage();
+    } else {
+        util::Result<workloads::WorkloadPtr> w =
+            workloads::findWorkload(args[0]);
+        if (!w.ok())
+            return failWith(w.status());
+        util::Result<platforms::Platform> p =
+            platforms::findPlatform(args[1]);
+        if (!p.ok())
+            return failWith(p.status());
+        util::Result<OptSet> opts = parseOpts(
+            {args.begin() + 2, args.end()});
+        if (!opts.ok())
+            return failWith(opts.status());
+        jobs.push_back({p.take(), w.take(), opts.take()});
+    }
+
+    FILE *rep = *json == "-" ? stderr : stdout;
+    size_t errors = 0, warnings = 0, notes = 0, det_failures = 0;
+    std::ostringstream jplat, jconf, jdet;
+
+    // Platform-level findings once per distinct platform, in job order.
+    std::vector<std::string> seen_platforms;
+    bool first_jplat = true;
+    for (const LintJob &job : jobs) {
+        const std::string &name = job.platform.name;
+        if (std::find(seen_platforms.begin(), seen_platforms.end(),
+                      name) != seen_platforms.end()) {
+            continue;
+        }
+        seen_platforms.push_back(name);
+        util::DiagnosticList diags =
+            analysis::lintRecipeReachability(job.platform);
+        printDiags(rep, diags);
+        errors += diags.errorCount();
+        warnings += diags.warningCount();
+        notes += diags.noteCount();
+        jplat << (first_jplat ? "" : ",") << "\n      {\"name\": \""
+              << name << "\", \"diagnostics\": "
+              << diags.renderJson(6) << "}";
+        first_jplat = false;
+    }
+
+    bool first_jconf = true;
+    for (const LintJob &job : jobs) {
+        analysis::ConfigLint cl = analysis::lintConfig(
+            job.platform, *job.workload, job.opts);
+        printDiags(rep, cl.diagnostics);
+        std::fprintf(rep, "%s: %s (%zu errors, %zu warnings, %zu "
+                          "notes)\n",
+                     cl.subject.c_str(),
+                     cl.feasible() ? "ok" : "INFEASIBLE",
+                     cl.diagnostics.errorCount(),
+                     cl.diagnostics.warningCount(),
+                     cl.diagnostics.noteCount());
+        errors += cl.diagnostics.errorCount();
+        warnings += cl.diagnostics.warningCount();
+        notes += cl.diagnostics.noteCount();
+        jconf << (first_jconf ? "" : ",") << "\n      {\"subject\": \""
+              << cl.subject << "\", \"feasible\": "
+              << (cl.feasible() ? "true" : "false") << ", \"bounds\": "
+              << (cl.boundsValid ? analysis::boundsJson(cl.bounds, 6)
+                                 : std::string("null"))
+              << ", \"diagnostics\": " << cl.diagnostics.renderJson(6)
+              << "}";
+        first_jconf = false;
+    }
+
+    bool first_jdet = true;
+    if (determinism) {
+        for (const LintJob &job : jobs) {
+            // A variant the platform cannot even build was already
+            // reported as infeasible above; nothing to run.
+            if (!job.platform
+                     .trySysParams(job.platform.totalCores,
+                                   job.opts.smtWays())
+                     .ok()) {
+                continue;
+            }
+            util::Result<analysis::DeterminismReport> r =
+                analysis::checkRunDeterminism(job.platform,
+                                              *job.workload, job.opts);
+            if (!r.ok())
+                return failWith(r.status());
+            const std::string subject =
+                job.platform.name + "/" + job.workload->name() + " [" +
+                job.opts.label() + "]";
+            printDiags(rep, r->diagnostics);
+            std::fprintf(rep,
+                         "%s: determinism %s (%zu seeds, %zu metrics)\n",
+                         subject.c_str(),
+                         r->deterministic ? "ok" : "FAILED",
+                         r->seedsRun, r->metricsCompared);
+            if (!r->deterministic)
+                ++det_failures;
+            jdet << (first_jdet ? "" : ",") << "\n      {\"subject\": \""
+                 << subject << "\", \"deterministic\": "
+                 << (r->deterministic ? "true" : "false")
+                 << ", \"seeds\": " << r->seedsRun << ", \"metrics\": "
+                 << r->metricsCompared << ", \"diagnostics\": "
+                 << r->diagnostics.renderJson(6) << "}";
+            first_jdet = false;
+        }
+    }
+
+    std::fprintf(rep,
+                 "lint: %zu configs on %zu platforms — %zu errors, %zu "
+                 "warnings, %zu notes",
+                 jobs.size(), seen_platforms.size(), errors, warnings,
+                 notes);
+    if (determinism)
+        std::fprintf(rep, ", %zu determinism failures", det_failures);
+    std::fprintf(rep, "\n");
+
+    if (!json->empty()) {
+        std::ostringstream out;
+        out << "{\n  \"lint\": {\n    \"platforms\": [" << jplat.str()
+            << (jplat.str().empty() ? "" : "\n    ") << "],\n"
+            << "    \"configs\": [" << jconf.str()
+            << (jconf.str().empty() ? "" : "\n    ") << "],\n"
+            << "    \"determinism\": [" << jdet.str()
+            << (jdet.str().empty() ? "" : "\n    ") << "],\n"
+            << "    \"summary\": {\"configs\": " << jobs.size()
+            << ", \"errors\": " << errors << ", \"warnings\": "
+            << warnings << ", \"notes\": " << notes
+            << ", \"determinism_failures\": " << det_failures
+            << "}\n  }\n}\n";
+        Status s = writeExportChecked(*json, out.str());
+        if (!s.ok())
+            return failWith(s);
+    }
+
+    if (det_failures)
+        return util::exitCodeFor(ErrorCode::Internal);
+    if (errors)
+        return util::exitCodeFor(ErrorCode::FailedPrecondition);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -565,11 +796,11 @@ main(int argc, char **argv)
         return usage();
     std::string cmd = argv[1];
     if (cmd == "platforms")
-        return cmdPlatforms();
+        return cmdPlatforms(argc, argv);
     if (cmd == "workloads")
-        return cmdWorkloads();
+        return cmdWorkloads(argc, argv);
     if (cmd == "vendors")
-        return cmdVendors();
+        return cmdVendors(argc, argv);
     if (cmd == "characterize")
         return cmdCharacterize(argc, argv);
     if (cmd == "analyze")
@@ -584,6 +815,8 @@ main(int argc, char **argv)
         return cmdRoofline(argc, argv);
     if (cmd == "selftest")
         return cmdSelftest(argc, argv);
+    if (cmd == "lint")
+        return cmdLint(argc, argv);
     std::fprintf(stderr, "lll: unknown command '%s'\n", cmd.c_str());
     return usage();
 }
