@@ -1,0 +1,131 @@
+#include "analysis/profile_lint.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/bounds.hh"
+#include "platforms/platform.hh"
+#include "xmem/latency_profile.hh"
+
+namespace lll::analysis
+{
+
+using util::DiagnosticList;
+
+DiagnosticList
+lintProfileFile(const std::string &path)
+{
+    DiagnosticList out;
+
+    std::ifstream in(path);
+    if (!in) {
+        out.error("LLL-PROF-101", path, "cannot read profile file");
+        return out;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    util::Result<xmem::LatencyProfile> parsed =
+        xmem::LatencyProfile::parse(text);
+    if (!parsed.ok()) {
+        out.error("LLL-PROF-101", path, "%s",
+                  parsed.status().message().c_str());
+        return out;
+    }
+    const xmem::LatencyProfile &profile = *parsed;
+
+    // Monotonicity must be checked on the *raw* point lines: the
+    // LatencyProfile constructor sorts by bandwidth and isotonically
+    // repairs latency, so a non-monotone measurement survives loading
+    // without a trace.  Re-scan the text for the points as written.
+    std::vector<xmem::LatencyProfile::Point> raw;
+    {
+        std::istringstream lines(text);
+        std::string line;
+        while (std::getline(lines, line)) {
+            std::istringstream ls(line);
+            std::string key;
+            ls >> key;
+            if (key != "point")
+                continue;
+            xmem::LatencyProfile::Point pt{};
+            ls >> pt.bwGBs >> pt.latencyNs;
+            raw.push_back(pt);
+        }
+    }
+    std::stable_sort(raw.begin(), raw.end(),
+                     [](const xmem::LatencyProfile::Point &a,
+                        const xmem::LatencyProfile::Point &b) {
+                         return a.bwGBs < b.bwGBs;
+                     });
+    size_t inversions = 0;
+    size_t first_inversion = 0;
+    for (size_t i = 1; i < raw.size(); ++i) {
+        if (raw[i].latencyNs < raw[i - 1].latencyNs) {
+            if (inversions == 0)
+                first_inversion = i;
+            ++inversions;
+        }
+    }
+    if (inversions > 0) {
+        out.warning("LLL-PROF-102", path,
+                    "latency is not monotone in bandwidth: %zu "
+                    "inversion(s), first at %.2f GB/s (%.2f ns after "
+                    "%.2f ns); the loader silently repairs this, so "
+                    "lat_avg lookups will not match the measurement",
+                    inversions, raw[first_inversion].bwGBs,
+                    raw[first_inversion].latencyNs,
+                    raw[first_inversion - 1].latencyNs);
+    }
+
+    util::Result<platforms::Platform> plat =
+        platforms::findPlatform(profile.platformName());
+    if (!plat.ok()) {
+        out.note("LLL-PROF-105", path,
+                 "profile's platform '%s' is not in the registry; idle "
+                 "latency and peak cannot be cross-checked",
+                 profile.platformName().c_str());
+        return out;
+    }
+
+    // Idle-latency agreement: the profile's lowest-load latency must
+    // match the unloaded round trip SystemParams implies (cache lookups
+    // plus controller front/bank/back), or Equation 2 is being fed a
+    // curve measured on a different memory system.
+    util::Result<sim::SystemParams> sys =
+        plat->trySysParams(plat->totalCores, 1);
+    if (sys.ok()) {
+        const core::SpecBounds b =
+            core::deriveBounds(*sys, sim::KernelSpec{});
+        const double idle = profile.idleLatencyNs();
+        if (b.idleLatencyNs > 0.0 &&
+            std::abs(idle - b.idleLatencyNs) >
+                kIdleLatencyTolerance * b.idleLatencyNs) {
+            out.warning("LLL-PROF-103", path,
+                        "idle latency %.1f ns disagrees with the %.1f "
+                        "ns round trip '%s' implies (tolerance "
+                        "±%.0f%%); the profile was measured on a "
+                        "different configuration or is stale",
+                        idle, b.idleLatencyNs, plat->name.c_str(),
+                        100.0 * kIdleLatencyTolerance);
+        }
+    }
+
+    if (plat->peakGBs > 0.0 &&
+        std::abs(profile.peakGBs() - plat->peakGBs) >
+            0.01 * plat->peakGBs) {
+        out.warning("LLL-PROF-104", path,
+                    "declared peak %.1f GB/s differs from the platform "
+                    "table's %.1f GB/s; pct-of-peak columns will be "
+                    "wrong",
+                    profile.peakGBs(), plat->peakGBs);
+    }
+
+    return out;
+}
+
+} // namespace lll::analysis

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Static validation of cached X-Mem latency-profile files
+ * (`lll lint --profile FILE`).
+ *
+ * A LatencyProfile is measured once per processor and then trusted by
+ * every analysis: Equation 2 reads lat_avg straight off the curve.  A
+ * stale or hand-edited profile file therefore corrupts every n_avg
+ * downstream, and the LatencyProfile constructor makes it worse by
+ * silently sorting and isotonic-repairing non-monotone measurements —
+ * the file loads fine and the damage is invisible.  This lint reads the
+ * *raw* file, before the constructor's cleanup, and reports:
+ *
+ *   LLL-PROF-101 (error)    file missing, unreadable or corrupt
+ *   LLL-PROF-102 (warning)  bandwidth→latency curve not monotone in the
+ *                           raw points (the loader will silently repair)
+ *   LLL-PROF-103 (warning)  idle latency disagrees with the platform's
+ *                           SystemParams-derived round trip
+ *   LLL-PROF-104 (warning)  declared peak_gbs differs from the platform
+ *                           table's peak
+ *   LLL-PROF-105 (note)     profile's platform unknown to the registry
+ *                           (no cross-checks possible)
+ */
+
+#ifndef LLL_ANALYSIS_PROFILE_LINT_HH
+#define LLL_ANALYSIS_PROFILE_LINT_HH
+
+#include <string>
+
+#include "util/diagnostic.hh"
+
+namespace lll::analysis
+{
+
+/** Fraction by which the profile's idle latency may differ from the
+ *  SystemParams-derived round trip before LLL-PROF-103 fires. */
+inline constexpr double kIdleLatencyTolerance = 0.25;
+
+/** Lint the latency-profile file at @p path; diagnostics carry @p path
+ *  as their subject. */
+util::DiagnosticList lintProfileFile(const std::string &path);
+
+} // namespace lll::analysis
+
+#endif // LLL_ANALYSIS_PROFILE_LINT_HH

@@ -15,67 +15,6 @@ using util::DiagnosticList;
 using workloads::Opt;
 using workloads::OptSet;
 
-SpecBounds
-deriveBounds(const sim::SystemParams &sys, const sim::KernelSpec &spec)
-{
-    SpecBounds b;
-    b.l1Mshrs = sys.l1.mshrs;
-    b.l2Mshrs = sys.l2.mshrs;
-
-    b.exposedMlpPerThread = std::min<double>(spec.window, sys.lqSize);
-    b.exposedMlpPerCore = b.exposedMlpPerThread * sys.threadsPerCore;
-
-    double random_weight = 0.0, total_weight = 0.0;
-    for (const sim::StreamDesc &s : spec.streams) {
-        if (!(s.weight > 0.0) || !std::isfinite(s.weight))
-            continue;
-        total_weight += s.weight;
-        if (s.kind == sim::StreamDesc::Kind::Random)
-            random_weight += s.weight;
-    }
-    b.randomWeight = total_weight > 0.0 ? random_weight / total_weight
-                                        : 0.0;
-    b.randomDominated = b.randomWeight > 0.5;
-    b.prefetcherCovers = !b.randomDominated && sys.l2PrefetcherEnabled;
-
-    // Unloaded memory round trip: both private cache lookups plus the
-    // controller's request path, one bank service and the response path.
-    double idle = ticksToNs(sys.l1.accessLat + sys.l2.accessLat +
-                            (sys.hasL3 ? sys.l3.accessLat : 0));
-    idle += sys.mem.frontLatencyNs + sys.mem.bankServiceNs +
-            sys.mem.backLatencyNs;
-    b.idleLatencyNs = idle;
-
-    // Which queue caps in-flight lines: random misses hold L1 MSHRs for
-    // the full memory latency; prefetcher-covered streaming fills the
-    // (larger) L2 queue independently of the demand MLP the code
-    // exposes.
-    if (b.randomDominated) {
-        b.effectiveMlpPerCore =
-            std::min(b.exposedMlpPerCore, static_cast<double>(b.l1Mshrs));
-    } else if (b.prefetcherCovers || spec.swPrefetchL2) {
-        b.effectiveMlpPerCore = b.l2Mshrs;
-    } else {
-        b.effectiveMlpPerCore = std::min(
-            b.exposedMlpPerCore,
-            static_cast<double>(std::min(b.l1Mshrs, b.l2Mshrs)));
-    }
-
-    // Little's law (Eq. 2) solved for bandwidth: BW = n * cls / lat.
-    b.peakGBs = sys.mem.peakGBs;
-    if (idle > 0.0) {
-        const double per_line = sys.lineBytes / idle; // GB/s per request
-        b.l1CeilingGBs = sys.cores * b.l1Mshrs * per_line;
-        b.l2CeilingGBs = sys.cores * b.l2Mshrs * per_line;
-        b.mlpCeilingGBs = sys.cores * b.effectiveMlpPerCore * per_line;
-        if (sys.cores > 0) {
-            b.nAvgAtPeakPerCore =
-                b.peakGBs * idle / sys.lineBytes / sys.cores;
-        }
-    }
-    return b;
-}
-
 DiagnosticList
 lintSpec(const sim::SystemParams &sys, const sim::KernelSpec &spec,
          const std::string &subject)
@@ -144,13 +83,9 @@ lintSpec(const sim::SystemParams &sys, const sim::KernelSpec &spec,
         }
     }
 
-    uint64_t footprint_bytes = 0;
-    for (const sim::StreamDesc &s : spec.streams)
-        footprint_bytes += s.footprintLines * sys.lineBytes;
-    const uint64_t l1_bytes = static_cast<uint64_t>(sys.l1.sets) *
-                              sys.l1.ways * sys.lineBytes;
-    const uint64_t l2_bytes = static_cast<uint64_t>(sys.l2.sets) *
-                              sys.l2.ways * sys.lineBytes;
+    const uint64_t footprint_bytes = b.footprintBytes;
+    const uint64_t l1_bytes = b.l1CapacityBytes;
+    const uint64_t l2_bytes = b.l2CapacityBytes;
     if (footprint_bytes <= l1_bytes) {
         out.warning("LLL-LINT-106", subject,
                     "total stream footprint (%llu B) fits in the L1 "
@@ -187,7 +122,8 @@ lintRecipeReachability(const platforms::Platform &platform)
 {
     // Probe the decision engine across its whole input space: both
     // bandwidth regimes x both MSHR regimes x both access classes x
-    // representative occupancies, from both SMT starting states.  Any
+    // representative occupancies x stream counts either side of the
+    // fusion/distribution dual, from both SMT starting states.  Any
     // recommendation that never fires in this sweep can never fire at
     // runtime either.
     const core::Recipe recipe(platform);
@@ -196,6 +132,7 @@ lintRecipeReachability(const platforms::Platform &platform)
     const OptSet applied_states[] = {OptSet{}, OptSet{Opt::Smt2}};
     const double n_avgs[] = {0.5, 0.95 * platform.l1Mshrs,
                              0.6 * platform.l2Mshrs};
+    const unsigned stream_counts[] = {1, core::Recipe::kStreamHeavy + 2};
     for (bool near_bw : {false, true}) {
         for (bool near_mshr : {false, true}) {
             for (core::MshrLevel level :
@@ -205,7 +142,8 @@ lintRecipeReachability(const platforms::Platform &platform)
                       core::AccessClass::Streaming}) {
                     for (double n_avg : n_avgs) {
                         for (double demand : {0.2, 0.6}) {
-                            for (double pct : {0.3, 0.6}) {
+                          for (double pct : {0.3, 0.6}) {
+                            for (unsigned streams : stream_counts) {
                                 for (const OptSet &applied :
                                      applied_states) {
                                     core::Analysis a;
@@ -221,6 +159,8 @@ lintRecipeReachability(const platforms::Platform &platform)
                                     a.nAvg = n_avg;
                                     a.demandFraction = demand;
                                     a.demandFractionKnown = true;
+                                    a.activeStreams = streams;
+                                    a.activeStreamsKnown = true;
                                     a.pctPeak = pct;
                                     a.bwGBs = pct * platform.peakGBs;
                                     a.maxAchievableGBs =
@@ -240,6 +180,7 @@ lintRecipeReachability(const platforms::Platform &platform)
                                     }
                                 }
                             }
+                          }
                         }
                     }
                 }
@@ -310,45 +251,6 @@ lintConfig(const platforms::Platform &platform,
                                       : "streaming");
     }
     return cl;
-}
-
-std::string
-boundsJson(const SpecBounds &b, int indent)
-{
-    const std::string pad(static_cast<size_t>(indent), ' ');
-    std::ostringstream out;
-    char buf[160];
-    auto num = [&buf](double v) {
-        std::snprintf(buf, sizeof(buf), "%.6g", v);
-        return std::string(buf);
-    };
-    out << "{\n"
-        << pad << "  \"exposed_mlp_per_thread\": "
-        << num(b.exposedMlpPerThread) << ",\n"
-        << pad << "  \"exposed_mlp_per_core\": "
-        << num(b.exposedMlpPerCore) << ",\n"
-        << pad << "  \"l1_mshrs\": " << b.l1Mshrs << ",\n"
-        << pad << "  \"l2_mshrs\": " << b.l2Mshrs << ",\n"
-        << pad << "  \"effective_mlp_per_core\": "
-        << num(b.effectiveMlpPerCore) << ",\n"
-        << pad << "  \"idle_latency_ns\": " << num(b.idleLatencyNs)
-        << ",\n"
-        << pad << "  \"peak_gbs\": " << num(b.peakGBs) << ",\n"
-        << pad << "  \"l1_ceiling_gbs\": " << num(b.l1CeilingGBs)
-        << ",\n"
-        << pad << "  \"l2_ceiling_gbs\": " << num(b.l2CeilingGBs)
-        << ",\n"
-        << pad << "  \"mlp_ceiling_gbs\": " << num(b.mlpCeilingGBs)
-        << ",\n"
-        << pad << "  \"n_avg_at_peak_per_core\": "
-        << num(b.nAvgAtPeakPerCore) << ",\n"
-        << pad << "  \"random_weight\": " << num(b.randomWeight) << ",\n"
-        << pad << "  \"random_dominated\": "
-        << (b.randomDominated ? "true" : "false") << ",\n"
-        << pad << "  \"prefetcher_covers\": "
-        << (b.prefetcherCovers ? "true" : "false") << "\n"
-        << pad << "}";
-    return out.str();
 }
 
 } // namespace lll::analysis

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bounds.hh"
 #include "platforms/platform.hh"
 #include "sim/kernel_spec.hh"
 #include "sim/system.hh"
@@ -33,45 +34,13 @@
 namespace lll::analysis
 {
 
-/**
- * Analytical bounds derived from one (SystemParams, KernelSpec) pair —
- * the numbers the lint checks compare, also exported in the JSON
- * report so downstream tooling can consume them without re-deriving.
- */
-struct SpecBounds
-{
-    // MLP: what the code exposes vs what the hardware can hold.
-    double exposedMlpPerThread = 0.0; //!< min(window, load-queue size)
-    double exposedMlpPerCore = 0.0;   //!< per-thread * SMT ways
-    unsigned l1Mshrs = 0;             //!< per-core L1 MSHR capacity
-    unsigned l2Mshrs = 0;             //!< per-core L2 MSHR capacity
-    /** MLP after the limiting MSHR queue caps it (prefetcher-covered
-     *  streaming mixes can fill the L2 queue beyond the demand MLP). */
-    double effectiveMlpPerCore = 0.0;
-
-    /** Unloaded round trip to memory: cache lookups + controller
-     *  front/bank/back latencies. */
-    double idleLatencyNs = 0.0;
-
-    // Bandwidth (GB/s): the declared peak vs Little's-law ceilings
-    // (n * cls / lat, Equation 2 solved for BW) at idle latency —
-    // optimistic, since loaded latency only grows.
-    double peakGBs = 0.0;
-    double l1CeilingGBs = 0.0;  //!< all L1 MSHRs busy, node-wide
-    double l2CeilingGBs = 0.0;  //!< all L2 MSHRs busy, node-wide
-    double mlpCeilingGBs = 0.0; //!< effective MLP busy, node-wide
-    /** Per-core n_avg required to sustain the declared peak. */
-    double nAvgAtPeakPerCore = 0.0;
-
-    // Access-pattern classification from the stream mix.
-    double randomWeight = 0.0; //!< weight share of Random streams
-    bool randomDominated = false;
-    bool prefetcherCovers = false; //!< streaming mix + HW prefetcher on
-};
-
-/** Derive the bounds above; pure arithmetic, no validation. */
-SpecBounds deriveBounds(const sim::SystemParams &sys,
-                        const sim::KernelSpec &spec);
+// The bounds derivation moved to core/bounds.hh so the experiment
+// runner can refuse vacuous configs at create() time (analysis links
+// core, not the other way around).  Re-exported here for source
+// compatibility.
+using SpecBounds = core::SpecBounds;
+using core::boundsJson;
+using core::deriveBounds;
 
 /**
  * Static feasibility lint of one assembled config: the sim validators
@@ -112,9 +81,6 @@ struct ConfigLint
 ConfigLint lintConfig(const platforms::Platform &platform,
                       const workloads::Workload &workload,
                       const workloads::OptSet &opts);
-
-/** JSON object with every SpecBounds field ({"idle_latency_ns": ...}). */
-std::string boundsJson(const SpecBounds &bounds, int indent = 0);
 
 } // namespace lll::analysis
 

@@ -70,6 +70,12 @@ struct Analysis
     double demandFraction = 1.0;
     bool demandFractionKnown = false;
 
+    /** Concurrent access streams the routine drives (from the kernel
+     *  spec when the analysis comes out of an Experiment stage); the
+     *  recipe's fusion/distribution dual branches on it. */
+    unsigned activeStreams = 0;
+    bool activeStreamsKnown = false;
+
     int coresUsed = 0;
 
     /** Lookup left the measured profile range (latency was clamped to

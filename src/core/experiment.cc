@@ -1,5 +1,7 @@
 #include "core/experiment.hh"
 
+#include "core/bounds.hh"
+#include "core/sweep.hh"
 #include "obs/span.hh"
 #include "util/logging.hh"
 
@@ -56,6 +58,39 @@ Experiment::create(const platforms::Platform &platform,
                              workload.name().c_str(), params.warmupUs,
                              params.measureUs);
     }
+
+    // The lint gate: a config the static analyzer calls vacuous
+    // (LLL-LINT-102/106) would simulate without error and then corrupt
+    // every conclusion drawn from the numbers, so refuse it here the
+    // same way `lll lint` flags it.  The base variant decides — the
+    // optimization walk only ever starts from it.
+    const sim::KernelSpec base_spec =
+        workload.spec(platform, workloads::OptSet());
+    const SpecBounds b = deriveBounds(*sp, base_spec);
+    if (b.vacuous()) {
+        if (b.footprintBytes <= b.l1CapacityBytes) {
+            return Status::error(
+                ErrorCode::FailedPrecondition,
+                "experiment '%s' on '%s' is vacuous (LLL-LINT-106): "
+                "the %llu-byte footprint fits in the %llu-byte L1, so "
+                "the kernel never exercises the memory system; run "
+                "`lll lint %s %s` for the full report",
+                workload.name().c_str(), platform.name.c_str(),
+                static_cast<unsigned long long>(b.footprintBytes),
+                static_cast<unsigned long long>(b.l1CapacityBytes),
+                workload.name().c_str(), platform.name.c_str());
+        }
+        return Status::error(
+            ErrorCode::FailedPrecondition,
+            "experiment '%s' on '%s' with %d cores is vacuous "
+            "(LLL-LINT-102): effective MLP %.1f/core sustains at most "
+            "%.1f of %.0f GB/s peak (%.1f%%); run `lll lint %s %s` for "
+            "the full report",
+            workload.name().c_str(), platform.name.c_str(), cores,
+            b.effectiveMlpPerCore, b.mlpCeilingGBs, b.peakGBs,
+            100.0 * b.mlpCeilingGBs / b.peakGBs, workload.name().c_str(),
+            platform.name.c_str());
+    }
     return Experiment(platform, workload, std::move(profile), params);
 }
 
@@ -70,15 +105,39 @@ Experiment::stage(const workloads::OptSet &opts)
     obs::ScopedSpan stage_span("stage[" + label + "]");
 
     sim::KernelSpec spec = workload_.spec(platform_, opts);
+    double warmup = params_.warmupUs > 0 ? params_.warmupUs
+                                         : workload_.warmupUs();
+    double measure = params_.measureUs > 0 ? params_.measureUs
+                                           : workload_.measureUs();
+
+    // The cross-experiment memo table: a hit replays the stored
+    // StageMetrics — no System, no event queue, no simulate/profile/
+    // analyze spans — because the key captures every input the
+    // simulation is a pure function of.
+    std::string key;
+    if (params_.resultCache) {
+        key = ResultCache::stageKey(platform_, spec, opts, params_.seed,
+                                    warmup, measure, coresUsed_);
+        StageMetrics cached;
+        if (params_.resultCache->lookup(key, &cached)) {
+            if (params_.registry) {
+                params_.registry->setGauge(
+                    "analyzer.variant." + label + ".n_avg",
+                    cached.analysis.nAvg);
+                params_.registry->setGauge(
+                    "analyzer.variant." + label + ".bw_gbps",
+                    cached.analysis.bwGBs);
+            }
+            return cache_.emplace(label, std::move(cached))
+                .first->second;
+        }
+    }
+
     sim::SystemParams sp = platform_.sysParams(coresUsed_, opts.smtWays());
     sp.seed = params_.seed;
     sim::System sys(sp, spec);
     if (params_.registry)
         sys.attachObservability(*params_.registry, params_.sampler);
-    double warmup = params_.warmupUs > 0 ? params_.warmupUs
-                                         : workload_.warmupUs();
-    double measure = params_.measureUs > 0 ? params_.measureUs
-                                           : workload_.measureUs();
     sim::RunResult run;
     {
         obs::ScopedSpan sim_span("simulate");
@@ -106,7 +165,15 @@ Experiment::stage(const workloads::OptSet &opts)
         LLL_SPAN("analyze");
         m.analysis = analyzer_.analyze(profile, coresUsed_, random);
     }
+    // The analyzer only sees counters; the spec knows how many
+    // concurrent streams the routine drives, which the recipe's
+    // fusion/distribution dual branches on.
+    m.analysis.activeStreams = static_cast<unsigned>(spec.streams.size());
+    m.analysis.activeStreamsKnown = true;
     m.throughput = run.throughput;
+
+    if (params_.resultCache)
+        params_.resultCache->insert(key, m);
 
     if (params_.registry) {
         params_.registry->setGauge("analyzer.variant." + label + ".n_avg",

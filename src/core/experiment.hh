@@ -29,6 +29,8 @@
 namespace lll::core
 {
 
+class ResultCache;
+
 /** One simulated optimization state of a workload. */
 struct StageMetrics
 {
@@ -77,6 +79,14 @@ class Experiment
          */
         obs::MetricRegistry *registry = nullptr;
         obs::Sampler::Params sampler;
+
+        /**
+         * Cross-experiment memo table (core/sweep.hh).  A stage whose
+         * key is cached is returned without simulating — its
+         * simulate/profile/analyze spans never open — and a simulated
+         * stage is inserted for the next experiment or process.
+         */
+        ResultCache *resultCache = nullptr;
     };
 
     Experiment(const platforms::Platform &platform,
@@ -89,7 +99,12 @@ class Experiment
     /**
      * Checked factory: verifies the profile matches the platform, the
      * requested core count is within the platform's range, and the
-     * window lengths are usable, instead of asserting mid-run.
+     * window lengths are usable, instead of asserting mid-run.  Also
+     * refuses statically vacuous configs — a base variant whose derived
+     * bounds (core/bounds.hh) show the memory system barely loaded
+     * (LLL-LINT-102) or an L1-resident footprint (LLL-LINT-106) — with
+     * a FailedPrecondition Status: the experiment would simulate fine
+     * but every Little's-law conclusion drawn from it would be noise.
      */
     static util::Result<Experiment>
     create(const platforms::Platform &platform,

@@ -88,8 +88,31 @@ Recipe::advise(const Analysis &a, const OptSet &applied) const
         rec(Opt::Tiling, !applied.has(Opt::Tiling),
             "high occupancy responds to fewer memory requests, not more "
             "parallelism");
-        rec(Opt::Fusion, !applied.has(Opt::Fusion),
-            "reuse-distance reduction lowers MSHRQ occupancy");
+        // The fusion/distribution dual: a full MSHRQ driven by many
+        // concurrent streams is stream contention — each stream holds
+        // queue slots and a prefetcher table entry, so splitting the
+        // loop (fission) lets each piece run with fewer streams.  With
+        // few streams the queue is full of one stream's misses and
+        // fusing loops to shorten reuse distance is the move instead.
+        const bool stream_heavy = a.activeStreamsKnown &&
+                                  a.activeStreams >= kStreamHeavy;
+        if (stream_heavy) {
+            rec(Opt::Distribution, !applied.has(Opt::Distribution),
+                std::to_string(a.activeStreams) +
+                    " concurrent streams contend for the full MSHRQ; "
+                    "splitting the loop runs fewer streams at a time, "
+                    "each with more queue slots");
+            rec(Opt::Fusion, false,
+                "fusing loops adds concurrent streams to an MSHRQ "
+                "already contended by " +
+                    std::to_string(a.activeStreams) + " of them");
+        } else {
+            rec(Opt::Fusion, !applied.has(Opt::Fusion),
+                "reuse-distance reduction lowers MSHRQ occupancy");
+            rec(Opt::Distribution, false,
+                "few active streams; splitting the loop only forfeits "
+                "reuse");
+        }
         rec(Opt::Vectorize, false, "the MSHRQ cannot hold more misses");
         rec(smt_opt, false,
             "SMT threads share the full MSHRQ; no room for more "

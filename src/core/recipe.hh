@@ -52,6 +52,14 @@ struct RecipeDecision
 class Recipe
 {
   public:
+    /**
+     * Active-stream count at which a full MSHR queue is treated as
+     * stream contention: fission (Opt::Distribution) is advised instead
+     * of fusion, which would add concurrent streams to an already
+     * contended queue.  The dual case (few streams) keeps fusion.
+     */
+    static constexpr unsigned kStreamHeavy = 4;
+
     explicit Recipe(const platforms::Platform &platform);
 
     /**

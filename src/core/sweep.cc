@@ -1,0 +1,799 @@
+#include "core/sweep.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/span.hh"
+#include "xmem/xmem_harness.hh"
+
+namespace lll::core
+{
+
+using util::ErrorCode;
+using util::Status;
+using workloads::Opt;
+using workloads::OptSet;
+
+namespace
+{
+
+constexpr int kSpillFormatVersion = 1;
+
+uint64_t
+fnv1a(const void *data, size_t len, uint64_t h = 1469598103934665603ULL)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+uint64_t
+mixU64(uint64_t h, uint64_t v)
+{
+    return fnv1a(&v, sizeof(v), h);
+}
+
+uint64_t
+mixD(uint64_t h, double v)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mixU64(h, bits);
+}
+
+uint64_t
+mixStr(uint64_t h, const std::string &s)
+{
+    h = mixU64(h, s.size());
+    return fnv1a(s.data(), s.size(), h);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string
+fmtG17(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+optsToken(const OptSet &opts)
+{
+    std::string out;
+    for (size_t i = 0; i < opts.opts().size(); ++i) {
+        if (i)
+            out += ' ';
+        out += workloads::optShortName(opts.opts()[i]);
+    }
+    return out;
+}
+
+/**
+ * The spill file is flat JSON — every value sits at top level under a
+ * dotted key — parsed by the state machine below rather than a JSON
+ * library (the repo has none).  Keys and string values alternate, so
+ * the scanner always knows whether a quote opens a key or a value.
+ */
+struct FlatJson
+{
+    std::map<std::string, std::string> scalars; //!< raw unquoted tokens
+    std::map<std::string, std::string> strings;
+    std::map<std::string, std::vector<std::string>> arrays;
+    std::vector<std::string> missing; //!< fields asked for but absent
+    std::vector<std::string> bad;     //!< fields that failed to parse
+
+    double
+    getD(const std::string &key)
+    {
+        auto it = scalars.find(key);
+        if (it == scalars.end()) {
+            missing.push_back(key);
+            return 0.0;
+        }
+        char *end = nullptr;
+        double v = std::strtod(it->second.c_str(), &end);
+        if (end == it->second.c_str() || *end != '\0')
+            bad.push_back(key);
+        return v;
+    }
+
+    uint64_t
+    getU(const std::string &key)
+    {
+        auto it = scalars.find(key);
+        if (it == scalars.end()) {
+            missing.push_back(key);
+            return 0;
+        }
+        char *end = nullptr;
+        uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+        if (end == it->second.c_str() || *end != '\0')
+            bad.push_back(key);
+        return v;
+    }
+
+    int
+    getI(const std::string &key)
+    {
+        return static_cast<int>(getU(key));
+    }
+
+    bool
+    getB(const std::string &key)
+    {
+        auto it = scalars.find(key);
+        if (it == scalars.end()) {
+            missing.push_back(key);
+            return false;
+        }
+        if (it->second == "true")
+            return true;
+        if (it->second != "false")
+            bad.push_back(key);
+        return false;
+    }
+
+    std::string
+    getS(const std::string &key)
+    {
+        auto it = strings.find(key);
+        if (it == strings.end()) {
+            missing.push_back(key);
+            return std::string();
+        }
+        return it->second;
+    }
+};
+
+/** Read a quoted string starting at text[i] == '"'; leaves i one past
+ *  the closing quote.  False on an unterminated string. */
+bool
+scanQuoted(const std::string &text, size_t &i, std::string *out)
+{
+    out->clear();
+    for (++i; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '\\' && i + 1 < text.size()) {
+            char e = text[++i];
+            switch (e) {
+              case 'n': out->push_back('\n'); break;
+              case 't': out->push_back('\t'); break;
+              default:  out->push_back(e); break;
+            }
+        } else if (c == '"') {
+            ++i;
+            return true;
+        } else {
+            out->push_back(c);
+        }
+    }
+    return false;
+}
+
+util::Result<FlatJson>
+scanFlatJson(const std::string &text)
+{
+    FlatJson out;
+    size_t i = 0;
+    auto skipWs = [&] {
+        while (i < text.size() &&
+               (text[i] == ' ' || text[i] == '\n' || text[i] == '\r' ||
+                text[i] == '\t' || text[i] == ',' || text[i] == '{' ||
+                text[i] == '}')) {
+            ++i;
+        }
+    };
+    while (true) {
+        skipWs();
+        if (i >= text.size())
+            return out;
+        if (text[i] != '"') {
+            return Status::error(ErrorCode::CorruptData,
+                                 "spill file: expected a key at offset "
+                                 "%zu, found '%c'", i, text[i]);
+        }
+        std::string key;
+        if (!scanQuoted(text, i, &key)) {
+            return Status::error(ErrorCode::CorruptData,
+                                 "spill file: unterminated key");
+        }
+        skipWs();
+        if (i >= text.size() || text[i] != ':') {
+            return Status::error(ErrorCode::CorruptData,
+                                 "spill file: key \"%s\" has no value",
+                                 key.c_str());
+        }
+        ++i;
+        skipWs();
+        if (i >= text.size()) {
+            return Status::error(ErrorCode::CorruptData,
+                                 "spill file: key \"%s\" has no value",
+                                 key.c_str());
+        }
+        if (text[i] == '"') {
+            std::string value;
+            if (!scanQuoted(text, i, &value)) {
+                return Status::error(ErrorCode::CorruptData,
+                                     "spill file: unterminated string "
+                                     "for \"%s\"", key.c_str());
+            }
+            out.strings[key] = std::move(value);
+        } else if (text[i] == '[') {
+            ++i;
+            std::vector<std::string> items;
+            while (true) {
+                skipWs();
+                if (i >= text.size()) {
+                    return Status::error(ErrorCode::CorruptData,
+                                         "spill file: unterminated array "
+                                         "for \"%s\"", key.c_str());
+                }
+                if (text[i] == ']') {
+                    ++i;
+                    break;
+                }
+                if (text[i] != '"') {
+                    return Status::error(
+                        ErrorCode::CorruptData,
+                        "spill file: array \"%s\" holds a non-string",
+                        key.c_str());
+                }
+                std::string item;
+                if (!scanQuoted(text, i, &item)) {
+                    return Status::error(ErrorCode::CorruptData,
+                                         "spill file: unterminated string "
+                                         "in array \"%s\"", key.c_str());
+                }
+                items.push_back(std::move(item));
+            }
+            out.arrays[key] = std::move(items);
+        } else {
+            std::string token;
+            while (i < text.size() && text[i] != ',' &&
+                   text[i] != '\n' && text[i] != '}') {
+                token.push_back(text[i++]);
+            }
+            while (!token.empty() && (token.back() == ' ' ||
+                                      token.back() == '\r')) {
+                token.pop_back();
+            }
+            out.scalars[key] = std::move(token);
+        }
+    }
+}
+
+} // namespace
+
+uint64_t
+hashKernelSpec(const sim::KernelSpec &spec)
+{
+    uint64_t h = 1469598103934665603ULL;
+    h = mixStr(h, spec.name);
+    h = mixU64(h, spec.streams.size());
+    for (const sim::StreamDesc &s : spec.streams) {
+        h = mixU64(h, static_cast<uint64_t>(s.kind));
+        h = mixU64(h, s.footprintLines);
+        h = mixD(h, s.weight);
+        h = mixU64(h, static_cast<uint64_t>(s.strideLines));
+        h = mixU64(h, s.store);
+        h = mixU64(h, s.sharedAcrossThreads);
+        h = mixD(h, s.reuseFraction);
+        h = mixU64(h, s.reuseWindow);
+        h = mixU64(h, s.swPrefetchable);
+    }
+    h = mixD(h, spec.computeCyclesPerOp);
+    h = mixU64(h, spec.window);
+    h = mixD(h, spec.workPerOp);
+    h = mixU64(h, spec.swPrefetchL2);
+    h = mixU64(h, spec.swPrefetchDistance);
+    h = mixD(h, spec.swPrefetchOverheadCycles);
+    return h;
+}
+
+std::string
+stageMetricsJson(const StageMetrics &m, const std::string &key)
+{
+    std::ostringstream out;
+    out << "{\n";
+    auto str = [&out](const char *name, const std::string &v) {
+        out << "  \"" << name << "\": \"" << jsonEscape(v) << "\",\n";
+    };
+    auto num = [&out](const char *name, double v) {
+        out << "  \"" << name << "\": " << fmtG17(v) << ",\n";
+    };
+    auto uns = [&out](const char *name, uint64_t v) {
+        out << "  \"" << name << "\": " << v << ",\n";
+    };
+    auto bol = [&out](const char *name, bool v) {
+        out << "  \"" << name << "\": " << (v ? "true" : "false")
+            << ",\n";
+    };
+
+    uns("version", kSpillFormatVersion);
+    str("key", key);
+    str("label", m.label);
+    str("opts", optsToken(m.opts));
+    num("throughput", m.throughput);
+
+    const sim::RunResult &r = m.run;
+    num("run.measureSeconds", r.measureSeconds);
+    num("run.workDone", r.workDone);
+    num("run.throughput", r.throughput);
+    uns("run.opsIssued", r.opsIssued);
+    num("run.readGBs", r.readGBs);
+    num("run.writeGBs", r.writeGBs);
+    num("run.totalGBs", r.totalGBs);
+    num("run.demandFraction", r.demandFraction);
+    num("run.memUtilization", r.memUtilization);
+    num("run.avgMemLatencyNs", r.avgMemLatencyNs);
+    num("run.p50MemLatencyNs", r.p50MemLatencyNs);
+    num("run.p95MemLatencyNs", r.p95MemLatencyNs);
+    num("run.p99MemLatencyNs", r.p99MemLatencyNs);
+    num("run.avgMemOutstanding", r.avgMemOutstanding);
+    num("run.avgL1MshrOccupancy", r.avgL1MshrOccupancy);
+    num("run.avgL2MshrOccupancy", r.avgL2MshrOccupancy);
+    num("run.maxL1MshrOccupancy", r.maxL1MshrOccupancy);
+    num("run.maxL2MshrOccupancy", r.maxL2MshrOccupancy);
+    uns("run.l1FullStalls", r.l1FullStalls);
+    uns("run.l2FullStalls", r.l2FullStalls);
+    uns("run.l1DemandMisses", r.l1DemandMisses);
+    uns("run.l1DemandHits", r.l1DemandHits);
+    uns("run.l2DemandMisses", r.l2DemandMisses);
+    uns("run.l2DemandHits", r.l2DemandHits);
+    uns("run.hwPrefIssued", r.hwPrefIssued);
+    uns("run.hwPrefUseful", r.hwPrefUseful);
+    uns("run.swPrefIssued", r.swPrefIssued);
+    uns("run.l2PrefetchDropped", r.l2PrefetchDropped);
+    uns("run.memReadLines", r.memReadLines);
+    uns("run.memWriteLines", r.memWriteLines);
+    uns("run.memHwPrefetchLines", r.memHwPrefetchLines);
+    uns("run.memSwPrefetchLines", r.memSwPrefetchLines);
+    uns("run.eventsProcessed", r.eventsProcessed);
+
+    const counters::RoutineProfile &p = m.profile;
+    str("profile.routine", p.routine);
+    num("profile.seconds", p.seconds);
+    num("profile.readGBs", p.readGBs);
+    num("profile.writeGBs", p.writeGBs);
+    num("profile.totalGBs", p.totalGBs);
+    num("profile.demandFraction", p.demandFraction);
+    bol("profile.demandFractionKnown", p.demandFractionKnown);
+
+    const Analysis &a = m.analysis;
+    str("analysis.routine", a.routine);
+    str("analysis.platform", a.platform);
+    num("analysis.bwGBs", a.bwGBs);
+    num("analysis.pctPeak", a.pctPeak);
+    num("analysis.latencyNs", a.latencyNs);
+    num("analysis.idleLatencyNs", a.idleLatencyNs);
+    num("analysis.nAvg", a.nAvg);
+    str("analysis.accessClass", accessClassName(a.accessClass));
+    str("analysis.limitingLevel", mshrLevelName(a.limitingLevel));
+    uns("analysis.limitingMshrs", a.limitingMshrs);
+    num("analysis.headroom", a.headroom);
+    bol("analysis.nearMshrLimit", a.nearMshrLimit);
+    bol("analysis.nearBandwidthLimit", a.nearBandwidthLimit);
+    num("analysis.maxAchievableGBs", a.maxAchievableGBs);
+    num("analysis.demandFraction", a.demandFraction);
+    bol("analysis.demandFractionKnown", a.demandFractionKnown);
+    uns("analysis.activeStreams", a.activeStreams);
+    bol("analysis.activeStreamsKnown", a.activeStreamsKnown);
+    uns("analysis.coresUsed", static_cast<uint64_t>(a.coresUsed));
+    bol("analysis.bwBelowProfileRange", a.bwBelowProfileRange);
+    bol("analysis.bwAboveProfileRange", a.bwAboveProfileRange);
+    out << "  \"analysis.warnings\": [";
+    for (size_t i = 0; i < a.warnings.size(); ++i) {
+        out << (i ? ", " : "") << "\"" << jsonEscape(a.warnings[i])
+            << "\"";
+    }
+    out << "]\n}\n";
+    return out.str();
+}
+
+util::Result<StageMetrics>
+parseStageMetricsJson(const std::string &text,
+                      const std::string &expect_key)
+{
+    util::Result<FlatJson> scanned = scanFlatJson(text);
+    if (!scanned.ok())
+        return scanned.status();
+    FlatJson &f = *scanned;
+
+    if (f.getU("version") != kSpillFormatVersion) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "spill file: unsupported format version");
+    }
+    const std::string key = f.getS("key");
+    if (!expect_key.empty() && key != expect_key) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "spill file: key mismatch (stored \"%s\")",
+                             key.c_str());
+    }
+
+    StageMetrics m;
+    m.label = f.getS("label");
+    for (const std::string &token : [&f] {
+             std::vector<std::string> toks;
+             std::istringstream in(f.getS("opts"));
+             std::string t;
+             while (in >> t)
+                 toks.push_back(t);
+             return toks;
+         }()) {
+        std::optional<Opt> opt = workloads::optFromShortName(token);
+        if (!opt) {
+            return Status::error(ErrorCode::CorruptData,
+                                 "spill file: unknown optimization "
+                                 "\"%s\"", token.c_str());
+        }
+        m.opts = m.opts.with(*opt);
+    }
+    m.throughput = f.getD("throughput");
+
+    sim::RunResult &r = m.run;
+    r.measureSeconds = f.getD("run.measureSeconds");
+    r.workDone = f.getD("run.workDone");
+    r.throughput = f.getD("run.throughput");
+    r.opsIssued = f.getU("run.opsIssued");
+    r.readGBs = f.getD("run.readGBs");
+    r.writeGBs = f.getD("run.writeGBs");
+    r.totalGBs = f.getD("run.totalGBs");
+    r.demandFraction = f.getD("run.demandFraction");
+    r.memUtilization = f.getD("run.memUtilization");
+    r.avgMemLatencyNs = f.getD("run.avgMemLatencyNs");
+    r.p50MemLatencyNs = f.getD("run.p50MemLatencyNs");
+    r.p95MemLatencyNs = f.getD("run.p95MemLatencyNs");
+    r.p99MemLatencyNs = f.getD("run.p99MemLatencyNs");
+    r.avgMemOutstanding = f.getD("run.avgMemOutstanding");
+    r.avgL1MshrOccupancy = f.getD("run.avgL1MshrOccupancy");
+    r.avgL2MshrOccupancy = f.getD("run.avgL2MshrOccupancy");
+    r.maxL1MshrOccupancy = f.getD("run.maxL1MshrOccupancy");
+    r.maxL2MshrOccupancy = f.getD("run.maxL2MshrOccupancy");
+    r.l1FullStalls = f.getU("run.l1FullStalls");
+    r.l2FullStalls = f.getU("run.l2FullStalls");
+    r.l1DemandMisses = f.getU("run.l1DemandMisses");
+    r.l1DemandHits = f.getU("run.l1DemandHits");
+    r.l2DemandMisses = f.getU("run.l2DemandMisses");
+    r.l2DemandHits = f.getU("run.l2DemandHits");
+    r.hwPrefIssued = f.getU("run.hwPrefIssued");
+    r.hwPrefUseful = f.getU("run.hwPrefUseful");
+    r.swPrefIssued = f.getU("run.swPrefIssued");
+    r.l2PrefetchDropped = f.getU("run.l2PrefetchDropped");
+    r.memReadLines = f.getU("run.memReadLines");
+    r.memWriteLines = f.getU("run.memWriteLines");
+    r.memHwPrefetchLines = f.getU("run.memHwPrefetchLines");
+    r.memSwPrefetchLines = f.getU("run.memSwPrefetchLines");
+    r.eventsProcessed = f.getU("run.eventsProcessed");
+
+    counters::RoutineProfile &p = m.profile;
+    p.routine = f.getS("profile.routine");
+    p.seconds = f.getD("profile.seconds");
+    p.readGBs = f.getD("profile.readGBs");
+    p.writeGBs = f.getD("profile.writeGBs");
+    p.totalGBs = f.getD("profile.totalGBs");
+    p.demandFraction = f.getD("profile.demandFraction");
+    p.demandFractionKnown = f.getB("profile.demandFractionKnown");
+
+    Analysis &a = m.analysis;
+    a.routine = f.getS("analysis.routine");
+    a.platform = f.getS("analysis.platform");
+    a.bwGBs = f.getD("analysis.bwGBs");
+    a.pctPeak = f.getD("analysis.pctPeak");
+    a.latencyNs = f.getD("analysis.latencyNs");
+    a.idleLatencyNs = f.getD("analysis.idleLatencyNs");
+    a.nAvg = f.getD("analysis.nAvg");
+    const std::string cls = f.getS("analysis.accessClass");
+    if (cls == "random") {
+        a.accessClass = AccessClass::Random;
+    } else if (cls == "streaming") {
+        a.accessClass = AccessClass::Streaming;
+    } else {
+        return Status::error(ErrorCode::CorruptData,
+                             "spill file: unknown access class \"%s\"",
+                             cls.c_str());
+    }
+    const std::string level = f.getS("analysis.limitingLevel");
+    if (level == "L1") {
+        a.limitingLevel = MshrLevel::L1;
+    } else if (level == "L2") {
+        a.limitingLevel = MshrLevel::L2;
+    } else {
+        return Status::error(ErrorCode::CorruptData,
+                             "spill file: unknown MSHR level \"%s\"",
+                             level.c_str());
+    }
+    a.limitingMshrs = static_cast<unsigned>(
+        f.getU("analysis.limitingMshrs"));
+    a.headroom = f.getD("analysis.headroom");
+    a.nearMshrLimit = f.getB("analysis.nearMshrLimit");
+    a.nearBandwidthLimit = f.getB("analysis.nearBandwidthLimit");
+    a.maxAchievableGBs = f.getD("analysis.maxAchievableGBs");
+    a.demandFraction = f.getD("analysis.demandFraction");
+    a.demandFractionKnown = f.getB("analysis.demandFractionKnown");
+    a.activeStreams = static_cast<unsigned>(
+        f.getU("analysis.activeStreams"));
+    a.activeStreamsKnown = f.getB("analysis.activeStreamsKnown");
+    a.coresUsed = f.getI("analysis.coresUsed");
+    a.bwBelowProfileRange = f.getB("analysis.bwBelowProfileRange");
+    a.bwAboveProfileRange = f.getB("analysis.bwAboveProfileRange");
+    auto warn = f.arrays.find("analysis.warnings");
+    if (warn == f.arrays.end()) {
+        return Status::error(ErrorCode::CorruptData,
+                             "spill file: missing analysis.warnings");
+    }
+    a.warnings = warn->second;
+
+    if (!f.missing.empty()) {
+        return Status::error(ErrorCode::CorruptData,
+                             "spill file: missing field \"%s\" (%zu "
+                             "missing in total)",
+                             f.missing.front().c_str(),
+                             f.missing.size());
+    }
+    if (!f.bad.empty()) {
+        return Status::error(ErrorCode::CorruptData,
+                             "spill file: malformed value for \"%s\"",
+                             f.bad.front().c_str());
+    }
+    return m;
+}
+
+std::string
+ResultCache::stageKey(const platforms::Platform &platform,
+                      const sim::KernelSpec &spec, const OptSet &opts,
+                      uint64_t seed, double warmupUs, double measureUs,
+                      int coresUsed)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "|spec:%016llx|opts:%s|seed:%llu|warmup:%.17g"
+                  "|measure:%.17g|cores:%d",
+                  static_cast<unsigned long long>(hashKernelSpec(spec)),
+                  optsToken(opts).c_str(),
+                  static_cast<unsigned long long>(seed), warmupUs,
+                  measureUs, coresUsed);
+    return platform.name + buf;
+}
+
+std::string
+ResultCache::spillPath(const std::string &key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.json",
+                  static_cast<unsigned long long>(
+                      fnv1a(key.data(), key.size())));
+    return spillDir_ + "/" + name;
+}
+
+bool
+ResultCache::lookup(const std::string &key, StageMetrics *out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        *out = it->second;
+        ++stats_.hits;
+        return true;
+    }
+    if (!spillDir_.empty()) {
+        std::ifstream in(spillPath(key));
+        if (in) {
+            std::ostringstream text;
+            text << in.rdbuf();
+            util::Result<StageMetrics> parsed =
+                parseStageMetricsJson(text.str(), key);
+            // A stale, corrupt or hash-colliding file is a miss, not an
+            // error: the stage simply re-simulates and overwrites it.
+            if (parsed.ok()) {
+                *out = *parsed;
+                entries_.emplace(key, parsed.take());
+                ++stats_.hits;
+                ++stats_.diskLoads;
+                return true;
+            }
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+ResultCache::insert(const std::string &key, const StageMetrics &m)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, fresh] = entries_.emplace(key, m);
+    (void)it;
+    if (!fresh)
+        return;
+    if (!spillDir_.empty()) {
+        std::ofstream out(spillPath(key),
+                          std::ios::out | std::ios::trunc);
+        if (out) {
+            out << stageMetricsJson(m, key);
+            ++stats_.spills;
+        }
+    }
+}
+
+util::Status
+ResultCache::setSpillDir(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dir.empty()) {
+        spillDir_.clear();
+        return Status::okStatus();
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        return Status::error(ErrorCode::IoError,
+                             "cannot create cache dir '%s': %s",
+                             dir.c_str(), ec.message().c_str());
+    }
+    spillDir_ = dir;
+    return Status::okStatus();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    stats_ = Stats();
+}
+
+ResultCache &
+ResultCache::global()
+{
+    static ResultCache instance;
+    return instance;
+}
+
+std::vector<SweepUnit>
+sweepUnits(const std::vector<platforms::Platform> &platforms,
+           const std::vector<workloads::WorkloadPtr> &workloads)
+{
+    std::vector<SweepUnit> units;
+    units.reserve(platforms.size() * workloads.size());
+    for (const workloads::WorkloadPtr &w : workloads) {
+        for (const platforms::Platform &p : platforms)
+            units.push_back(SweepUnit{p, w.get()});
+    }
+    return units;
+}
+
+util::Result<std::vector<SweepRunner::UnitResult>>
+SweepRunner::run(const std::vector<SweepUnit> &units)
+{
+    const size_t n = units.size();
+    std::vector<UnitResult> results(n);
+    if (n == 0)
+        return results;
+
+    // Latency profiles are measured (and their cache files written)
+    // once per distinct platform before any worker starts, so the
+    // fan-out never touches profile files concurrently.
+    std::map<std::string, xmem::LatencyProfile> profiles;
+    for (const SweepUnit &u : units) {
+        if (profiles.count(u.platform.name))
+            continue;
+        util::Result<xmem::LatencyProfile> prof =
+            xmem::XMemHarness().measureCachedChecked(
+                u.platform, xmem::defaultProfilePath(u.platform));
+        if (!prof.ok()) {
+            return prof.status().withContext("sweep: profile for '%s'",
+                                             u.platform.name.c_str());
+        }
+        profiles.emplace(u.platform.name, prof.take());
+    }
+
+    std::vector<Status> statuses(n);
+    std::vector<std::vector<obs::SpanTracker::Stat>> spans(n);
+    std::vector<obs::MetricRegistry> registries(
+        params_.registry ? n : 0);
+
+    std::atomic<size_t> next{0};
+    auto workerLoop = [&] {
+        for (size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1)) {
+            const SweepUnit &u = units[i];
+            UnitResult &res = results[i];
+            res.platform = u.platform.name;
+            res.workload = u.workload->name();
+
+            // Workers record spans into their thread-local tracker;
+            // reset() brackets each unit so stats() is this unit's
+            // delta even when one thread runs several units.
+            obs::SpanTracker &tracker = obs::SpanTracker::global();
+            tracker.reset();
+
+            Experiment::Params ep;
+            ep.warmupUs = params_.warmupUs;
+            ep.measureUs = params_.measureUs;
+            ep.coresUsed = params_.coresUsed;
+            ep.seed = params_.seed;
+            ep.resultCache = params_.cache;
+            ep.sampler = params_.sampler;
+            if (params_.registry)
+                ep.registry = &registries[i];
+
+            util::Result<Experiment> exp = Experiment::create(
+                u.platform, *u.workload,
+                profiles.find(u.platform.name)->second, ep);
+            if (!exp.ok()) {
+                statuses[i] = exp.status().withContext(
+                    "sweep unit %s/%s", res.platform.c_str(),
+                    res.workload.c_str());
+            } else {
+                res.rows = exp->paperTable();
+            }
+            spans[i] = tracker.stats();
+            tracker.reset();
+        }
+    };
+
+    // Workers are always threads — even --jobs 1 — so the main thread's
+    // span tracker sees sweep work only through the deterministic merge
+    // below and serial/parallel runs take one code path.
+    const size_t jobs = std::min<size_t>(
+        n, params_.jobs > 1 ? static_cast<size_t>(params_.jobs) : 1);
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (size_t j = 0; j < jobs; ++j)
+        pool.emplace_back(workerLoop);
+    for (std::thread &t : pool)
+        t.join();
+
+    // Merge-after-join, in unit order regardless of completion order.
+    for (size_t i = 0; i < n; ++i) {
+        if (params_.registry)
+            params_.registry->mergeFrom(registries[i]);
+        obs::SpanTracker::global().merge(spans[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (!statuses[i].ok())
+            return statuses[i];
+    }
+    return results;
+}
+
+} // namespace lll::core

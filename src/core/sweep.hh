@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The parallel sweep runner and the process-wide result cache behind
+ * `lll sweep` / `lll table` / `lll reproduce` (DESIGN.md §11).
+ *
+ * A sweep fans platform x workload experiment *units* out to a pool of
+ * worker threads.  Workers share nothing mutable: each unit builds its
+ * own Experiment (own System, event queue, RNG state) and, when the
+ * caller wants telemetry, records into a private MetricRegistry and its
+ * thread-local SpanTracker.  After join, the runner folds per-unit
+ * registries and span stats into the caller's on the main thread, in
+ * unit order — the merge-after-join contract — so a `--jobs 4` run is
+ * byte-identical to `--jobs 1`, including every exporter.
+ *
+ * The ResultCache memoizes simulated stages across experiments and
+ * processes: the key captures everything the simulation is a pure
+ * function of (platform, kernel-spec hash, applied opts, seed, window
+ * lengths, core count), and a hit returns the stored StageMetrics
+ * without touching the event queue.  With a spill directory configured
+ * the cache persists entries as flat JSON files, so a second process
+ * re-renders every table without re-simulating anything.
+ */
+
+#ifndef LLL_CORE_SWEEP_HH
+#define LLL_CORE_SWEEP_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
+#include "platforms/platform.hh"
+#include "util/status.hh"
+#include "workloads/workload.hh"
+
+namespace lll::core
+{
+
+/** Stable FNV-1a hash of everything a KernelSpec tells the simulator;
+ *  two specs with equal hashes simulate identically (cache key part). */
+uint64_t hashKernelSpec(const sim::KernelSpec &spec);
+
+/** Flat-JSON serialization of one StageMetrics (the cache spill
+ *  format; one "section.field": value pair per line, version-tagged). */
+std::string stageMetricsJson(const StageMetrics &m,
+                             const std::string &key);
+
+/** Parse the spill format back; CorruptData on any missing or
+ *  malformed field, FailedPrecondition on a version/key mismatch
+ *  (@p expect_key empty skips the key check). */
+util::Result<StageMetrics>
+parseStageMetricsJson(const std::string &text,
+                      const std::string &expect_key);
+
+/**
+ * Process-wide memo table for simulated stages.  Thread-safe; workers
+ * of one sweep and sequential experiments in one process share it.
+ */
+class ResultCache
+{
+  public:
+    struct Stats
+    {
+        uint64_t hits = 0;      //!< lookups served (memory or disk)
+        uint64_t misses = 0;    //!< lookups that had to simulate
+        uint64_t diskLoads = 0; //!< hits satisfied from the spill dir
+        uint64_t spills = 0;    //!< entries written to the spill dir
+    };
+
+    /**
+     * The memo key for one simulated stage: every input the simulated
+     * StageMetrics is a pure function of.  Deterministic across runs.
+     */
+    static std::string stageKey(const platforms::Platform &platform,
+                                const sim::KernelSpec &spec,
+                                const workloads::OptSet &opts,
+                                uint64_t seed, double warmupUs,
+                                double measureUs, int coresUsed);
+
+    /** Fetch @p key into @p out; false (and a miss counted) when the
+     *  stage has to be simulated. */
+    bool lookup(const std::string &key, StageMetrics *out);
+
+    /** Memoize @p m under @p key (and spill it when configured). */
+    void insert(const std::string &key, const StageMetrics &m);
+
+    /**
+     * Persist entries under @p dir (created if missing) and serve
+     * lookups from files found there.  Empty disables spilling.
+     */
+    util::Status setSpillDir(const std::string &dir);
+    const std::string &spillDir() const { return spillDir_; }
+
+    Stats stats() const;
+    size_t size() const;
+    void clear();
+
+    /** The process-wide cache every Experiment defaults to not using;
+     *  opt in via Experiment::Params::resultCache. */
+    static ResultCache &global();
+
+  private:
+    std::string spillPath(const std::string &key) const;
+
+    mutable std::mutex mu_;
+    std::map<std::string, StageMetrics> entries_;
+    std::string spillDir_;
+    Stats stats_;
+};
+
+/** One experiment of a sweep. @p workload must outlive the runner. */
+struct SweepUnit
+{
+    platforms::Platform platform;
+    const workloads::Workload *workload = nullptr;
+};
+
+/**
+ * Thread-pooled experiment fan-out with deterministic merge.
+ */
+class SweepRunner
+{
+  public:
+    struct Params
+    {
+        /** Worker threads (clamped to [1, #units]).  Results and
+         *  merged telemetry are identical for every value. */
+        int jobs = 1;
+
+        /** Forwarded to each unit's Experiment. */
+        double warmupUs = 0.0;
+        double measureUs = 0.0;
+        int coresUsed = 0;
+        uint64_t seed = 7;
+
+        /** Stage memo table; nullptr runs uncached. */
+        ResultCache *cache = nullptr;
+
+        /**
+         * When set, each unit records into a private registry and the
+         * runner mergeFrom()s them into this one after join, in unit
+         * order; worker span stats fold into the calling thread's
+         * SpanTracker the same way.
+         */
+        obs::MetricRegistry *registry = nullptr;
+        obs::Sampler::Params sampler;
+    };
+
+    /** The rendered paper walk of one unit. */
+    struct UnitResult
+    {
+        std::string platform;
+        std::string workload;
+        std::vector<TableRow> rows;
+    };
+
+    explicit SweepRunner(Params params) : params_(params) {}
+
+    /**
+     * Run every unit and return results in unit order (never in
+     * completion order).  Latency profiles are measured/loaded once
+     * per distinct platform *before* the fan-out, so workers never
+     * touch profile files concurrently.  Fails with the first failing
+     * unit's Status, in unit order.
+     */
+    util::Result<std::vector<UnitResult>>
+    run(const std::vector<SweepUnit> &units);
+
+  private:
+    Params params_;
+};
+
+/** The registry-wide unit list (every workload x every platform,
+ *  workload-major so each paper table's units are contiguous), shared
+ *  by `lll sweep` and `lll reproduce`.  The units borrow the
+ *  workloads: @p workloads must outlive the returned vector. */
+std::vector<SweepUnit>
+sweepUnits(const std::vector<platforms::Platform> &platforms,
+           const std::vector<workloads::WorkloadPtr> &workloads);
+
+} // namespace lll::core
+
+#endif // LLL_CORE_SWEEP_HH

@@ -67,8 +67,8 @@ RoutineProfiler::profile(const sim::RunResult &run,
     const double line_gb = platform_.lineBytes * 1e-9;
     uint64_t reads = bank.readOrDie(EventKind::MemReadLines);
     uint64_t writes = bank.readOrDie(EventKind::MemWriteLines);
-    p.readGBs = reads * line_gb / p.seconds;
-    p.writeGBs = writes * line_gb / p.seconds;
+    p.readGBs = static_cast<double>(reads) * line_gb / p.seconds;
+    p.writeGBs = static_cast<double>(writes) * line_gb / p.seconds;
     p.totalGBs = p.readGBs + p.writeGBs;
 
     // Demand-vs-prefetch split is vendor-limited; report it when the

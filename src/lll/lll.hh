@@ -20,12 +20,15 @@
 #define LLL_LLL_HH
 
 #include "analysis/determinism.hh"
+#include "analysis/profile_lint.hh"
 #include "analysis/spec_lint.hh"
 #include "core/analyzer.hh"
+#include "core/bounds.hh"
 #include "core/experiment.hh"
 #include "core/littles_law.hh"
 #include "core/recipe.hh"
 #include "core/roofline.hh"
+#include "core/sweep.hh"
 #include "core/tma.hh"
 #include "counters/counter_bank.hh"
 #include "counters/vendor_matrix.hh"

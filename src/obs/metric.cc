@@ -42,6 +42,15 @@ Log2Histogram::percentile(double frac) const
 }
 
 void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    for (size_t k = 0; k < kBuckets; ++k)
+        counts_[k] += other.counts_[k];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+void
 Log2Histogram::reset()
 {
     counts_.fill(0);

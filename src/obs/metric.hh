@@ -139,7 +139,10 @@ class Log2Histogram
     void sample(double v);
 
     uint64_t total() const { return total_; }
-    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    double mean() const
+    {
+        return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+    }
     uint64_t bucket(size_t k) const { return counts_.at(k); }
 
     /** Upper bound of bucket @p k (lower bound of k+1). */
@@ -147,6 +150,9 @@ class Log2Histogram
 
     /** Value below which @p frac of samples fall (bucket resolution). */
     double percentile(double frac) const;
+
+    /** Add @p other's samples into this histogram bucket-wise. */
+    void merge(const Log2Histogram &other);
 
     void reset();
 

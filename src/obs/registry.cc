@@ -1,5 +1,7 @@
 #include "obs/registry.hh"
 
+#include <algorithm>
+
 namespace lll::obs
 {
 
@@ -89,6 +91,33 @@ MetricRegistry::series(const std::string &name) const
 {
     auto it = series_.find(name);
     return it == series_.end() ? nullptr : &it->second;
+}
+
+void
+MetricRegistry::mergeFrom(const MetricRegistry &other)
+{
+    for (const auto &[name, counter] : other.counters_)
+        counters_[name].increment(counter.value());
+    for (const auto &[name, gauge] : other.gauges_) {
+        GaugeMetric &g = setGauge(name, gauge.read());
+        g.setSampled(g.sampled() || gauge.sampled());
+    }
+    for (const auto &[name, hist] : other.histograms_)
+        histograms_[name].merge(hist);
+    for (const auto &[name, series] : other.series_) {
+        auto it = series_.find(name);
+        if (it == series_.end()) {
+            it = series_
+                     .emplace(name, TimeSeries(std::max(seriesCapacity_,
+                                                        series.capacity())))
+                     .first;
+        }
+        for (const TimeSeries::Sample &s : series.samples())
+            it->second.push(s.when, s.value);
+    }
+    for (const auto &[name, value] : other.annotations_)
+        annotations_[name] = value;
+    snapshots_ += other.snapshots_;
 }
 
 void

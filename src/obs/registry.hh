@@ -112,6 +112,17 @@ class MetricRegistry
         return annotations_;
     }
 
+    /**
+     * Fold @p other into this registry — the sweep runner's
+     * merge-after-join contract (DESIGN.md §11): counters add, gauges
+     * take the other's current value (worker gauges are frozen by the
+     * time a task completes, so read() is safe), histograms add
+     * bucket-wise, time-series samples append in push order, and
+     * annotations overwrite.  Call on the main thread, once per task,
+     * in deterministic task order.
+     */
+    void mergeFrom(const MetricRegistry &other);
+
     /** Drop every metric, series and annotation. */
     void clear();
 

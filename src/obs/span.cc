@@ -39,6 +39,17 @@ SpanTracker::stats() const
 }
 
 void
+SpanTracker::merge(const std::vector<Stat> &stats)
+{
+    for (const Stat &s : stats) {
+        Agg &agg = agg_[s.path];
+        agg.depth = s.depth;
+        agg.count += s.count;
+        agg.wallNs += s.wallNs;
+    }
+}
+
+void
 SpanTracker::reset()
 {
     stack_.clear();
@@ -48,7 +59,7 @@ SpanTracker::reset()
 SpanTracker &
 SpanTracker::global()
 {
-    static SpanTracker instance;
+    thread_local SpanTracker instance;
     return instance;
 }
 

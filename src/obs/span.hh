@@ -13,6 +13,12 @@
  * `outer/inner`, so exporters can show where time went per phase.  The
  * tracker aggregates by full path (count + total wall time) rather than
  * retaining every interval, keeping overhead and memory constant.
+ *
+ * Threading: global() is thread-local, so LLL_SPAN is race-free from
+ * sweep workers without any locking; each worker records into its own
+ * tracker and the sweep runner merge()s the per-task stats into the
+ * main thread's tracker after join, in deterministic task order (the
+ * merge-after-join contract, DESIGN.md §11).
  */
 
 #ifndef LLL_OBS_SPAN_HH
@@ -27,7 +33,8 @@ namespace lll::obs
 {
 
 /**
- * Aggregating span stack.  Single-threaded, like the simulator.
+ * Aggregating span stack.  Single-threaded; concurrent use goes through
+ * the per-thread global() instance plus merge().
  */
 class SpanTracker
 {
@@ -52,10 +59,17 @@ class SpanTracker
     /** Aggregated per-path statistics, sorted by path. */
     std::vector<Stat> stats() const;
 
+    /**
+     * Fold per-path aggregates (a worker tracker's stats()) into this
+     * tracker: counts and wall time add, paths union.  The sweep runner
+     * calls this on the main thread after joining its workers.
+     */
+    void merge(const std::vector<Stat> &stats);
+
     /** Forget all aggregates and abandon open spans. */
     void reset();
 
-    /** The process-wide tracker LLL_SPAN uses. */
+    /** The calling thread's tracker — what LLL_SPAN uses. */
     static SpanTracker &global();
 
   private:

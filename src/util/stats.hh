@@ -73,7 +73,10 @@ class Average
         max_ = std::max(max_, v);
     }
 
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     uint64_t count() const { return count_; }
@@ -178,7 +181,10 @@ class Histogram
     }
 
     uint64_t total() const { return total_; }
-    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    double mean() const
+    {
+        return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+    }
 
     /** Value below which @p frac of samples fall (bucket resolution). */
     double
@@ -186,7 +192,8 @@ class Histogram
     {
         if (total_ == 0)
             return 0.0;
-        uint64_t target = static_cast<uint64_t>(frac * total_);
+        uint64_t target =
+            static_cast<uint64_t>(frac * static_cast<double>(total_));
         uint64_t seen = 0;
         for (size_t i = 0; i < counts_.size(); ++i) {
             seen += counts_[i];

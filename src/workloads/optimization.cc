@@ -39,6 +39,20 @@ optShortName(Opt opt)
     return "?";
 }
 
+std::optional<Opt>
+optFromShortName(const std::string &name)
+{
+    static constexpr Opt kAll[] = {
+        Opt::Vectorize,  Opt::Smt2,      Opt::Smt4,   Opt::SwPrefetchL2,
+        Opt::Tiling,     Opt::UnrollJam, Opt::Fusion, Opt::Distribution,
+    };
+    for (Opt o : kAll) {
+        if (name == optShortName(o))
+            return o;
+    }
+    return std::nullopt;
+}
+
 bool
 increasesMlp(Opt opt)
 {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ const char *optName(Opt opt);
 
 /** Short label used in table rows ("vect", "2-ht", "l2-pref", ...). */
 const char *optShortName(Opt opt);
+
+/** Inverse of optShortName(); nullopt for an unknown token.  The CLI
+ *  variant parser and the result-cache deserializer share it. */
+std::optional<Opt> optFromShortName(const std::string &name);
 
 /** True if applying @p opt tends to increase MLP (paper §III-C). */
 bool increasesMlp(Opt opt);

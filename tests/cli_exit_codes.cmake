@@ -33,6 +33,28 @@ expect_exit(2 walk isx skl --bogus)
 expect_exit(2 table isx extra)
 expect_exit(2 roofline skl --bogus)
 
+# --cores: zero/garbage are usage errors; a config whose derived bounds
+# are statically vacuous (one KNL core barely loads the memory system,
+# LLL-LINT-102) is refused with exit 3 before any simulation runs.
+expect_exit(2 analyze isx skl --cores 0)
+expect_exit(2 analyze isx skl --cores nope)
+expect_exit(2 trace isx skl --cores 0)
+expect_exit(3 analyze isx knl --cores 1)
+
+# table/sweep/reproduce share the SweepRunner flags.
+expect_exit(2 sweep extra)
+expect_exit(2 sweep --jobs 0)
+expect_exit(2 sweep --jobs)
+expect_exit(2 reproduce --jobs nope)
+expect_exit(2 reproduce extra)
+expect_exit(2 table isx --jobs 0)
+
+# lint --profile: flag errors exit 2, an unreadable file is bad input
+# data (LLL-PROF-101, exit 3).
+expect_exit(2 lint --profile)
+expect_exit(2 lint --profile file extra)
+expect_exit(3 lint --profile /nonexistent/profile.txt)
+
 # lint: usage errors exit 2, infeasible configs exit 3 with LLL-PLAT-001.
 expect_exit(2 lint isx)                      # platform missing
 expect_exit(2 lint isx skl nonsense-opt)     # unknown optimization

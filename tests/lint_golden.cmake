@@ -6,6 +6,9 @@
 #   lll lint isx skl 4-ht       > tests/golden/lint_infeasible.txt
 #   lll lint isx skl --json tests/golden/lint_feasible.json
 #   lll lint isx skl 4-ht --json tests/golden/lint_infeasible.json
+# and (from inside tests/golden/ so the subject stays a relative path):
+#   lll lint --profile profile_bad.txt > lint_profile.txt
+#   lll lint --profile profile_bad.txt --json lint_profile.json
 # Run via: cmake -DLLL_BIN=... -DGOLDEN_DIR=... -DWORK_DIR=... -P lint_golden.cmake
 
 function(check_case name expected_exit)
@@ -39,3 +42,38 @@ endfunction()
 
 check_case(feasible 0 isx skl)
 check_case(infeasible 3 isx skl 4-ht)
+
+# Profile lint runs from inside GOLDEN_DIR so the diagnostics' subject
+# stays the relative fixture path and the report is machine-independent.
+function(check_profile_case name expected_exit fixture)
+    set(json "${WORK_DIR}/lint_golden_${name}.json")
+    execute_process(COMMAND ${LLL_BIN} lint --profile ${fixture}
+                            --json ${json}
+                    WORKING_DIRECTORY ${GOLDEN_DIR}
+                    RESULT_VARIABLE got_exit
+                    OUTPUT_VARIABLE got_text
+                    ERROR_QUIET)
+    if(NOT got_exit EQUAL ${expected_exit})
+        message(FATAL_ERROR "lll lint --profile ${fixture}: expected "
+                            "exit ${expected_exit}, got ${got_exit}")
+    endif()
+
+    file(READ "${GOLDEN_DIR}/lint_${name}.txt" want_text)
+    if(NOT got_text STREQUAL want_text)
+        file(WRITE "${WORK_DIR}/lint_golden_${name}.txt" "${got_text}")
+        message(FATAL_ERROR
+            "lll lint --profile ${fixture}: text differs from golden "
+            "${GOLDEN_DIR}/lint_${name}.txt (actual saved to "
+            "${WORK_DIR}/lint_golden_${name}.txt)")
+    endif()
+
+    file(READ "${json}" got_json)
+    file(READ "${GOLDEN_DIR}/lint_${name}.json" want_json)
+    if(NOT got_json STREQUAL want_json)
+        message(FATAL_ERROR
+            "lll lint --profile ${fixture}: JSON differs from golden "
+            "${GOLDEN_DIR}/lint_${name}.json (actual in ${json})")
+    endif()
+endfunction()
+
+check_profile_case(profile 0 profile_bad.txt)

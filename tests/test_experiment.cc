@@ -92,5 +92,31 @@ TEST_F(ExperimentTest, ThroughputBasisIsWorkUnits)
     EXPECT_GT(m.throughput, 0.0);
 }
 
+TEST_F(ExperimentTest, CreateAcceptsNonVacuousConfig)
+{
+    auto exp = Experiment::create(plat_, *isx_, profile_, params_);
+    EXPECT_TRUE(exp.ok()) << exp.status().toString();
+}
+
+TEST_F(ExperimentTest, CreateRefusesVacuousConfig)
+{
+    // One KNL core barely loads the memory system: deriveBounds() puts
+    // the MLP ceiling under 5% of peak (LLL-LINT-102), so every
+    // Little's-law conclusion would be noise.  create() must refuse
+    // instead of simulating.
+    platforms::Platform knl = platforms::byName("knl");
+    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    Experiment::Params params;
+    params.coresUsed = 1;
+    params.warmupUs = 5.0;
+    params.measureUs = 10.0;
+    auto exp = Experiment::create(
+        knl, *isx, test::syntheticProfile("knl", knl.peakGBs), params);
+    ASSERT_FALSE(exp.ok());
+    EXPECT_EQ(exp.status().code(), util::ErrorCode::FailedPrecondition);
+    EXPECT_NE(exp.status().message().find("LLL-LINT"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace lll::core

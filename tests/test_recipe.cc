@@ -205,6 +205,59 @@ TEST_F(RecipeTest, EveryRecommendationHasRationale)
     }
 }
 
+// The fusion/distribution dual near the MSHR limit (paper Fig. 1): with
+// many concurrent streams contending for the queue, splitting the loop
+// is the occupancy reducer; with few, fusing for reuse is.  Before this
+// branch existed, Distribution was advertised by `lll lint` as a recipe
+// output yet unreachable from advise() — LLL-RCP-002.
+
+TEST_F(RecipeTest, MshrFullStreamHeavyRecommendsDistributionOverFusion)
+{
+    Recipe recipe(skl_);
+    Analysis a = makeAnalysis(skl_, 15.0, false, false);
+    a.activeStreams = Recipe::kStreamHeavy;
+    a.activeStreamsKnown = true;
+    RecipeDecision d = recipe.advise(a, OptSet{});
+    EXPECT_TRUE(recommends(d, Opt::Distribution));
+    EXPECT_FALSE(recommends(d, Opt::Fusion));
+    EXPECT_TRUE(mentions(d, Opt::Fusion)); // skipped with rationale
+}
+
+TEST_F(RecipeTest, MshrFullFewStreamsRecommendsFusionOverDistribution)
+{
+    Recipe recipe(skl_);
+    Analysis a = makeAnalysis(skl_, 15.0, false, false);
+    a.activeStreams = Recipe::kStreamHeavy - 1;
+    a.activeStreamsKnown = true;
+    RecipeDecision d = recipe.advise(a, OptSet{});
+    EXPECT_TRUE(recommends(d, Opt::Fusion));
+    EXPECT_FALSE(recommends(d, Opt::Distribution));
+    EXPECT_TRUE(mentions(d, Opt::Distribution));
+}
+
+TEST_F(RecipeTest, MshrFullUnknownStreamCountKeepsFusionDefault)
+{
+    // An Analysis built without stream attribution (activeStreamsKnown
+    // false) must behave exactly as before the dual existed.
+    Recipe recipe(skl_);
+    RecipeDecision d =
+        recipe.advise(makeAnalysis(skl_, 15.0, false, false), OptSet{});
+    EXPECT_TRUE(recommends(d, Opt::Fusion));
+    EXPECT_FALSE(recommends(d, Opt::Distribution));
+}
+
+TEST_F(RecipeTest, MshrFullDistributionNotReRecommendedOnceApplied)
+{
+    Recipe recipe(skl_);
+    Analysis a = makeAnalysis(skl_, 15.0, false, false);
+    a.activeStreams = Recipe::kStreamHeavy + 2;
+    a.activeStreamsKnown = true;
+    RecipeDecision d =
+        recipe.advise(a, OptSet{}.with(Opt::Distribution));
+    EXPECT_FALSE(recommends(d, Opt::Distribution));
+    EXPECT_TRUE(mentions(d, Opt::Distribution));
+}
+
 TEST_F(RecipeTest, DistributionNeverTopRecommendationAtLowMlp)
 {
     Recipe recipe(skl_);

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Tests for the sweep runner and result cache (DESIGN.md §11): parallel
+ * and serial runs must produce identical rows and identical merged
+ * telemetry, memoized stages must skip the simulator, and the on-disk
+ * spill format must round-trip byte-exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "obs/export.hh"
+#include "obs/span.hh"
+#include "test_common.hh"
+#include "workloads/workload.hh"
+#include "xmem/xmem_harness.hh"
+
+namespace lll::core
+{
+namespace
+{
+
+using workloads::Opt;
+using workloads::OptSet;
+
+/** Short windows and a partial core count keep each unit fast while
+ *  still exercising every stage of the paper walk. */
+SweepRunner::Params
+fastParams()
+{
+    SweepRunner::Params sp;
+    sp.warmupUs = 5.0;
+    sp.measureUs = 10.0;
+    sp.coresUsed = 6;
+    return sp;
+}
+
+/** Two high-bandwidth workloads: both stay non-vacuous (LLL-LINT-102)
+ *  on every platform at the reduced fastParams() core count, unlike
+ *  e.g. comd/pennant on knl. */
+std::vector<workloads::WorkloadPtr>
+twoWorkloads()
+{
+    std::vector<workloads::WorkloadPtr> wls;
+    wls.push_back(workloads::workloadByName("isx"));
+    wls.push_back(workloads::workloadByName("hpcg"));
+    return wls;
+}
+
+std::vector<platforms::Platform>
+twoPlatforms()
+{
+    return {platforms::skl(), platforms::knl()};
+}
+
+/** Ensure the on-disk profile cache exists before any run() under
+ *  comparison.  Profile files store points as %.4f, so the very first
+ *  measurement in a fresh directory hands the runner an in-memory
+ *  profile that differs from its disk round-trip in the low digits —
+ *  warming the cache here keeps every compared run on the loaded
+ *  (truncated) profile. */
+void
+warmProfileCache()
+{
+    for (const platforms::Platform &p : twoPlatforms()) {
+        util::Result<xmem::LatencyProfile> prof =
+            xmem::XMemHarness().measureCachedChecked(
+                p, xmem::defaultProfilePath(p));
+        ASSERT_TRUE(prof.ok()) << prof.status().toString();
+    }
+}
+
+void
+expectSameRows(const std::vector<SweepRunner::UnitResult> &a,
+               const std::vector<SweepRunner::UnitResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].platform, b[i].platform);
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        ASSERT_EQ(a[i].rows.size(), b[i].rows.size());
+        for (size_t j = 0; j < a[i].rows.size(); ++j) {
+            const TableRow &x = a[i].rows[j];
+            const TableRow &y = b[i].rows[j];
+            EXPECT_EQ(x.source, y.source);
+            EXPECT_EQ(x.optLabel, y.optLabel);
+            EXPECT_DOUBLE_EQ(x.bwGBs, y.bwGBs);
+            EXPECT_DOUBLE_EQ(x.pctPeak, y.pctPeak);
+            EXPECT_DOUBLE_EQ(x.latencyNs, y.latencyNs);
+            EXPECT_DOUBLE_EQ(x.nAvg, y.nAvg);
+            EXPECT_DOUBLE_EQ(x.speedup, y.speedup);
+            EXPECT_DOUBLE_EQ(x.paperSpeedup, y.paperSpeedup);
+        }
+    }
+}
+
+uint64_t
+simulateSpanCount()
+{
+    uint64_t n = 0;
+    for (const obs::SpanTracker::Stat &s :
+         obs::SpanTracker::global().stats()) {
+        if (s.path.find("simulate") != std::string::npos)
+            n += s.count;
+    }
+    return n;
+}
+
+/** A StageMetrics with every serialized field set to a distinctive
+ *  value, for spill round-trip checks. */
+StageMetrics
+distinctiveMetrics()
+{
+    StageMetrics m;
+    m.opts = OptSet{}.with(Opt::Vectorize).with(Opt::Tiling);
+    m.label = m.opts.label();
+    m.throughput = 123.5e6;
+    m.run.measureSeconds = 1.25e-5;
+    m.run.totalGBs = 98.75;
+    m.run.opsIssued = 987654321ULL;
+    m.run.avgMemLatencyNs = 231.0625;
+    m.run.l1FullStalls = 42;
+    m.run.eventsProcessed = 1234567ULL;
+    m.profile.routine = "test_routine";
+    m.profile.totalGBs = 98.75;
+    m.profile.demandFraction = 0.875;
+    m.profile.demandFractionKnown = true;
+    m.analysis.routine = "test_routine";
+    m.analysis.platform = "skl";
+    m.analysis.bwGBs = 98.75;
+    m.analysis.pctPeak = 0.7715;
+    m.analysis.latencyNs = 231.0625;
+    m.analysis.nAvg = 8.921875;
+    m.analysis.accessClass = AccessClass::Random;
+    m.analysis.limitingLevel = MshrLevel::L1;
+    m.analysis.limitingMshrs = 10;
+    m.analysis.headroom = 1.078125;
+    m.analysis.nearMshrLimit = true;
+    m.analysis.activeStreams = 3;
+    m.analysis.activeStreamsKnown = true;
+    m.analysis.coresUsed = 6;
+    m.analysis.warnings = {"first warning", "second \"quoted\" one"};
+    return m;
+}
+
+TEST(SweepUnits, WorkloadMajorOrder)
+{
+    std::vector<workloads::WorkloadPtr> wls = twoWorkloads();
+    std::vector<SweepUnit> units = sweepUnits(twoPlatforms(), wls);
+    ASSERT_EQ(units.size(), 4u);
+    EXPECT_EQ(units[0].workload->name(), units[1].workload->name());
+    EXPECT_EQ(units[2].workload->name(), units[3].workload->name());
+    EXPECT_NE(units[0].workload->name(), units[2].workload->name());
+    EXPECT_EQ(units[0].platform.name, units[2].platform.name);
+}
+
+TEST(SweepRunner, ParallelRowsMatchSerial)
+{
+    ASSERT_NO_FATAL_FAILURE(warmProfileCache());
+    std::vector<workloads::WorkloadPtr> wls = twoWorkloads();
+    std::vector<SweepUnit> units = sweepUnits(twoPlatforms(), wls);
+
+    SweepRunner::Params serial = fastParams();
+    serial.jobs = 1;
+    util::Result<std::vector<SweepRunner::UnitResult>> a =
+        SweepRunner(serial).run(units);
+    ASSERT_TRUE(a.ok()) << a.status().toString();
+
+    SweepRunner::Params parallel = fastParams();
+    parallel.jobs = 4;
+    util::Result<std::vector<SweepRunner::UnitResult>> b =
+        SweepRunner(parallel).run(units);
+    ASSERT_TRUE(b.ok()) << b.status().toString();
+
+    ASSERT_EQ(a->size(), units.size());
+    expectSameRows(*a, *b);
+}
+
+TEST(SweepRunner, MergedTelemetryIsDeterministic)
+{
+    ASSERT_NO_FATAL_FAILURE(warmProfileCache());
+    std::vector<workloads::WorkloadPtr> wls = twoWorkloads();
+    std::vector<SweepUnit> units = sweepUnits(twoPlatforms(), wls);
+
+    obs::MetricRegistry serial_reg;
+    SweepRunner::Params serial = fastParams();
+    serial.jobs = 1;
+    serial.registry = &serial_reg;
+    ASSERT_TRUE(SweepRunner(serial).run(units).ok());
+
+    obs::MetricRegistry parallel_reg;
+    SweepRunner::Params parallel = fastParams();
+    parallel.jobs = 4;
+    parallel.registry = &parallel_reg;
+    ASSERT_TRUE(SweepRunner(parallel).run(units).ok());
+
+    // Merge-after-join in unit order: the exporters must not be able to
+    // tell the two runs apart, byte for byte.  (Span stats carry wall
+    // time, so they stay out of this comparison.)
+    EXPECT_EQ(obs::exportJson(serial_reg, nullptr),
+              obs::exportJson(parallel_reg, nullptr));
+    EXPECT_EQ(obs::exportCsv(serial_reg), obs::exportCsv(parallel_reg));
+}
+
+TEST(SweepRunner, ResultCacheSkipsResimulation)
+{
+    ASSERT_NO_FATAL_FAILURE(warmProfileCache());
+    std::vector<workloads::WorkloadPtr> wls = twoWorkloads();
+    std::vector<SweepUnit> units = sweepUnits(twoPlatforms(), wls);
+
+    ResultCache cache;
+    SweepRunner::Params sp = fastParams();
+    sp.cache = &cache;
+
+    obs::SpanTracker::global().reset();
+    util::Result<std::vector<SweepRunner::UnitResult>> cold =
+        SweepRunner(sp).run(units);
+    ASSERT_TRUE(cold.ok()) << cold.status().toString();
+    EXPECT_GT(simulateSpanCount(), 0u);
+
+    const ResultCache::Stats after_cold = cache.stats();
+    EXPECT_EQ(after_cold.hits, 0u);
+    EXPECT_GT(after_cold.misses, 0u);
+    EXPECT_EQ(cache.size(), after_cold.misses);
+
+    // Warm run: every stage is served from the cache, so the simulate
+    // span never opens and the miss count does not move.
+    obs::SpanTracker::global().reset();
+    util::Result<std::vector<SweepRunner::UnitResult>> warm =
+        SweepRunner(sp).run(units);
+    ASSERT_TRUE(warm.ok()) << warm.status().toString();
+    EXPECT_EQ(simulateSpanCount(), 0u);
+
+    const ResultCache::Stats after_warm = cache.stats();
+    EXPECT_EQ(after_warm.misses, after_cold.misses);
+    EXPECT_EQ(after_warm.hits, after_cold.misses);
+
+    expectSameRows(*cold, *warm);
+}
+
+TEST(ResultCache, SpillJsonRoundTrips)
+{
+    const StageMetrics m = distinctiveMetrics();
+    const std::string text = stageMetricsJson(m, "key-1");
+
+    util::Result<StageMetrics> parsed =
+        parseStageMetricsJson(text, "key-1");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const StageMetrics &p = *parsed;
+
+    EXPECT_EQ(p.label, m.label);
+    EXPECT_EQ(p.opts.label(), m.opts.label());
+    EXPECT_DOUBLE_EQ(p.throughput, m.throughput);
+    EXPECT_DOUBLE_EQ(p.run.measureSeconds, m.run.measureSeconds);
+    EXPECT_DOUBLE_EQ(p.run.totalGBs, m.run.totalGBs);
+    EXPECT_EQ(p.run.opsIssued, m.run.opsIssued);
+    EXPECT_DOUBLE_EQ(p.run.avgMemLatencyNs, m.run.avgMemLatencyNs);
+    EXPECT_EQ(p.run.l1FullStalls, m.run.l1FullStalls);
+    EXPECT_EQ(p.run.eventsProcessed, m.run.eventsProcessed);
+    EXPECT_EQ(p.profile.routine, m.profile.routine);
+    EXPECT_DOUBLE_EQ(p.profile.demandFraction,
+                     m.profile.demandFraction);
+    EXPECT_TRUE(p.profile.demandFractionKnown);
+    EXPECT_EQ(p.analysis.platform, m.analysis.platform);
+    EXPECT_DOUBLE_EQ(p.analysis.nAvg, m.analysis.nAvg);
+    EXPECT_EQ(p.analysis.accessClass, m.analysis.accessClass);
+    EXPECT_EQ(p.analysis.limitingLevel, m.analysis.limitingLevel);
+    EXPECT_EQ(p.analysis.limitingMshrs, m.analysis.limitingMshrs);
+    EXPECT_TRUE(p.analysis.nearMshrLimit);
+    EXPECT_EQ(p.analysis.activeStreams, m.analysis.activeStreams);
+    EXPECT_TRUE(p.analysis.activeStreamsKnown);
+    EXPECT_EQ(p.analysis.coresUsed, m.analysis.coresUsed);
+    EXPECT_EQ(p.analysis.warnings, m.analysis.warnings);
+
+    // Serialize-parse-serialize is a fixed point: the spill format
+    // loses nothing (%.17g doubles).
+    EXPECT_EQ(stageMetricsJson(p, "key-1"), text);
+}
+
+TEST(ResultCache, SpillJsonRejectsMismatchAndCorruption)
+{
+    const StageMetrics m = distinctiveMetrics();
+    const std::string text = stageMetricsJson(m, "key-1");
+
+    util::Result<StageMetrics> wrong_key =
+        parseStageMetricsJson(text, "key-2");
+    ASSERT_FALSE(wrong_key.ok());
+    EXPECT_EQ(wrong_key.status().code(),
+              util::ErrorCode::FailedPrecondition);
+
+    std::string wrong_version = text;
+    wrong_version.replace(wrong_version.find("\"version\": 1"),
+                          std::string("\"version\": 1").size(),
+                          "\"version\": 99");
+    util::Result<StageMetrics> bad_version =
+        parseStageMetricsJson(wrong_version, "key-1");
+    ASSERT_FALSE(bad_version.ok());
+    EXPECT_EQ(bad_version.status().code(),
+              util::ErrorCode::FailedPrecondition);
+
+    util::Result<StageMetrics> truncated =
+        parseStageMetricsJson(text.substr(0, text.size() / 2), "key-1");
+    EXPECT_FALSE(truncated.ok());
+
+    util::Result<StageMetrics> garbage =
+        parseStageMetricsJson("not json at all", "key-1");
+    ASSERT_FALSE(garbage.ok());
+    EXPECT_EQ(garbage.status().code(), util::ErrorCode::CorruptData);
+}
+
+TEST(ResultCache, DiskSpillServesAFreshCache)
+{
+    const std::string dir =
+        ::testing::TempDir() + "lll_sweep_spill_test";
+    std::filesystem::remove_all(dir);
+
+    const StageMetrics m = distinctiveMetrics();
+    ResultCache writer;
+    ASSERT_TRUE(writer.setSpillDir(dir).ok());
+    writer.insert("key-1", m);
+    EXPECT_EQ(writer.stats().spills, 1u);
+
+    // A different cache instance (a second process, in effect) finds
+    // the entry on disk without ever simulating.
+    ResultCache reader;
+    ASSERT_TRUE(reader.setSpillDir(dir).ok());
+    StageMetrics out;
+    ASSERT_TRUE(reader.lookup("key-1", &out));
+    EXPECT_EQ(out.label, m.label);
+    EXPECT_DOUBLE_EQ(out.throughput, m.throughput);
+    EXPECT_EQ(reader.stats().hits, 1u);
+    EXPECT_EQ(reader.stats().diskLoads, 1u);
+
+    // Unknown keys are misses even with a spill dir.
+    EXPECT_FALSE(reader.lookup("key-2", &out));
+    EXPECT_EQ(reader.stats().misses, 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, CorruptSpillFileIsAMissNotAnError)
+{
+    const std::string dir =
+        ::testing::TempDir() + "lll_sweep_corrupt_test";
+    std::filesystem::remove_all(dir);
+
+    ResultCache writer;
+    ASSERT_TRUE(writer.setSpillDir(dir).ok());
+    writer.insert("key-1", distinctiveMetrics());
+
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        std::ofstream out(entry.path(),
+                          std::ios::out | std::ios::trunc);
+        out << "{ \"version\": definitely not valid\n";
+    }
+
+    ResultCache reader;
+    ASSERT_TRUE(reader.setSpillDir(dir).ok());
+    StageMetrics out;
+    EXPECT_FALSE(reader.lookup("key-1", &out));
+    EXPECT_EQ(reader.stats().misses, 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(HashKernelSpec, StableAndFieldSensitive)
+{
+    sim::KernelSpec a = test::randomKernel(64, 2.0);
+    sim::KernelSpec b = test::randomKernel(64, 2.0);
+    EXPECT_EQ(hashKernelSpec(a), hashKernelSpec(b));
+
+    sim::KernelSpec wider = test::randomKernel(65, 2.0);
+    EXPECT_NE(hashKernelSpec(a), hashKernelSpec(wider));
+
+    sim::KernelSpec busier = test::randomKernel(64, 2.5);
+    EXPECT_NE(hashKernelSpec(a), hashKernelSpec(busier));
+
+    sim::KernelSpec more_streams = a;
+    more_streams.streams.push_back(a.streams.front());
+    EXPECT_NE(hashKernelSpec(a), hashKernelSpec(more_streams));
+}
+
+TEST(ResultCache, StageKeyCoversEveryInput)
+{
+    const platforms::Platform skl = platforms::skl();
+    const platforms::Platform knl = platforms::knl();
+    const sim::KernelSpec spec = test::randomKernel(64, 2.0);
+    const std::string base =
+        ResultCache::stageKey(skl, spec, OptSet{}, 7, 5.0, 10.0, 6);
+
+    EXPECT_EQ(base, ResultCache::stageKey(skl, spec, OptSet{}, 7, 5.0,
+                                          10.0, 6));
+    EXPECT_NE(base, ResultCache::stageKey(knl, spec, OptSet{}, 7, 5.0,
+                                          10.0, 6));
+    EXPECT_NE(base,
+              ResultCache::stageKey(skl, spec,
+                                    OptSet{}.with(Opt::Vectorize), 7,
+                                    5.0, 10.0, 6));
+    EXPECT_NE(base, ResultCache::stageKey(skl, spec, OptSet{}, 8, 5.0,
+                                          10.0, 6));
+    EXPECT_NE(base, ResultCache::stageKey(skl, spec, OptSet{}, 7, 6.0,
+                                          10.0, 6));
+    EXPECT_NE(base, ResultCache::stageKey(skl, spec, OptSet{}, 7, 5.0,
+                                          11.0, 6));
+    EXPECT_NE(base, ResultCache::stageKey(skl, spec, OptSet{}, 7, 5.0,
+                                          10.0, 8));
+}
+
+} // namespace
+} // namespace lll::core

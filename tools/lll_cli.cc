@@ -10,16 +10,24 @@
  *   lll trace <wl> <plat> [opts...]       run with telemetry + tracer
  *   lll walk <wl> <plat>                  recipe loop to convergence
  *   lll table <wl>                        the paper-table rows for <wl>
+ *   lll sweep                             every workload x platform walk
+ *   lll reproduce                         the paper's Tables IV-IX
  *   lll roofline <plat>                   roofs + MSHR ceilings
  *   lll vendors                           counter visibility (Table I)
  *   lll selftest [--iterations N]         fault-injection harness
  *   lll lint [<wl> <plat> [opts...]]      static analyzer (+ determinism)
  *
  * Variant opts: vect 2-ht 4-ht l2-pref tiling unroll-jam fusion distr
- * analyze/trace also accept `--json FILE` (full metric export, "-" for
- * stdout) and `--metrics FILE` (sampled time series as CSV).
+ * analyze/trace also accept `--cores N` (drive the load with fewer
+ * cores), `--json FILE` (full metric export, "-" for stdout) and
+ * `--metrics FILE` (sampled time series as CSV).
  * lint accepts `--json FILE` and `--determinism` (event-order race
- * check); without a workload/platform it scans the whole registry.
+ * check); without a workload/platform it scans the whole registry;
+ * `--profile FILE` lints a cached X-Mem latency profile instead.
+ * table/sweep/reproduce run through the parallel SweepRunner: `--jobs N`
+ * fans units out to N workers (output is byte-identical for any N) and
+ * `--cache-dir DIR` spills the result cache to disk so warm reruns skip
+ * simulation entirely.
  *
  * Exit codes (see README "Robustness"): 0 success, 2 usage error,
  * 3 bad input data (including lint errors), 4 simulation failure
@@ -63,15 +71,18 @@ usage()
         "  characterize <platform|all> [--fresh]\n"
         "  analyze <workload> <platform> [vect|2-ht|4-ht|l2-pref|tiling|"
         "unroll-jam|fusion|distr ...]\n"
-        "          [--json FILE] [--metrics FILE]\n"
-        "  trace <workload> <platform> [opts ...] [--json FILE] "
-        "[--metrics FILE]\n"
+        "          [--cores N] [--json FILE] [--metrics FILE]\n"
+        "  trace <workload> <platform> [opts ...] [--cores N] "
+        "[--json FILE] [--metrics FILE]\n"
         "  walk <workload> <platform>\n"
-        "  table <workload>\n"
+        "  table <workload> [--jobs N] [--cache-dir DIR]\n"
+        "  sweep [--jobs N] [--cache-dir DIR] [--json FILE]\n"
+        "  reproduce [--jobs N] [--cache-dir DIR]\n"
         "  roofline <platform>\n"
         "  selftest [--iterations N] [--seed S] [--verbose]\n"
         "  lint [<workload> <platform> [opts ...]] [--json FILE] "
-        "[--determinism]\n");
+        "[--determinism]\n"
+        "  lint --profile FILE [--json FILE]\n");
     return 2;
 }
 
@@ -120,6 +131,20 @@ takeFlag(std::vector<std::string> &args, const std::string &flag)
         return value;
     }
     return std::string();
+}
+
+/** Strictly positive integer flag values (`--jobs`, `--cores`, ...). */
+util::Result<int>
+parsePositiveInt(const char *flag, const std::string &value)
+{
+    char *end = nullptr;
+    const long n = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || n < 1) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "%s wants a positive integer, got '%s'",
+                             flag, value.c_str());
+    }
+    return static_cast<int>(n);
 }
 
 util::Result<OptSet>
@@ -269,6 +294,7 @@ struct VariantArgs
     OptSet opts;
     std::string jsonPath;
     std::string metricsPath;
+    int cores = 0; //!< 0 = all of the platform's cores
 };
 
 util::Result<VariantArgs>
@@ -294,6 +320,15 @@ parseVariantArgs(int argc, char **argv)
     if (!metrics.ok())
         return metrics.status();
     va.metricsPath = metrics.take();
+    util::Result<std::string> cores = takeFlag(args, "--cores");
+    if (!cores.ok())
+        return cores.status();
+    if (!cores->empty()) {
+        util::Result<int> n = parsePositiveInt("--cores", *cores);
+        if (!n.ok())
+            return n.status();
+        va.cores = *n;
+    }
     util::Result<OptSet> opts = parseOpts(args);
     if (!opts.ok())
         return opts.status();
@@ -323,6 +358,7 @@ cmdAnalyze(int argc, char **argv)
 
     obs::MetricRegistry registry;
     core::Experiment::Params ep;
+    ep.coresUsed = va.cores;
     if (!va.jsonPath.empty() || !va.metricsPath.empty())
         ep.registry = &registry;
 
@@ -396,8 +432,8 @@ cmdTrace(int argc, char **argv)
         obs::ScopedSpan span("trace[" + w->name() + "/" +
                              va.opts.label() + "]");
         sim::KernelSpec spec = w->spec(p, va.opts);
-        util::Result<sim::SystemParams> sp =
-            p.trySysParams(p.totalCores, va.opts.smtWays());
+        util::Result<sim::SystemParams> sp = p.trySysParams(
+            va.cores > 0 ? va.cores : p.totalCores, va.opts.smtWays());
         if (!sp.ok())
             return failWith(sp.status());
         sim::System sys(*sp, spec);
@@ -497,44 +533,231 @@ cmdWalk(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Pull the SweepRunner knobs (`--jobs N`, `--cache-dir DIR`) out of
+ * @p args.  The global ResultCache is always engaged — a sweep
+ * revisiting a stage must never pay for it twice — and `--cache-dir`
+ * additionally spills it to disk so the *next process* is warm too.
+ */
+util::Result<core::SweepRunner::Params>
+parseSweepFlags(std::vector<std::string> &args)
+{
+    core::SweepRunner::Params sp;
+    sp.cache = &core::ResultCache::global();
+    util::Result<std::string> jobs = takeFlag(args, "--jobs");
+    if (!jobs.ok())
+        return jobs.status();
+    if (!jobs->empty()) {
+        util::Result<int> n = parsePositiveInt("--jobs", *jobs);
+        if (!n.ok())
+            return n.status();
+        sp.jobs = *n;
+    }
+    util::Result<std::string> dir = takeFlag(args, "--cache-dir");
+    if (!dir.ok())
+        return dir.status();
+    if (!dir->empty()) {
+        Status s = sp.cache->setSpillDir(*dir);
+        if (!s.ok())
+            return s;
+    }
+    return sp;
+}
+
+/** Append one unit's paper rows to @p t (no trailing separator). */
+void
+addUnitRows(Table &t, const core::SweepRunner::UnitResult &u,
+            bool lead_with_workload)
+{
+    double peak = 0.0;
+    util::Result<platforms::Platform> p =
+        platforms::findPlatform(u.platform);
+    if (p.ok())
+        peak = p->peakGBs;
+    for (const core::TableRow &row : u.rows) {
+        std::string opt = row.optLabel;
+        std::string paper = "-";
+        if (row.speedup > 0.0) {
+            opt += ": " + fmtSpeedup(row.speedup);
+            if (row.paperSpeedup > 0.0)
+                paper = fmtSpeedup(row.paperSpeedup);
+        }
+        std::vector<std::string> cells;
+        if (lead_with_workload)
+            cells.push_back(u.workload);
+        cells.insert(cells.end(),
+                     {u.platform, row.source, fmtBwPct(row.bwGBs, peak),
+                      fmtDouble(row.latencyNs, 0),
+                      fmtDouble(row.nAvg, 2), opt, paper});
+        t.addRow(cells);
+    }
+}
+
 int
 cmdTable(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
-    Status extra = rejectExtraArgs(argc, argv, 3);
-    if (!extra.ok())
-        return failWith(extra);
     util::Result<workloads::WorkloadPtr> w =
         workloads::findWorkload(argv[2]);
     if (!w.ok())
         return failWith(w.status());
+    std::vector<std::string> args(argv + 3, argv + argc);
+    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(args);
+    if (!sp.ok())
+        return failWith(sp.status());
+    if (!args.empty()) {
+        return failWith(Status::error(ErrorCode::InvalidArgument,
+                                      "unknown table argument '%s'",
+                                      args.front().c_str()));
+    }
+
+    std::vector<workloads::WorkloadPtr> wls;
+    wls.push_back(w.take());
+    const std::vector<core::SweepUnit> units =
+        core::sweepUnits(platforms::allPlatforms(), wls);
+    core::SweepRunner runner(*sp);
+    util::Result<std::vector<core::SweepRunner::UnitResult>> res =
+        runner.run(units);
+    if (!res.ok())
+        return failWith(res.status());
+
     Table t({"Proc", "Source", "BW_obs (GB/s)", "lat_avg (ns)", "n_avg",
              "Opt: measured", "paper"});
-    for (const platforms::Platform &p : platforms::allPlatforms()) {
-        util::Result<xmem::LatencyProfile> prof = profileFor(p);
-        if (!prof.ok())
-            return failWith(prof.status());
-        util::Result<core::Experiment> exp =
-            core::Experiment::create(p, **w, prof.take());
-        if (!exp.ok())
-            return failWith(exp.status());
-        for (const core::TableRow &row : exp->paperTable()) {
-            std::string opt = row.optLabel;
-            std::string paper = "-";
-            if (row.speedup > 0.0) {
-                opt += ": " + fmtSpeedup(row.speedup);
-                if (row.paperSpeedup > 0.0)
-                    paper = fmtSpeedup(row.paperSpeedup);
-            }
-            t.addRow({p.name, row.source,
-                      fmtBwPct(row.bwGBs, p.peakGBs),
-                      fmtDouble(row.latencyNs, 0),
-                      fmtDouble(row.nAvg, 2), opt, paper});
-        }
+    for (const core::SweepRunner::UnitResult &u : *res) {
+        addUnitRows(t, u, false);
         t.addSeparator();
     }
     std::fputs(t.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 2, argv + argc);
+    util::Result<std::string> json = takeFlag(args, "--json");
+    if (!json.ok())
+        return failWith(json.status());
+    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(args);
+    if (!sp.ok())
+        return failWith(sp.status());
+    if (!args.empty()) {
+        return failWith(Status::error(ErrorCode::InvalidArgument,
+                                      "unknown sweep argument '%s'",
+                                      args.front().c_str()));
+    }
+
+    const std::vector<workloads::WorkloadPtr> wls =
+        workloads::allWorkloadsAndExtensions();
+    const std::vector<core::SweepUnit> units =
+        core::sweepUnits(platforms::allPlatforms(), wls);
+    core::SweepRunner runner(*sp);
+    util::Result<std::vector<core::SweepRunner::UnitResult>> res =
+        runner.run(units);
+    if (!res.ok())
+        return failWith(res.status());
+
+    FILE *rep = *json == "-" ? stderr : stdout;
+    Table t({"Workload", "Proc", "Source", "BW_obs (GB/s)",
+             "lat_avg (ns)", "n_avg", "Opt: measured", "paper"});
+    size_t rows = 0;
+    std::string last_workload;
+    for (const core::SweepRunner::UnitResult &u : *res) {
+        if (!last_workload.empty() && u.workload != last_workload)
+            t.addSeparator();
+        last_workload = u.workload;
+        addUnitRows(t, u, true);
+        rows += u.rows.size();
+    }
+    std::fputs(t.render().c_str(), rep);
+    // Note: no worker count here — `sweep --jobs 4` must stay
+    // byte-identical to `--jobs 1`.
+    const core::ResultCache::Stats cs = sp->cache->stats();
+    std::fprintf(rep,
+                 "sweep: %zu units, %zu rows — cache: %llu hits, %llu "
+                 "misses, %llu disk loads, %llu spills\n",
+                 res->size(), rows,
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.diskLoads),
+                 static_cast<unsigned long long>(cs.spills));
+
+    if (!json->empty()) {
+        std::ostringstream out;
+        out.precision(17);
+        out << "{\n  \"sweep\": {\n    \"units\": [";
+        bool first_unit = true;
+        for (const core::SweepRunner::UnitResult &u : *res) {
+            out << (first_unit ? "" : ",") << "\n      {\"workload\": \""
+                << u.workload << "\", \"platform\": \"" << u.platform
+                << "\", \"rows\": [";
+            bool first_row = true;
+            for (const core::TableRow &row : u.rows) {
+                out << (first_row ? "" : ",")
+                    << "\n        {\"source\": \"" << row.source
+                    << "\", \"bw_gbs\": " << row.bwGBs
+                    << ", \"pct_peak\": " << row.pctPeak
+                    << ", \"latency_ns\": " << row.latencyNs
+                    << ", \"n_avg\": " << row.nAvg << ", \"opt\": \""
+                    << row.optLabel << "\", \"speedup\": " << row.speedup
+                    << ", \"paper_speedup\": " << row.paperSpeedup
+                    << "}";
+                first_row = false;
+            }
+            out << (first_row ? "" : "\n      ") << "]}";
+            first_unit = false;
+        }
+        out << (first_unit ? "" : "\n    ") << "],\n"
+            << "    \"cache\": {\"hits\": " << cs.hits
+            << ", \"misses\": " << cs.misses << ", \"disk_loads\": "
+            << cs.diskLoads << ", \"spills\": " << cs.spills
+            << "}\n  }\n}\n";
+        Status s = writeExportChecked(*json, out.str());
+        if (!s.ok())
+            return failWith(s);
+    }
+    return 0;
+}
+
+int
+cmdReproduce(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 2, argv + argc);
+    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(args);
+    if (!sp.ok())
+        return failWith(sp.status());
+    if (!args.empty()) {
+        return failWith(Status::error(ErrorCode::InvalidArgument,
+                                      "unknown reproduce argument '%s'",
+                                      args.front().c_str()));
+    }
+
+    const std::vector<workloads::WorkloadPtr> wls =
+        workloads::allWorkloads();
+    const std::vector<core::SweepUnit> units =
+        core::sweepUnits(platforms::allPlatforms(), wls);
+    core::SweepRunner runner(*sp);
+    util::Result<std::vector<core::SweepRunner::UnitResult>> res =
+        runner.run(units);
+    if (!res.ok())
+        return failWith(res.status());
+
+    // sweepUnits() is workload-major, so each paper table's units are a
+    // contiguous run of the result vector.
+    size_t i = 0;
+    for (const workloads::WorkloadPtr &w : wls) {
+        std::printf("== %s: %s ==\n", w->name().c_str(),
+                    w->routine().c_str());
+        Table t({"Proc", "Source", "BW_obs (GB/s)", "lat_avg (ns)",
+                 "n_avg", "Opt: measured", "paper"});
+        for (; i < res->size() && (*res)[i].workload == w->name(); ++i) {
+            addUnitRows(t, (*res)[i], false);
+            t.addSeparator();
+        }
+        std::fputs(t.render().c_str(), stdout);
+        std::printf("\n");
+    }
     return 0;
 }
 
@@ -627,6 +850,46 @@ cmdLint(int argc, char **argv)
     util::Result<std::string> json = takeFlag(args, "--json");
     if (!json.ok())
         return failWith(json.status());
+
+    // `lint --profile FILE` lints a cached latency-profile file instead
+    // of workload configs; the two modes do not mix.
+    util::Result<std::string> profile = takeFlag(args, "--profile");
+    if (!profile.ok())
+        return failWith(profile.status());
+    if (!profile->empty()) {
+        if (!args.empty()) {
+            return failWith(Status::error(
+                ErrorCode::InvalidArgument,
+                "--profile takes no other operands, got '%s'",
+                args.front().c_str()));
+        }
+        util::DiagnosticList diags =
+            analysis::lintProfileFile(*profile);
+        FILE *rep = *json == "-" ? stderr : stdout;
+        printDiags(rep, diags);
+        std::fprintf(rep,
+                     "profile lint: %s — %zu errors, %zu warnings, %zu "
+                     "notes\n",
+                     profile->c_str(), diags.errorCount(),
+                     diags.warningCount(), diags.noteCount());
+        if (!json->empty()) {
+            std::ostringstream out;
+            out << "{\n  \"lint\": {\n    \"profiles\": [\n"
+                << "      {\"path\": \"" << *profile
+                << "\", \"diagnostics\": " << diags.renderJson(6)
+                << "}\n    ],\n    \"summary\": {\"errors\": "
+                << diags.errorCount() << ", \"warnings\": "
+                << diags.warningCount() << ", \"notes\": "
+                << diags.noteCount() << "}\n  }\n}\n";
+            Status s = writeExportChecked(*json, out.str());
+            if (!s.ok())
+                return failWith(s);
+        }
+        if (diags.errorCount())
+            return util::exitCodeFor(ErrorCode::FailedPrecondition);
+        return 0;
+    }
+
     bool determinism = false;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--determinism") {
@@ -811,6 +1074,10 @@ main(int argc, char **argv)
         return cmdWalk(argc, argv);
     if (cmd == "table")
         return cmdTable(argc, argv);
+    if (cmd == "sweep")
+        return cmdSweep(argc, argv);
+    if (cmd == "reproduce")
+        return cmdReproduce(argc, argv);
     if (cmd == "roofline")
         return cmdRoofline(argc, argv);
     if (cmd == "selftest")
