@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "platforms/platform.hh"
 #include "sim/system.hh"
 #include "util/table.hh"
@@ -22,7 +23,7 @@ main()
     using namespace lll;
 
     platforms::Platform skl = platforms::skl();
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    workloads::WorkloadPtr isx = bench::workloadFor("isx");
     sim::KernelSpec spec = isx->spec(skl, {});
 
     Table t({"banks", "service (ns)", "BW (GB/s)", "true loaded lat (ns)",

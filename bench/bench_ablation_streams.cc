@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "platforms/platform.hh"
 #include "sim/system.hh"
 #include "util/table.hh"
@@ -25,7 +26,7 @@ main()
     using workloads::OptSet;
 
     platforms::Platform knl = platforms::knl();
-    workloads::WorkloadPtr hpcg = workloads::workloadByName("hpcg");
+    workloads::WorkloadPtr hpcg = bench::workloadFor("hpcg");
 
     Table t({"pf table", "SMT", "BW (GB/s)", "demand frac of mem reads",
              "hw prefetches to mem"});

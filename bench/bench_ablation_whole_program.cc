@@ -24,11 +24,11 @@ main()
 {
     using namespace lll;
 
-    platforms::Platform skl = platforms::byName("skl");
+    platforms::Platform skl = bench::platformFor("skl");
     xmem::LatencyProfile profile = bench::profileFor(skl);
 
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
-    workloads::WorkloadPtr comd = workloads::workloadByName("comd");
+    workloads::WorkloadPtr isx = bench::workloadFor("isx");
+    workloads::WorkloadPtr comd = bench::workloadFor("comd");
 
     // Per-routine references (the paper's prescribed methodology).
     core::Experiment e1(skl, *isx, profile);

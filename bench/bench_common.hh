@@ -7,10 +7,12 @@
 #define LLL_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/experiment.hh"
 #include "platforms/platform.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 #include "xmem/latency_profile.hh"
@@ -19,13 +21,47 @@
 namespace lll::bench
 {
 
-/** Fetch (measuring and caching on first use) a platform's profile. */
+/** Fetch (measuring and caching on first use) a platform's profile.
+ *  Benches have no recovery path, so a profile error exits loudly. */
 inline xmem::LatencyProfile
 profileFor(const platforms::Platform &platform)
 {
     xmem::XMemHarness harness;
-    return harness.measureCached(platform,
-                                 xmem::defaultProfilePath(platform));
+    util::Result<xmem::LatencyProfile> profile =
+        harness.measureCachedChecked(
+            platform, xmem::defaultProfilePath(platform));
+    if (!profile.ok()) {
+        std::fprintf(stderr, "bench: %s\n",
+                     profile.status().toString().c_str());
+        std::exit(1);
+    }
+    return profile.take();
+}
+
+/** Named-workload lookup for benches; exits on an unknown name. */
+inline workloads::WorkloadPtr
+workloadFor(const std::string &name)
+{
+    util::Result<workloads::WorkloadPtr> w = workloads::findWorkload(name);
+    if (!w.ok()) {
+        std::fprintf(stderr, "bench: %s\n",
+                     w.status().toString().c_str());
+        std::exit(1);
+    }
+    return w.take();
+}
+
+/** Platform lookup for benches; exits on an unknown name. */
+inline platforms::Platform
+platformFor(const std::string &name)
+{
+    util::Result<platforms::Platform> p = platforms::findPlatform(name);
+    if (!p.ok()) {
+        std::fprintf(stderr, "bench: %s\n",
+                     p.status().toString().c_str());
+        std::exit(1);
+    }
+    return p.take();
 }
 
 /**
@@ -39,7 +75,7 @@ profileFor(const platforms::Platform &platform)
 inline void
 runPaperTable(const std::string &workload_name, const char *caption)
 {
-    workloads::WorkloadPtr w = workloads::workloadByName(workload_name);
+    workloads::WorkloadPtr w = workloadFor(workload_name);
 
     Table t({"Proc", "Source", "BW_obs (GB/s)", "lat_avg (ns)", "n_avg",
              "Opt: measured", "paper", "recipe"});

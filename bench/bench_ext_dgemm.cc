@@ -17,7 +17,7 @@ int
 main()
 {
     using namespace lll;
-    workloads::WorkloadPtr dgemm = workloads::workloadByName("dgemm");
+    workloads::WorkloadPtr dgemm = bench::workloadFor("dgemm");
 
     Table t({"Proc", "Source", "BW_obs (GB/s)", "lat_avg (ns)", "n_avg",
              "Opt: measured", "paper"});
@@ -40,7 +40,7 @@ main()
 
     // The §IV-G verdict: after the walk, bandwidth is far from peak and
     // the MSHRQ nearly empty -> genuinely compute (FLOP) bound.
-    platforms::Platform skl = platforms::byName("skl");
+    platforms::Platform skl = bench::platformFor("skl");
     core::Experiment exp(skl, *dgemm, bench::profileFor(skl));
     workloads::OptSet full = workloads::OptSet{}
                                  .with(workloads::Opt::Tiling)

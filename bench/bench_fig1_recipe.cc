@@ -60,10 +60,10 @@ main()
     std::fputs(t.render().c_str(), stdout);
 
     // One full narrative trace, the paper's ISx walk on KNL.
-    platforms::Platform knl = platforms::byName("knl");
+    platforms::Platform knl = bench::platformFor("knl");
     xmem::LatencyProfile profile = bench::profileFor(knl);
     core::Recipe recipe(knl);
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    workloads::WorkloadPtr isx = bench::workloadFor("isx");
     core::Experiment exp(knl, *isx, profile);
 
     std::printf("\nRecipe walk: ISx on KNL\n");

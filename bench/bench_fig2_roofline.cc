@@ -21,7 +21,7 @@ main()
     using workloads::Opt;
     using workloads::OptSet;
 
-    platforms::Platform knl = platforms::byName("knl");
+    platforms::Platform knl = bench::platformFor("knl");
     xmem::LatencyProfile profile = bench::profileFor(knl);
     core::Roofline roof(knl, profile);
 
@@ -43,7 +43,7 @@ main()
     // The measured application points.  ISx does little floating-point
     // work; like the paper we place the points by achieved bandwidth at
     // a nominal intensity (flops per byte moved).
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    workloads::WorkloadPtr isx = bench::workloadFor("isx");
     core::Experiment exp(knl, *isx, profile);
     OptSet base;
     OptSet opt = base.with(Opt::Vectorize).with(Opt::Smt2)

@@ -43,12 +43,12 @@ main()
 {
     using namespace lll;
 
-    platforms::Platform skl = platforms::byName("skl");
+    platforms::Platform skl = bench::platformFor("skl");
     xmem::LatencyProfile profile = bench::profileFor(skl);
     core::Tma tma(skl);
 
     {
-        workloads::WorkloadPtr snap = workloads::workloadByName("snap");
+        workloads::WorkloadPtr snap = bench::workloadFor("snap");
         core::Experiment exp(skl, *snap, profile);
         const core::StageMetrics &m = exp.stage({});
         report("SNAP dim3_sweep on SKL (paper: TMA 27% bw / 23% lat "
@@ -56,7 +56,7 @@ main()
                tma.analyze(m.run), m.analysis);
     }
     {
-        workloads::WorkloadPtr hpcg = workloads::workloadByName("hpcg");
+        workloads::WorkloadPtr hpcg = bench::workloadFor("hpcg");
         core::Experiment exp(skl, *hpcg, profile);
         const core::StageMetrics &m = exp.stage({});
         core::TmaReport r = tma.analyze(m.run);

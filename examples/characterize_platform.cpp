@@ -18,14 +18,21 @@
 
 using namespace lll;
 
-static void
+static int
 characterize(const platforms::Platform &plat, bool fresh)
 {
     xmem::XMemHarness harness;
     std::string path = xmem::defaultProfilePath(plat);
     if (fresh)
         std::remove(path.c_str());
-    xmem::LatencyProfile profile = harness.measureCached(plat, path);
+    util::Result<xmem::LatencyProfile> profile_r =
+        harness.measureCachedChecked(plat, path);
+    if (!profile_r.ok()) {
+        std::fprintf(stderr, "characterize_platform: %s\n",
+                     profile_r.status().toString().c_str());
+        return 1;
+    }
+    xmem::LatencyProfile profile = profile_r.take();
 
     Table t({"BW (GB/s)", "% peak", "loaded latency (ns)",
              "x idle"});
@@ -55,6 +62,7 @@ characterize(const platforms::Platform &plat, bool fresh)
                 roof.mshrCeilingGBs(core::MshrLevel::L2, plat.totalCores),
                 plat.l2Mshrs, plat.totalCores);
     std::printf("  profile cached at     : %s\n\n", path.c_str());
+    return 0;
 }
 
 int
@@ -63,10 +71,18 @@ main(int argc, char **argv)
     std::string which = argc > 1 ? argv[1] : "all";
     bool fresh = argc > 2 && std::strcmp(argv[2], "--fresh") == 0;
     if (which == "all") {
-        for (const platforms::Platform &p : platforms::allPlatforms())
-            characterize(p, fresh);
-    } else {
-        characterize(platforms::byName(which), fresh);
+        for (const platforms::Platform &p : platforms::allPlatforms()) {
+            if (int rc = characterize(p, fresh))
+                return rc;
+        }
+        return 0;
     }
-    return 0;
+    util::Result<platforms::Platform> plat =
+        platforms::findPlatform(which);
+    if (!plat.ok()) {
+        std::fprintf(stderr, "characterize_platform: %s\n",
+                     plat.status().toString().c_str());
+        return 1;
+    }
+    return characterize(*plat, fresh);
 }

@@ -23,13 +23,29 @@ using workloads::OptSet;
 int
 main(int argc, char **argv)
 {
-    workloads::WorkloadPtr work =
-        workloads::workloadByName(argc > 1 ? argv[1] : "pennant");
-    platforms::Platform plat =
-        platforms::byName(argc > 2 ? argv[2] : "knl");
+    util::Result<workloads::WorkloadPtr> work_r =
+        workloads::findWorkload(argc > 1 ? argv[1] : "pennant");
+    util::Result<platforms::Platform> plat_r =
+        platforms::findPlatform(argc > 2 ? argv[2] : "knl");
+    if (!work_r.ok() || !plat_r.ok()) {
+        const util::Status &bad =
+            work_r.ok() ? plat_r.status() : work_r.status();
+        std::fprintf(stderr, "optimize_workload: %s\n",
+                     bad.toString().c_str());
+        return 1;
+    }
+    workloads::WorkloadPtr work = work_r.take();
+    platforms::Platform plat = plat_r.take();
 
-    xmem::LatencyProfile profile = xmem::XMemHarness().measureCached(
-        plat, xmem::defaultProfilePath(plat));
+    util::Result<xmem::LatencyProfile> profile_r =
+        xmem::XMemHarness().measureCachedChecked(
+            plat, xmem::defaultProfilePath(plat));
+    if (!profile_r.ok()) {
+        std::fprintf(stderr, "optimize_workload: %s\n",
+                     profile_r.status().toString().c_str());
+        return 1;
+    }
+    xmem::LatencyProfile profile = profile_r.take();
     core::Experiment exp(plat, *work, profile);
     core::Recipe recipe(plat);
 

@@ -21,10 +21,18 @@ int
 main(int argc, char **argv)
 {
     // 1. The platform (a simulated stand-in for the paper's hardware).
-    platforms::Platform plat =
-        platforms::byName(argc > 1 ? argv[1] : "skl");
-    workloads::WorkloadPtr work =
-        workloads::workloadByName(argc > 2 ? argv[2] : "isx");
+    util::Result<platforms::Platform> plat_r =
+        platforms::findPlatform(argc > 1 ? argv[1] : "skl");
+    util::Result<workloads::WorkloadPtr> work_r =
+        workloads::findWorkload(argc > 2 ? argv[2] : "isx");
+    if (!plat_r.ok() || !work_r.ok()) {
+        const util::Status &bad =
+            plat_r.ok() ? work_r.status() : plat_r.status();
+        std::fprintf(stderr, "quickstart: %s\n", bad.toString().c_str());
+        return 1;
+    }
+    platforms::Platform plat = plat_r.take();
+    workloads::WorkloadPtr work = work_r.take();
 
     std::printf("Platform : %s (%d cores, %.0f GB/s peak, %u/%u L1/L2 "
                 "MSHRs per core)\n",
@@ -36,8 +44,15 @@ main(int argc, char **argv)
     // 2. The bandwidth->latency profile, measured once per processor
     //    (cached under data/profiles/).
     xmem::XMemHarness harness;
-    xmem::LatencyProfile profile =
-        harness.measureCached(plat, xmem::defaultProfilePath(plat));
+    util::Result<xmem::LatencyProfile> profile_r =
+        harness.measureCachedChecked(plat,
+                                     xmem::defaultProfilePath(plat));
+    if (!profile_r.ok()) {
+        std::fprintf(stderr, "quickstart: %s\n",
+                     profile_r.status().toString().c_str());
+        return 1;
+    }
+    xmem::LatencyProfile profile = profile_r.take();
     std::printf("Profile  : idle %.0f ns, %.0f ns at peak achievable "
                 "%.0f GB/s\n\n",
                 profile.idleLatencyNs(),

@@ -21,10 +21,23 @@ using namespace lll;
 int
 main(int argc, char **argv)
 {
-    platforms::Platform plat =
-        platforms::byName(argc > 1 ? argv[1] : "knl");
-    xmem::LatencyProfile profile = xmem::XMemHarness().measureCached(
-        plat, xmem::defaultProfilePath(plat));
+    util::Result<platforms::Platform> plat_r =
+        platforms::findPlatform(argc > 1 ? argv[1] : "knl");
+    if (!plat_r.ok()) {
+        std::fprintf(stderr, "roofline_explorer: %s\n",
+                     plat_r.status().toString().c_str());
+        return 1;
+    }
+    platforms::Platform plat = plat_r.take();
+    util::Result<xmem::LatencyProfile> profile_r =
+        xmem::XMemHarness().measureCachedChecked(
+            plat, xmem::defaultProfilePath(plat));
+    if (!profile_r.ok()) {
+        std::fprintf(stderr, "roofline_explorer: %s\n",
+                     profile_r.status().toString().c_str());
+        return 1;
+    }
+    xmem::LatencyProfile profile = profile_r.take();
     core::Roofline roof(plat, profile);
 
     const int cores = plat.totalCores;

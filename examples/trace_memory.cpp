@@ -26,10 +26,19 @@ using namespace lll;
 int
 main(int argc, char **argv)
 {
-    workloads::WorkloadPtr work =
-        workloads::workloadByName(argc > 1 ? argv[1] : "isx");
-    platforms::Platform plat =
-        platforms::byName(argc > 2 ? argv[2] : "skl");
+    util::Result<workloads::WorkloadPtr> work_r =
+        workloads::findWorkload(argc > 1 ? argv[1] : "isx");
+    util::Result<platforms::Platform> plat_r =
+        platforms::findPlatform(argc > 2 ? argv[2] : "skl");
+    if (!work_r.ok() || !plat_r.ok()) {
+        const util::Status &bad =
+            work_r.ok() ? plat_r.status() : work_r.status();
+        std::fprintf(stderr, "trace_memory: %s\n",
+                     bad.toString().c_str());
+        return 1;
+    }
+    workloads::WorkloadPtr work = work_r.take();
+    platforms::Platform plat = plat_r.take();
 
     sim::KernelSpec spec = work->spec(plat, workloads::OptSet{});
     sim::SystemParams sp = plat.sysParams(plat.totalCores, 1);

@@ -1,5 +1,6 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -22,7 +23,14 @@ using workloads::OptSet;
 namespace
 {
 
-constexpr int kSpillFormatVersion = 1;
+/**
+ * On-disk spill format generation.  v2 marks the capacity-managed
+ * cache (entries participate in the spill-dir byte accounting and GC);
+ * v1 files written by earlier releases parse as FailedPrecondition,
+ * which lookup() treats as a plain miss — the stage re-simulates and
+ * overwrites the stale file in the current format.
+ */
+constexpr int kSpillFormatVersion = 2;
 
 uint64_t
 fnv1a(const void *data, size_t len, uint64_t h = 1469598103934665603ULL)
@@ -590,13 +598,42 @@ ResultCache::spillPath(const std::string &key) const
     return spillDir_ + "/" + name;
 }
 
+void
+ResultCache::touchLocked(Entry &e)
+{
+    lru_.splice(lru_.begin(), lru_, e.lruIt);
+}
+
+void
+ResultCache::insertLocked(const std::string &key, const StageMetrics &m)
+{
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{m, lru_.begin()});
+    enforceEntryCapLocked();
+}
+
+void
+ResultCache::enforceEntryCapLocked()
+{
+    if (maxEntries_ == 0)
+        return;
+    while (entries_.size() > maxEntries_) {
+        // Memory-only eviction: the spill file (when configured)
+        // stays, so a later lookup reloads instead of re-simulating.
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
 bool
 ResultCache::lookup(const std::string &key, StageMetrics *out)
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-        *out = it->second;
+        *out = it->second.metrics;
+        touchLocked(it->second);
         ++stats_.hits;
         return true;
     }
@@ -611,7 +648,7 @@ ResultCache::lookup(const std::string &key, StageMetrics *out)
             // error: the stage simply re-simulates and overwrites it.
             if (parsed.ok()) {
                 *out = *parsed;
-                entries_.emplace(key, parsed.take());
+                insertLocked(key, parsed.take());
                 ++stats_.hits;
                 ++stats_.diskLoads;
                 return true;
@@ -626,16 +663,22 @@ void
 ResultCache::insert(const std::string &key, const StageMetrics &m)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, fresh] = entries_.emplace(key, m);
-    (void)it;
-    if (!fresh)
+    if (entries_.count(key))
         return;
+    insertLocked(key, m);
     if (!spillDir_.empty()) {
-        std::ofstream out(spillPath(key),
-                          std::ios::out | std::ios::trunc);
+        const std::string path = spillPath(key);
+        std::error_code ec;
+        const auto old_size = std::filesystem::file_size(path, ec);
+        std::ofstream out(path, std::ios::out | std::ios::trunc);
         if (out) {
-            out << stageMetricsJson(m, key);
+            const std::string text = stageMetricsJson(m, key);
+            out << text;
             ++stats_.spills;
+            if (!ec)
+                spillBytes_ -= std::min<uint64_t>(spillBytes_, old_size);
+            spillBytes_ += text.size();
+            gcSpillLocked();
         }
     }
 }
@@ -646,6 +689,7 @@ ResultCache::setSpillDir(const std::string &dir)
     std::lock_guard<std::mutex> lock(mu_);
     if (dir.empty()) {
         spillDir_.clear();
+        spillBytes_ = 0;
         return Status::okStatus();
     }
     std::error_code ec;
@@ -656,7 +700,110 @@ ResultCache::setSpillDir(const std::string &dir)
                              dir.c_str(), ec.message().c_str());
     }
     spillDir_ = dir;
+    rescanSpillLocked();
+    gcSpillLocked();
     return Status::okStatus();
+}
+
+void
+ResultCache::setMaxEntries(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    maxEntries_ = cap;
+    enforceEntryCapLocked();
+}
+
+size_t
+ResultCache::maxEntries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return maxEntries_;
+}
+
+void
+ResultCache::setSpillBudget(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spillBudget_ = bytes;
+    gcSpillLocked();
+}
+
+uint64_t
+ResultCache::spillBudget() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spillBudget_;
+}
+
+uint64_t
+ResultCache::spillBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spillBytes_;
+}
+
+void
+ResultCache::rescanSpillLocked()
+{
+    spillBytes_ = 0;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(spillDir_, ec)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != ".json") {
+            continue;
+        }
+        std::error_code sec;
+        const auto sz = de.file_size(sec);
+        if (!sec)
+            spillBytes_ += sz;
+    }
+}
+
+void
+ResultCache::gcSpillLocked()
+{
+    if (spillBudget_ == 0 || spillDir_.empty() ||
+        spillBytes_ <= spillBudget_) {
+        return;
+    }
+    struct SpillFile
+    {
+        std::filesystem::file_time_type mtime;
+        uint64_t size;
+        std::filesystem::path path;
+    };
+    std::vector<SpillFile> files;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(spillDir_, ec)) {
+        if (!de.is_regular_file() ||
+            de.path().extension() != ".json") {
+            continue;
+        }
+        std::error_code sec;
+        const auto sz = de.file_size(sec);
+        const auto mt = de.last_write_time(sec);
+        if (!sec)
+            files.push_back({mt, sz, de.path()});
+    }
+    // Oldest first; path breaks mtime ties so the GC order (and with
+    // it the eviction counter) is deterministic on coarse clocks.
+    std::sort(files.begin(), files.end(),
+              [](const SpillFile &a, const SpillFile &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+    for (const SpillFile &f : files) {
+        if (spillBytes_ <= spillBudget_)
+            break;
+        std::error_code rec;
+        if (std::filesystem::remove(f.path, rec) && !rec) {
+            spillBytes_ -= std::min<uint64_t>(spillBytes_, f.size);
+            ++stats_.spillEvictions;
+        }
+    }
 }
 
 ResultCache::Stats
@@ -678,6 +825,7 @@ ResultCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
+    lru_.clear();
     stats_ = Stats();
 }
 
@@ -794,6 +942,99 @@ SweepRunner::run(const std::vector<SweepUnit> &units)
             return statuses[i];
     }
     return results;
+}
+
+std::vector<SweepRunner::StageOutcome>
+SweepRunner::runStages(const std::vector<StageUnit> &units)
+{
+    const size_t n = units.size();
+    std::vector<StageOutcome> outcomes(n);
+    if (n == 0)
+        return outcomes;
+
+    // Profile preload, as in run() — but a platform whose profile
+    // cannot be loaded fails *its* units, not the batch: the service
+    // contract is one status per request.
+    std::map<std::string, xmem::LatencyProfile> profiles;
+    std::map<std::string, Status> profile_errors;
+    for (const StageUnit &u : units) {
+        const std::string &name = u.platform.name;
+        if (profiles.count(name) || profile_errors.count(name))
+            continue;
+        util::Result<xmem::LatencyProfile> prof =
+            xmem::XMemHarness().measureCachedChecked(
+                u.platform, xmem::defaultProfilePath(u.platform));
+        if (prof.ok()) {
+            profiles.emplace(name, prof.take());
+        } else {
+            profile_errors.emplace(
+                name, prof.status().withContext("profile for '%s'",
+                                                name.c_str()));
+        }
+    }
+
+    std::vector<std::vector<obs::SpanTracker::Stat>> spans(n);
+    std::vector<obs::MetricRegistry> registries(
+        params_.registry ? n : 0);
+
+    std::atomic<size_t> next{0};
+    auto workerLoop = [&] {
+        for (size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1)) {
+            const StageUnit &u = units[i];
+            StageOutcome &out = outcomes[i];
+
+            obs::SpanTracker &tracker = obs::SpanTracker::global();
+            tracker.reset();
+
+            auto perr = profile_errors.find(u.platform.name);
+            if (perr != profile_errors.end()) {
+                out.status = perr->second;
+                spans[i] = tracker.stats();
+                continue;
+            }
+
+            Experiment::Params ep;
+            ep.warmupUs = u.warmupUs;
+            ep.measureUs = u.measureUs;
+            ep.coresUsed = u.coresUsed;
+            ep.seed = u.seed;
+            ep.resultCache = params_.cache;
+            ep.sampler = params_.sampler;
+            if (params_.registry)
+                ep.registry = &registries[i];
+
+            util::Result<Experiment> exp = Experiment::create(
+                u.platform, *u.workload,
+                profiles.find(u.platform.name)->second, ep);
+            if (!exp.ok()) {
+                out.status = exp.status().withContext(
+                    "stage unit %s/%s", u.platform.name.c_str(),
+                    u.workload->name().c_str());
+            } else {
+                out.metrics = exp->stage(u.opts);
+            }
+            spans[i] = tracker.stats();
+            tracker.reset();
+        }
+    };
+
+    const size_t jobs = std::min<size_t>(
+        n, params_.jobs > 1 ? static_cast<size_t>(params_.jobs) : 1);
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (size_t j = 0; j < jobs; ++j)
+        pool.emplace_back(workerLoop);
+    for (std::thread &t : pool)
+        t.join();
+
+    // Merge-after-join, in unit order regardless of completion order.
+    for (size_t i = 0; i < n; ++i) {
+        if (params_.registry)
+            params_.registry->mergeFrom(registries[i]);
+        obs::SpanTracker::global().merge(spans[i]);
+    }
+    return outcomes;
 }
 
 } // namespace lll::core

@@ -24,6 +24,7 @@
 #ifndef LLL_CORE_SWEEP_HH
 #define LLL_CORE_SWEEP_HH
 
+#include <list>
 #include <map>
 #include <mutex>
 #include <string>
@@ -58,6 +59,14 @@ parseStageMetricsJson(const std::string &text,
 /**
  * Process-wide memo table for simulated stages.  Thread-safe; workers
  * of one sweep and sequential experiments in one process share it.
+ *
+ * Capacity policy (DESIGN.md §12): the in-memory table is LRU-bounded
+ * by setMaxEntries() — an eviction drops the entry from memory only,
+ * so a later lookup can still reload it from the spill dir — and the
+ * spill dir is byte-bounded by setSpillBudget(), garbage-collected
+ * oldest-mtime-first whenever a spill pushes it over budget.  Both
+ * caps default to 0 (unbounded), preserving the one-shot CLI behavior;
+ * the long-lived run service sets both.
  */
 class ResultCache
 {
@@ -68,6 +77,8 @@ class ResultCache
         uint64_t misses = 0;    //!< lookups that had to simulate
         uint64_t diskLoads = 0; //!< hits satisfied from the spill dir
         uint64_t spills = 0;    //!< entries written to the spill dir
+        uint64_t evictions = 0; //!< in-memory entries LRU-evicted
+        uint64_t spillEvictions = 0; //!< spill files GC-deleted
     };
 
     /**
@@ -94,6 +105,20 @@ class ResultCache
     util::Status setSpillDir(const std::string &dir);
     const std::string &spillDir() const { return spillDir_; }
 
+    /** Cap the in-memory table at @p cap entries, evicting least-
+     *  recently-used beyond it.  0 = unbounded.  Shrinking below the
+     *  current size evicts immediately. */
+    void setMaxEntries(size_t cap);
+    size_t maxEntries() const;
+
+    /** Cap the spill dir at @p bytes, deleting oldest-mtime files
+     *  first when a spill pushes it over.  0 = unbounded. */
+    void setSpillBudget(uint64_t bytes);
+    uint64_t spillBudget() const;
+
+    /** Bytes currently occupied by spill files (0 without a dir). */
+    uint64_t spillBytes() const;
+
     Stats stats() const;
     size_t size() const;
     void clear();
@@ -103,11 +128,26 @@ class ResultCache
     static ResultCache &global();
 
   private:
+    struct Entry
+    {
+        StageMetrics metrics;
+        std::list<std::string>::iterator lruIt;
+    };
+
     std::string spillPath(const std::string &key) const;
+    void insertLocked(const std::string &key, const StageMetrics &m);
+    void touchLocked(Entry &e);
+    void enforceEntryCapLocked();
+    void rescanSpillLocked();
+    void gcSpillLocked();
 
     mutable std::mutex mu_;
-    std::map<std::string, StageMetrics> entries_;
+    std::map<std::string, Entry> entries_;
+    std::list<std::string> lru_; //!< front = most recently used
     std::string spillDir_;
+    size_t maxEntries_ = 0;
+    uint64_t spillBudget_ = 0;
+    uint64_t spillBytes_ = 0;
     Stats stats_;
 };
 
@@ -157,6 +197,32 @@ class SweepRunner
         std::vector<TableRow> rows;
     };
 
+    /**
+     * One *stage* of a sweep: a single (platform, workload, opts)
+     * variant with its own windows/cores/seed.  This is the unit the
+     * run service shards after coalescing duplicate requests — unlike
+     * SweepUnit, which walks a whole paper table per entry.
+     * @p workload must outlive the runner.
+     */
+    struct StageUnit
+    {
+        platforms::Platform platform;
+        const workloads::Workload *workload = nullptr;
+        workloads::OptSet opts;
+        double warmupUs = 0.0;  //!< 0 = the workload's default window
+        double measureUs = 0.0; //!< 0 = the workload's default window
+        int coresUsed = 0;      //!< 0 = all of the platform's cores
+        uint64_t seed = 7;
+    };
+
+    /** The per-unit result of runStages(): a Status *per unit*, so one
+     *  bad request never fails the rest of the batch. */
+    struct StageOutcome
+    {
+        util::Status status;
+        StageMetrics metrics; //!< meaningful only when status.ok()
+    };
+
     explicit SweepRunner(Params params) : params_(params) {}
 
     /**
@@ -168,6 +234,16 @@ class SweepRunner
      */
     util::Result<std::vector<UnitResult>>
     run(const std::vector<SweepUnit> &units);
+
+    /**
+     * Run one simulated stage per unit with the same share-nothing
+     * fan-out and merge-after-join contract as run(), but report
+     * failures *per unit*: a unit whose profile cannot be loaded or
+     * whose Experiment fails gets its error in its StageOutcome while
+     * the rest of the batch proceeds.  Results are in unit order.
+     */
+    std::vector<StageOutcome>
+    runStages(const std::vector<StageUnit> &units);
 
   private:
     Params params_;

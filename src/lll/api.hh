@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The *stable* public surface of the LLL library.
+ *
+ * Where lll.hh pulls in everything (simulator internals, observability
+ * plumbing, lint machinery), this header exports only the types a
+ * downstream consumer should build against:
+ *
+ *   - service::RunRequest / RunResponse / RunService — the versioned
+ *     batched-analysis API (`lll serve`), the schema every later
+ *     transport (sockets, multi-backend) will reuse;
+ *   - core::Analyzer / Analysis — Little's-law analysis (paper Eq. 2);
+ *   - core::Recipe / RecipeDecision — the optimization guidance loop
+ *     (paper Fig. 1);
+ *   - util::Status / Result<T> — the error contract of every checked
+ *     entry point;
+ *   - util::Diagnostic / DiagnosticList — structured findings with
+ *     stable LLL-* ids.
+ *
+ * LLL_API_VERSION bumps when any of these types changes incompatibly;
+ * the request/response line schema is versioned separately by
+ * service::kServiceSchemaVersion, and `--json` CLI output by
+ * obs::kJsonEnvelopeVersion.
+ *
+ * Everything reachable only through lll.hh remains usable but carries
+ * no stability promise, and the legacy fatal wrappers
+ * (platforms::byName, workloads::workloadByName,
+ * xmem::XMemHarness::measureCached) are [[deprecated]] in favor of the
+ * Result<T>-returning variants re-exported here.
+ */
+
+#ifndef LLL_LLL_API_HH
+#define LLL_LLL_API_HH
+
+/** Stable-surface version: bumped on incompatible changes to any type
+ *  exported by this header. */
+#define LLL_API_VERSION 1
+
+#include "core/analyzer.hh"
+#include "core/recipe.hh"
+#include "service/service.hh"
+#include "util/diagnostic.hh"
+#include "util/status.hh"
+
+#endif // LLL_LLL_API_HH

@@ -3,10 +3,18 @@
  * Umbrella header for the LLL library — performance analysis and
  * optimization with Little's law.
  *
+ * This is the *kitchen-sink* include: every module, including
+ * simulator internals and observability plumbing, with no stability
+ * promise.  Downstream consumers who want a surface that will not
+ * shift under them should include lll/api.hh instead — it exports only
+ * the stable types (service::RunRequest/RunResponse, core::Analyzer,
+ * core::Recipe, util::Status, util::DiagnosticList) and carries the
+ * LLL_API_VERSION macro.
+ *
  * Typical flow (see examples/quickstart.cpp):
  *
- *   1. pick a platform            platforms::byName("skl")
- *   2. characterize it once       xmem::XMemHarness().measureCached(...)
+ *   1. pick a platform            platforms::findPlatform("skl")
+ *   2. characterize it once       XMemHarness().measureCachedChecked(...)
  *   3. run/profile a routine      core::Experiment / counters::*
  *   4. derive the MLP             core::Analyzer (Little's law, Eq. 2)
  *   5. ask for guidance           core::Recipe (paper Fig. 1)
@@ -37,6 +45,7 @@
 #include "obs/sampler.hh"
 #include "obs/span.hh"
 #include "platforms/platform.hh"
+#include "service/service.hh"
 #include "sim/system.hh"
 #include "util/table.hh"
 #include "workloads/optimization.hh"

@@ -18,12 +18,34 @@
 
 #include "obs/registry.hh"
 #include "obs/span.hh"
+#include "util/status.hh"
 
 namespace lll::obs
 {
 
 /** Raw JSON value to splice into the top-level export object. */
 using JsonSection = std::pair<std::string, std::string>;
+
+/** Version of the shared `--json` envelope emitted by jsonEnvelope(). */
+constexpr int kJsonEnvelopeVersion = 1;
+
+/**
+ * Wrap a subcommand's machine-readable output in the one envelope
+ * every `lll <cmd> --json` emits (README "JSON envelope"):
+ *
+ *   {"schema_version": 1, "command": "<cmd>",
+ *    "status": {"code": "ok", "exit": 0, "message": ""},
+ *    "data": <data_json>, "telemetry": <telemetry_json>}
+ *
+ * @p data_json and @p telemetry_json are pre-serialized JSON values;
+ * an empty string becomes null.  @p exit_code is the process exit the
+ * command is about to return with — it is part of the envelope so a
+ * consumer never has to re-derive lint/serve exit semantics.
+ */
+std::string jsonEnvelope(const std::string &command,
+                         const util::Status &status, int exit_code,
+                         const std::string &data_json,
+                         const std::string &telemetry_json = {});
 
 /** Escape @p s for use inside a JSON string literal (no quotes added). */
 std::string jsonEscape(const std::string &s);

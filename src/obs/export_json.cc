@@ -155,6 +155,41 @@ exportJson(const MetricRegistry &registry, const SpanTracker *spans,
     return out.str();
 }
 
+namespace
+{
+
+/** Embedded pre-serialized values keep their own layout but must not
+ *  carry trailing newlines into the envelope. */
+std::string
+trimmedOrNull(const std::string &json)
+{
+    size_t end = json.size();
+    while (end > 0 && (json[end - 1] == '\n' || json[end - 1] == ' ' ||
+                       json[end - 1] == '\t' || json[end - 1] == '\r')) {
+        --end;
+    }
+    return end == 0 ? std::string("null") : json.substr(0, end);
+}
+
+} // namespace
+
+std::string
+jsonEnvelope(const std::string &command, const util::Status &status,
+             int exit_code, const std::string &data_json,
+             const std::string &telemetry_json)
+{
+    std::ostringstream out;
+    out << "{\n  \"schema_version\": " << kJsonEnvelopeVersion
+        << ",\n  \"command\": \"" << jsonEscape(command)
+        << "\",\n  \"status\": {\"code\": \""
+        << util::errorCodeName(status.code())
+        << "\", \"exit\": " << exit_code << ", \"message\": \""
+        << jsonEscape(status.message()) << "\"},\n  \"data\": "
+        << trimmedOrNull(data_json) << ",\n  \"telemetry\": "
+        << trimmedOrNull(telemetry_json) << "\n}\n";
+    return out.str();
+}
+
 bool
 writeExport(const std::string &path, const std::string &content)
 {

@@ -97,6 +97,8 @@ std::vector<Platform> allPlatforms();
 util::Result<Platform> findPlatform(const std::string &name);
 
 /** Legacy convenience wrapper around findPlatform(); fatal if unknown. */
+[[deprecated("use findPlatform(), which returns a Result instead of "
+             "aborting on unknown names")]]
 Platform byName(const std::string &name);
 
 } // namespace lll::platforms

@@ -1,0 +1,618 @@
+#include "service/service.hh"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "core/analyzer.hh"
+#include "obs/export.hh"
+#include "obs/span.hh"
+#include "platforms/platform.hh"
+#include "util/json.hh"
+#include "workloads/workload.hh"
+
+namespace lll::service
+{
+
+using util::ErrorCode;
+using util::JsonValue;
+using util::Status;
+using workloads::OptSet;
+
+namespace
+{
+
+std::string
+fmtG17(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Reject member keys outside @p known — a typo'd field silently
+ *  ignored is an analysis the caller did not ask for. */
+Status
+rejectUnknownFields(const JsonValue &obj,
+                    const std::vector<std::string> &known,
+                    const char *what)
+{
+    for (const auto &[k, v] : obj.object) {
+        (void)v;
+        bool found = false;
+        for (const std::string &name : known) {
+            if (k == name) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "unknown %s field \"%s\"", what,
+                                 k.c_str());
+        }
+    }
+    return Status::okStatus();
+}
+
+util::Result<uint64_t>
+getCount(const JsonValue &obj, const std::string &key, uint64_t fallback)
+{
+    util::Result<double> v = obj.getNumberOr(key, double(fallback));
+    if (!v.ok())
+        return v.status();
+    if (*v < 0 || *v != double(uint64_t(*v))) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "field \"%s\" must be a non-negative "
+                             "integer", key.c_str());
+    }
+    return uint64_t(*v);
+}
+
+util::Result<sim::StreamDesc>
+parseStream(const JsonValue &v, size_t index)
+{
+    if (!v.isObject()) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "spec stream %zu must be an object, got %s",
+                             index, v.typeName());
+    }
+    LLL_RETURN_IF_ERROR(rejectUnknownFields(
+        v,
+        {"kind", "footprint_lines", "weight", "stride_lines", "store",
+         "shared_across_threads", "reuse_fraction", "reuse_window",
+         "sw_prefetchable"},
+        "spec stream"));
+
+    sim::StreamDesc s;
+    util::Result<std::string> kind = v.getStringOr("kind", "sequential");
+    if (!kind.ok())
+        return kind.status();
+    if (*kind == "sequential") {
+        s.kind = sim::StreamDesc::Kind::Sequential;
+    } else if (*kind == "strided") {
+        s.kind = sim::StreamDesc::Kind::Strided;
+    } else if (*kind == "random") {
+        s.kind = sim::StreamDesc::Kind::Random;
+    } else {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "spec stream %zu: unknown kind \"%s\"",
+                             index, kind->c_str());
+    }
+    util::Result<uint64_t> fp =
+        getCount(v, "footprint_lines", s.footprintLines);
+    if (!fp.ok())
+        return fp.status();
+    s.footprintLines = *fp;
+    util::Result<double> weight = v.getNumberOr("weight", s.weight);
+    if (!weight.ok())
+        return weight.status();
+    s.weight = *weight;
+    util::Result<double> stride =
+        v.getNumberOr("stride_lines", s.strideLines);
+    if (!stride.ok())
+        return stride.status();
+    s.strideLines = int(*stride);
+    util::Result<bool> store = v.getBoolOr("store", s.store);
+    if (!store.ok())
+        return store.status();
+    s.store = *store;
+    util::Result<bool> shared =
+        v.getBoolOr("shared_across_threads", s.sharedAcrossThreads);
+    if (!shared.ok())
+        return shared.status();
+    s.sharedAcrossThreads = *shared;
+    util::Result<double> reuse =
+        v.getNumberOr("reuse_fraction", s.reuseFraction);
+    if (!reuse.ok())
+        return reuse.status();
+    s.reuseFraction = *reuse;
+    util::Result<uint64_t> rw = getCount(v, "reuse_window", s.reuseWindow);
+    if (!rw.ok())
+        return rw.status();
+    s.reuseWindow = unsigned(*rw);
+    util::Result<bool> pref =
+        v.getBoolOr("sw_prefetchable", s.swPrefetchable);
+    if (!pref.ok())
+        return pref.status();
+    s.swPrefetchable = *pref;
+    return s;
+}
+
+util::Result<sim::KernelSpec>
+parseSpec(const JsonValue &v)
+{
+    if (!v.isObject()) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "field \"spec\" must be an object, got %s",
+                             v.typeName());
+    }
+    LLL_RETURN_IF_ERROR(rejectUnknownFields(
+        v,
+        {"name", "streams", "compute_cycles_per_op", "window",
+         "work_per_op", "sw_prefetch_l2", "sw_prefetch_distance",
+         "sw_prefetch_overhead_cycles"},
+        "spec"));
+
+    sim::KernelSpec spec;
+    util::Result<std::string> name = v.getStringOr("name", "inline");
+    if (!name.ok())
+        return name.status();
+    spec.name = *name;
+
+    const JsonValue *streams = v.find("streams");
+    if (!streams || !streams->isArray() || streams->array.empty()) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "spec needs a non-empty \"streams\" array");
+    }
+    for (size_t i = 0; i < streams->array.size(); ++i) {
+        util::Result<sim::StreamDesc> s =
+            parseStream(streams->array[i], i);
+        if (!s.ok())
+            return s.status();
+        spec.streams.push_back(s.take());
+    }
+
+    util::Result<double> cycles =
+        v.getNumberOr("compute_cycles_per_op", spec.computeCyclesPerOp);
+    if (!cycles.ok())
+        return cycles.status();
+    spec.computeCyclesPerOp = *cycles;
+    util::Result<uint64_t> window = getCount(v, "window", spec.window);
+    if (!window.ok())
+        return window.status();
+    spec.window = unsigned(*window);
+    util::Result<double> work =
+        v.getNumberOr("work_per_op", spec.workPerOp);
+    if (!work.ok())
+        return work.status();
+    spec.workPerOp = *work;
+    util::Result<bool> pl2 =
+        v.getBoolOr("sw_prefetch_l2", spec.swPrefetchL2);
+    if (!pl2.ok())
+        return pl2.status();
+    spec.swPrefetchL2 = *pl2;
+    util::Result<uint64_t> dist =
+        getCount(v, "sw_prefetch_distance", spec.swPrefetchDistance);
+    if (!dist.ok())
+        return dist.status();
+    spec.swPrefetchDistance = unsigned(*dist);
+    util::Result<double> overhead = v.getNumberOr(
+        "sw_prefetch_overhead_cycles", spec.swPrefetchOverheadCycles);
+    if (!overhead.ok())
+        return overhead.status();
+    spec.swPrefetchOverheadCycles = *overhead;
+    return spec;
+}
+
+/**
+ * Adapter presenting an inline request spec as a Workload, so
+ * SweepRunner::runStages / Experiment run it unchanged.  Opts are
+ * rejected at parse time for inline-spec requests (the fixed spec
+ * cannot model their transformations), so spec() ignores them.
+ */
+class SpecWorkload : public workloads::Workload
+{
+  public:
+    SpecWorkload(sim::KernelSpec spec, bool random_dominated)
+        : spec_(std::move(spec)), randomDominated_(random_dominated)
+    {
+    }
+
+    std::string name() const override { return spec_.name; }
+    std::string description() const override
+    {
+        return "inline kernel spec";
+    }
+    std::string problemSize() const override { return "-"; }
+    std::string routine() const override { return spec_.name; }
+
+    sim::KernelSpec spec(const platforms::Platform &,
+                         const OptSet &) const override
+    {
+        return spec_;
+    }
+
+    std::vector<workloads::ExperimentRow>
+    paperRows(const platforms::Platform &) const override
+    {
+        return {};
+    }
+
+    bool randomDominated() const override { return randomDominated_; }
+
+  private:
+    sim::KernelSpec spec_;
+    bool randomDominated_;
+};
+
+} // namespace
+
+util::Result<RunRequest>
+parseRunRequest(const std::string &line, size_t line_no)
+{
+    util::Result<JsonValue> doc = util::parseJson(line);
+    if (!doc.ok()) {
+        return doc.status().withContext("request %zu", line_no);
+    }
+    auto fail = [line_no](Status s) -> Status {
+        return s.withContext("request %zu", line_no);
+    };
+    if (!doc->isObject()) {
+        return fail(Status::error(ErrorCode::InvalidArgument,
+                                  "request must be a JSON object, "
+                                  "got %s", doc->typeName()));
+    }
+    Status known = rejectUnknownFields(
+        *doc,
+        {"schema_version", "id", "platform", "workload", "spec",
+         "random_dominated", "opts", "cores", "seed", "warmup_us",
+         "measure_us"},
+        "request");
+    if (!known.ok())
+        return fail(known);
+
+    util::Result<double> version = doc->getNumber("schema_version");
+    if (!version.ok())
+        return fail(version.status());
+    if (*version != kServiceSchemaVersion) {
+        return fail(Status::error(
+            ErrorCode::InvalidArgument,
+            "unsupported schema_version %g (this build speaks %d)",
+            *version, kServiceSchemaVersion));
+    }
+
+    RunRequest req;
+    char default_id[32];
+    std::snprintf(default_id, sizeof(default_id), "#%zu", line_no);
+    util::Result<std::string> id = doc->getStringOr("id", default_id);
+    if (!id.ok())
+        return fail(id.status());
+    req.id = id.take();
+
+    util::Result<std::string> platform = doc->getString("platform");
+    if (!platform.ok())
+        return fail(platform.status());
+    req.platformName = platform.take();
+
+    const JsonValue *workload = doc->find("workload");
+    const JsonValue *spec = doc->find("spec");
+    if ((workload == nullptr) == (spec == nullptr)) {
+        return fail(Status::error(ErrorCode::InvalidArgument,
+                                  "request needs exactly one of "
+                                  "\"workload\" and \"spec\""));
+    }
+    if (workload) {
+        if (!workload->isString()) {
+            return fail(Status::error(
+                ErrorCode::InvalidArgument,
+                "field \"workload\" must be a string, got %s",
+                workload->typeName()));
+        }
+        req.workloadName = workload->string;
+    } else {
+        util::Result<sim::KernelSpec> parsed = parseSpec(*spec);
+        if (!parsed.ok())
+            return fail(parsed.status());
+        req.hasSpec = true;
+        req.spec = parsed.take();
+        util::Result<bool> random =
+            doc->getBoolOr("random_dominated", false);
+        if (!random.ok())
+            return fail(random.status());
+        req.randomDominated = *random;
+    }
+
+    const JsonValue *opts = doc->find("opts");
+    if (opts) {
+        if (!opts->isArray()) {
+            return fail(Status::error(
+                ErrorCode::InvalidArgument,
+                "field \"opts\" must be an array, got %s",
+                opts->typeName()));
+        }
+        if (req.hasSpec && !opts->array.empty()) {
+            return fail(Status::error(
+                ErrorCode::InvalidArgument,
+                "inline-spec requests take no \"opts\" (the spec "
+                "already describes the optimized kernel)"));
+        }
+        for (const JsonValue &o : opts->array) {
+            if (!o.isString()) {
+                return fail(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "\"opts\" entries must be strings, got %s",
+                    o.typeName()));
+            }
+            std::optional<workloads::Opt> opt =
+                workloads::optFromShortName(o.string);
+            if (!opt) {
+                return fail(Status::error(ErrorCode::InvalidArgument,
+                                          "unknown optimization '%s'",
+                                          o.string.c_str()));
+            }
+            req.opts = req.opts.with(*opt);
+        }
+    }
+
+    util::Result<double> cores = doc->getNumberOr("cores", 0.0);
+    if (!cores.ok())
+        return fail(cores.status());
+    if (*cores != double(int(*cores)) || int(*cores) < 0) {
+        return fail(Status::error(ErrorCode::InvalidArgument,
+                                  "field \"cores\" must be a "
+                                  "non-negative integer"));
+    }
+    req.cores = int(*cores);
+
+    util::Result<uint64_t> seed = getCount(*doc, "seed", req.seed);
+    if (!seed.ok())
+        return fail(seed.status());
+    req.seed = *seed;
+
+    util::Result<double> warmup = doc->getNumberOr("warmup_us", 0.0);
+    if (!warmup.ok())
+        return fail(warmup.status());
+    util::Result<double> measure = doc->getNumberOr("measure_us", 0.0);
+    if (!measure.ok())
+        return fail(measure.status());
+    if (*warmup < 0.0 || *measure < 0.0) {
+        return fail(Status::error(ErrorCode::InvalidArgument,
+                                  "window lengths must be >= 0"));
+    }
+    req.warmupUs = *warmup;
+    req.measureUs = *measure;
+    return req;
+}
+
+std::string
+renderRunResponse(const RunResponse &r)
+{
+    std::ostringstream out;
+    out << "{\"schema_version\": " << kServiceSchemaVersion
+        << ", \"id\": \"" << obs::jsonEscape(r.id)
+        << "\", \"status\": {\"code\": \""
+        << util::errorCodeName(r.status.code())
+        << "\", \"exit\": " << util::exitCodeFor(r.status.code())
+        << ", \"message\": \"" << obs::jsonEscape(r.status.message())
+        << "\"}, \"data\": ";
+    if (!r.status.ok()) {
+        out << "null}";
+        return out.str();
+    }
+    out << stageDataJson(r.metrics, r.platform, r.workload, r.optsLabel)
+        << "}";
+    return out.str();
+}
+
+std::string
+stageDataJson(const core::StageMetrics &m, const std::string &platform,
+              const std::string &workload,
+              const std::string &opts_label)
+{
+    const core::Analysis &a = m.analysis;
+    std::ostringstream out;
+    out << "{\"platform\": \"" << obs::jsonEscape(platform)
+        << "\", \"workload\": \"" << obs::jsonEscape(workload)
+        << "\", \"opts\": \"" << obs::jsonEscape(opts_label)
+        << "\", \"throughput\": " << fmtG17(m.throughput)
+        << ", \"bw_gbs\": " << fmtG17(a.bwGBs)
+        << ", \"pct_peak\": " << fmtG17(a.pctPeak)
+        << ", \"latency_ns\": " << fmtG17(a.latencyNs)
+        << ", \"n_avg\": " << fmtG17(a.nAvg) << ", \"access_class\": \""
+        << core::accessClassName(a.accessClass)
+        << "\", \"limiting_level\": \""
+        << core::mshrLevelName(a.limitingLevel)
+        << "\", \"limiting_mshrs\": " << a.limitingMshrs
+        << ", \"headroom\": " << fmtG17(a.headroom)
+        << ", \"max_achievable_gbs\": " << fmtG17(a.maxAchievableGBs)
+        << ", \"cores_used\": " << a.coresUsed << ", \"warnings\": [";
+    for (size_t i = 0; i < a.warnings.size(); ++i) {
+        out << (i ? ", " : "") << "\"" << obs::jsonEscape(a.warnings[i])
+            << "\"";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::vector<RunResponse>
+RunService::serveLines(const std::vector<std::string> &lines)
+{
+    obs::ScopedSpan batch_span("serve.batch");
+
+    /** One request's place in the batch while it is in flight. */
+    struct Slot
+    {
+        RunRequest req;
+        Status status;       //!< first error on the request's path
+        size_t unit = SIZE_MAX; //!< index into the coalesced units
+    };
+    std::vector<Slot> slots;
+
+    {
+        obs::ScopedSpan span("serve.parse");
+        size_t line_no = 0;
+        for (const std::string &line : lines) {
+            ++line_no;
+            bool blank = true;
+            for (char c : line) {
+                if (c != ' ' && c != '\t' && c != '\r') {
+                    blank = false;
+                    break;
+                }
+            }
+            if (blank)
+                continue;
+            Slot slot;
+            util::Result<RunRequest> req =
+                parseRunRequest(line, line_no);
+            if (req.ok()) {
+                slot.req = req.take();
+            } else {
+                char fallback[32];
+                std::snprintf(fallback, sizeof(fallback), "#%zu",
+                              line_no);
+                slot.req.id = fallback;
+                slot.status = req.status();
+            }
+            slots.push_back(std::move(slot));
+        }
+    }
+
+    // Resolve names and coalesce duplicate units: requests that hash
+    // to the same stage key — same platform, spec, opts, seed, windows
+    // and cores — share one StageUnit and therefore one simulation.
+    std::vector<core::SweepRunner::StageUnit> units;
+    std::vector<workloads::WorkloadPtr> owned; //!< outlive the runner
+    std::map<std::string, size_t> by_key;
+    {
+        obs::ScopedSpan span("serve.coalesce");
+        for (Slot &slot : slots) {
+            if (!slot.status.ok())
+                continue;
+            RunRequest &req = slot.req;
+            util::Result<platforms::Platform> plat =
+                platforms::findPlatform(req.platformName);
+            if (!plat.ok()) {
+                slot.status = plat.status();
+                continue;
+            }
+            workloads::WorkloadPtr wl;
+            if (req.hasSpec) {
+                wl = std::make_unique<SpecWorkload>(
+                    req.spec, req.randomDominated);
+            } else {
+                util::Result<workloads::WorkloadPtr> found =
+                    workloads::findWorkload(req.workloadName);
+                if (!found.ok()) {
+                    slot.status = found.status();
+                    continue;
+                }
+                wl = found.take();
+            }
+            const int cores =
+                req.cores > 0 ? req.cores : plat->totalCores;
+            // Infeasible (platform, cores, smt) combinations fail here
+            // per-request instead of aborting inside the simulator.
+            util::Result<sim::SystemParams> sp =
+                plat->trySysParams(cores, req.opts.smtWays());
+            if (!sp.ok()) {
+                slot.status = sp.status();
+                continue;
+            }
+            const double warmup = req.warmupUs > 0.0
+                                      ? req.warmupUs
+                                      : wl->warmupUs();
+            const double measure = req.measureUs > 0.0
+                                       ? req.measureUs
+                                       : wl->measureUs();
+            const std::string key = core::ResultCache::stageKey(
+                *plat, wl->spec(*plat, req.opts), req.opts, req.seed,
+                warmup, measure, cores);
+            auto [it, fresh] = by_key.emplace(key, units.size());
+            if (fresh) {
+                units.push_back({*plat, wl.get(), req.opts, warmup,
+                                 measure, cores, req.seed});
+                owned.push_back(std::move(wl));
+            }
+            slot.unit = it->second;
+        }
+    }
+
+    const core::ResultCache::Stats before =
+        params_.cache ? params_.cache->stats()
+                      : core::ResultCache::Stats();
+
+    std::vector<core::SweepRunner::StageOutcome> outcomes;
+    {
+        obs::ScopedSpan span("serve.run");
+        core::SweepRunner::Params rp;
+        rp.jobs = params_.jobs;
+        rp.cache = params_.cache;
+        rp.registry = params_.registry;
+        core::SweepRunner runner(rp);
+        outcomes = runner.runStages(units);
+    }
+
+    std::vector<RunResponse> responses;
+    size_t failed = 0;
+    {
+        obs::ScopedSpan span("serve.respond");
+        responses.reserve(slots.size());
+        for (Slot &slot : slots) {
+            RunResponse resp;
+            resp.id = slot.req.id;
+            if (!slot.status.ok()) {
+                resp.status = slot.status;
+            } else {
+                const core::SweepRunner::StageOutcome &out =
+                    outcomes[slot.unit];
+                resp.status = out.status;
+                if (out.status.ok())
+                    resp.metrics = out.metrics;
+            }
+            if (resp.status.ok()) {
+                resp.platform = units[slot.unit].platform.name;
+                resp.workload = units[slot.unit].workload->name();
+                resp.optsLabel = slot.req.opts.label();
+            } else {
+                ++failed;
+            }
+            responses.push_back(std::move(resp));
+        }
+    }
+
+    if (params_.registry) {
+        obs::MetricRegistry &reg = *params_.registry;
+        reg.counter("service.batches_total")++;
+        reg.counter("service.requests_total")
+            .increment(slots.size());
+        reg.counter("service.requests_failed_total").increment(failed);
+        reg.counter("service.units_total").increment(units.size());
+        // Requests that resolved to an already-seen unit.
+        size_t resolved = 0;
+        for (const Slot &slot : slots) {
+            if (slot.unit != SIZE_MAX)
+                ++resolved;
+        }
+        reg.counter("service.coalesced_requests_total")
+            .increment(resolved - units.size());
+        reg.setGauge("service.batch_size", double(slots.size()));
+        if (params_.cache) {
+            const core::ResultCache::Stats after =
+                params_.cache->stats();
+            reg.counter("service.cache_hits_total")
+                .increment(after.hits - before.hits);
+            reg.counter("service.cache_misses_total")
+                .increment(after.misses - before.misses);
+            reg.counter("service.cache_evictions_total")
+                .increment(after.evictions - before.evictions);
+            reg.counter("service.cache_spill_evictions_total")
+                .increment(after.spillEvictions -
+                           before.spillEvictions);
+        }
+    }
+    return responses;
+}
+
+} // namespace lll::service

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The batched run service behind `lll serve` (DESIGN.md §12).
+ *
+ * A batch is JSON-lines: one versioned RunRequest per line, answered by
+ * one RunResponse line in the *same order*, each carrying its own
+ * util::Status — a malformed or infeasible request fails alone, never
+ * the batch.  Before anything simulates, the service coalesces
+ * requests that resolve to the same ResultCache stage key, shards the
+ * distinct units onto core::SweepRunner, and fans every response out
+ * from the shared outcome; with the process-wide ResultCache engaged a
+ * warm batch is served entirely from memo.
+ *
+ * Request schema (schema_version 1); exactly one of "workload" /
+ * "spec" must be present:
+ *
+ *   {"schema_version": 1, "id": "r1", "platform": "bdx",
+ *    "workload": "isx", "opts": ["vect", "2-ht"], "cores": 4,
+ *    "seed": 7, "warmup_us": 15.0, "measure_us": 40.0}
+ *
+ *   {"schema_version": 1, "platform": "bdx", "random_dominated": true,
+ *    "spec": {"name": "mykernel", "window": 12, "streams": [
+ *      {"kind": "random", "footprint_lines": 4000000}]}}
+ *
+ * Response lines reuse the CLI's JSON envelope status shape:
+ *
+ *   {"schema_version": 1, "id": "r1",
+ *    "status": {"code": "ok", "exit": 0, "message": ""},
+ *    "data": {"platform": ..., "workload": ..., "opts": ...,
+ *             "throughput": ..., "bw_gbs": ..., "n_avg": ...}}
+ */
+
+#ifndef LLL_SERVICE_SERVICE_HH
+#define LLL_SERVICE_SERVICE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "obs/registry.hh"
+#include "sim/kernel_spec.hh"
+#include "util/status.hh"
+#include "workloads/optimization.hh"
+
+namespace lll::service
+{
+
+/** Version of the request/response line schema. */
+constexpr int kServiceSchemaVersion = 1;
+
+/**
+ * One normalized analysis request.  Exactly one of workloadName /
+ * spec is set (hasSpec discriminates).
+ */
+struct RunRequest
+{
+    std::string id;           //!< echoes back; defaults to "#<line>"
+    std::string platformName;
+    std::string workloadName; //!< empty for inline-spec requests
+    bool hasSpec = false;
+    sim::KernelSpec spec;
+    bool randomDominated = false; //!< inline-spec analyzer class
+    workloads::OptSet opts;
+    int cores = 0;      //!< 0 = all of the platform's cores
+    uint64_t seed = 7;
+    double warmupUs = 0.0;  //!< 0 = the workload's default window
+    double measureUs = 0.0; //!< 0 = the workload's default window
+};
+
+/**
+ * Parse one JSON request line.  @p line_no (1-based) supplies the
+ * default id and appears in error context.
+ */
+util::Result<RunRequest> parseRunRequest(const std::string &line,
+                                         size_t line_no);
+
+/** One response line: per-request status plus (on success) the
+ *  analysis payload of the stage the request resolved to. */
+struct RunResponse
+{
+    std::string id;
+    util::Status status;
+    core::StageMetrics metrics; //!< meaningful only when status.ok()
+    std::string platform;
+    std::string workload;
+    std::string optsLabel;
+};
+
+/** Serialize @p r as one JSON line (no trailing newline). */
+std::string renderRunResponse(const RunResponse &r);
+
+/**
+ * Just the "data" object of a successful response — the analysis
+ * payload for one stage.  Shared with `lll analyze --json` so the CLI
+ * envelope and the service speak the same schema.
+ */
+std::string stageDataJson(const core::StageMetrics &m,
+                          const std::string &platform,
+                          const std::string &workload,
+                          const std::string &opts_label);
+
+/**
+ * The batched front-end.  Construct once, serve many batches; the
+ * ResultCache (and its capacity policy) persists across batches.
+ */
+class RunService
+{
+  public:
+    struct Params
+    {
+        /** Worker threads for the distinct-unit fan-out. */
+        int jobs = 1;
+
+        /** Stage memo table; nullptr runs every unit uncached (no
+         *  coalescing is lost — duplicates still simulate once). */
+        core::ResultCache *cache = nullptr;
+
+        /**
+         * When set, receives the service counters
+         * (service.requests_total, service.requests_failed_total,
+         * service.units_total, service.coalesced_requests_total,
+         * service.cache_{hits,misses,evictions,spill_evictions}_total,
+         * gauge service.batch_size) and the merged per-unit telemetry.
+         */
+        obs::MetricRegistry *registry = nullptr;
+    };
+
+    explicit RunService(Params params) : params_(params) {}
+
+    /**
+     * Serve one batch: parse every line (blank lines are skipped),
+     * coalesce, run, and return responses in request order.  Never
+     * fails as a whole — per-request errors ride in the responses.
+     * Runs under a `serve.batch` span with parse/coalesce/run/respond
+     * phases nested inside.
+     */
+    std::vector<RunResponse>
+    serveLines(const std::vector<std::string> &lines);
+
+  private:
+    Params params_;
+};
+
+} // namespace lll::service
+
+#endif // LLL_SERVICE_SERVICE_HH

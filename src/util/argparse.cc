@@ -1,0 +1,105 @@
+#include "util/argparse.hh"
+
+#include <cstdlib>
+
+namespace lll::util
+{
+
+util::Result<size_t> ArgParser::findOnce(const std::string &flag) const
+{
+    size_t found = args_.size();
+    for (size_t i = 0; i < args_.size(); ++i) {
+        if (args_[i] != flag)
+            continue;
+        if (found != args_.size()) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "%s given more than once", flag.c_str());
+        }
+        found = i;
+    }
+    return found;
+}
+
+util::Result<std::string> ArgParser::stringFlag(const std::string &flag)
+{
+    util::Result<size_t> at = findOnce(flag);
+    if (!at.ok())
+        return at.status();
+    if (*at == args_.size())
+        return std::string();
+    if (*at + 1 >= args_.size()) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "%s needs an argument", flag.c_str());
+    }
+    std::string value = args_[*at + 1];
+    args_.erase(args_.begin() + static_cast<long>(*at),
+                args_.begin() + static_cast<long>(*at) + 2);
+    return value;
+}
+
+util::Result<int> ArgParser::intFlag(const std::string &flag, int fallback)
+{
+    util::Result<std::string> raw = stringFlag(flag);
+    if (!raw.ok())
+        return raw.status();
+    if (raw->empty())
+        return fallback;
+    char *end = nullptr;
+    const long n = std::strtol(raw->c_str(), &end, 10);
+    if (*end != '\0' || n < 1) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "%s wants a positive integer, got '%s'",
+                             flag.c_str(), raw->c_str());
+    }
+    return static_cast<int>(n);
+}
+
+util::Result<uint64_t> ArgParser::uint64Flag(const std::string &flag,
+                                             uint64_t fallback)
+{
+    util::Result<std::string> raw = stringFlag(flag);
+    if (!raw.ok())
+        return raw.status();
+    if (raw->empty())
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(raw->c_str(), &end, 10);
+    if (raw->empty() || *end != '\0') {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "%s wants an unsigned integer, got '%s'",
+                             flag.c_str(), raw->c_str());
+    }
+    return static_cast<uint64_t>(n);
+}
+
+util::Result<bool> ArgParser::boolFlag(const std::string &flag)
+{
+    util::Result<size_t> at = findOnce(flag);
+    if (!at.ok())
+        return at.status();
+    if (*at == args_.size())
+        return false;
+    args_.erase(args_.begin() + static_cast<long>(*at));
+    return true;
+}
+
+util::Status ArgParser::finish() const
+{
+    if (args_.empty())
+        return Status::okStatus();
+    const std::string &arg = args_.front();
+    return Status::error(ErrorCode::InvalidArgument,
+                         !arg.empty() && arg[0] == '-'
+                             ? "unknown flag '%s'"
+                             : "unexpected argument '%s'",
+                         arg.c_str());
+}
+
+void ArgParser::consumePositional(size_t n)
+{
+    if (n > args_.size())
+        n = args_.size();
+    args_.erase(args_.begin(), args_.begin() + static_cast<long>(n));
+}
+
+} // namespace lll::util

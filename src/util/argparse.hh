@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared subcommand flag parsing for the `lll` CLI.
+ *
+ * Before this header every subcommand hand-rolled its own flag loop,
+ * and the edges drifted: some rejected a repeated `--json`, some kept
+ * the first, some the last; unknown flags exited through three
+ * different messages.  ArgParser centralizes the contract once:
+ *
+ *   - flags are extracted destructively in any order, leaving
+ *     positional operands (workload names, optimization tokens) behind
+ *     for the subcommand to interpret;
+ *   - a valued flag without its value is "FLAG needs an argument";
+ *   - a flag given twice is "FLAG given more than once" (never a
+ *     silent first/last-wins);
+ *   - finish() rejects anything left over that the subcommand did not
+ *     claim: "unknown flag '-x'" / "unexpected argument 'x'".
+ *
+ * All failures are InvalidArgument, which util::exitCodeFor maps to
+ * the CLI's usage exit code (2) — so `--jobs`, `--cache-dir`,
+ * `--json`, `--cores` behave identically across every subcommand.
+ */
+
+#ifndef LLL_UTIL_ARGPARSE_HH
+#define LLL_UTIL_ARGPARSE_HH
+
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace lll::util
+{
+
+class ArgParser
+{
+  public:
+    /** Parse over @p args (typically argv[first..argc)). */
+    explicit ArgParser(std::vector<std::string> args)
+        : args_(std::move(args))
+    {
+    }
+
+    ArgParser(int argc, char **argv, int first)
+        : args_(argv + (first < argc ? first : argc), argv + argc)
+    {
+    }
+
+    /**
+     * Extract `FLAG VALUE`; empty string when the flag is absent.
+     * Errors on a missing value or a repeated flag.
+     */
+    util::Result<std::string> stringFlag(const std::string &flag);
+
+    /**
+     * Extract `FLAG N` as a strictly positive integer; @p fallback
+     * when absent ("--jobs", "--cores", "--iterations"...).
+     */
+    util::Result<int> intFlag(const std::string &flag, int fallback);
+
+    /**
+     * Extract `FLAG N` as an unsigned 64-bit value; @p fallback when
+     * absent ("--seed").
+     */
+    util::Result<uint64_t> uint64Flag(const std::string &flag,
+                                      uint64_t fallback);
+
+    /** Extract a bare `FLAG`; false when absent, error on repeats. */
+    util::Result<bool> boolFlag(const std::string &flag);
+
+    /** Positional operands left after flag extraction. */
+    const std::vector<std::string> &rest() const { return args_; }
+
+    /**
+     * Reject anything still unconsumed: "unknown flag '-x'" for
+     * dash-prefixed leftovers, "unexpected argument 'x'" otherwise.
+     * Call after all flags *and* positionals have been claimed.
+     */
+    util::Status finish() const;
+
+    /** Drop the first @p n positional operands (claimed by caller). */
+    void consumePositional(size_t n);
+
+  private:
+    util::Result<size_t> findOnce(const std::string &flag) const;
+
+    std::vector<std::string> args_;
+};
+
+} // namespace lll::util
+
+#endif // LLL_UTIL_ARGPARSE_HH

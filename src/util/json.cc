@@ -1,0 +1,370 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace lll::util
+{
+
+namespace
+{
+
+/** Recursive-descent parser over a borrowed buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    util::Result<JsonValue> parse()
+    {
+        JsonValue root;
+        auto st = parseValue(&root, 0);
+        if (!st.ok())
+            return st;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing content after JSON document");
+        return root;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    util::Status fail(const char *what) const
+    {
+        return util::Status::error(util::ErrorCode::CorruptData,
+                                   "json: %s at byte %zu", what, pos_);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool consumeWord(const char *word)
+    {
+        size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    util::Status parseValue(JsonValue *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+        case '{':
+            return parseObject(out, depth);
+        case '[':
+            return parseArray(out, depth);
+        case '"':
+            out->type = JsonValue::Type::String;
+            return parseString(&out->string);
+        case 't':
+            if (!consumeWord("true"))
+                return fail("invalid literal");
+            out->type = JsonValue::Type::Bool;
+            out->boolean = true;
+            return util::Status::okStatus();
+        case 'f':
+            if (!consumeWord("false"))
+                return fail("invalid literal");
+            out->type = JsonValue::Type::Bool;
+            out->boolean = false;
+            return util::Status::okStatus();
+        case 'n':
+            if (!consumeWord("null"))
+                return fail("invalid literal");
+            out->type = JsonValue::Type::Null;
+            return util::Status::okStatus();
+        default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail("unexpected character");
+        }
+    }
+
+    util::Status parseObject(JsonValue *out, int depth)
+    {
+        ++pos_; // '{'
+        out->type = JsonValue::Type::Object;
+        skipWs();
+        if (consume('}'))
+            return util::Status::okStatus();
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            auto st = parseString(&key);
+            if (!st.ok())
+                return st;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            JsonValue member;
+            st = parseValue(&member, depth + 1);
+            if (!st.ok())
+                return st;
+            out->object.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return util::Status::okStatus();
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    util::Status parseArray(JsonValue *out, int depth)
+    {
+        ++pos_; // '['
+        out->type = JsonValue::Type::Array;
+        skipWs();
+        if (consume(']'))
+            return util::Status::okStatus();
+        while (true) {
+            JsonValue element;
+            auto st = parseValue(&element, depth + 1);
+            if (!st.ok())
+                return st;
+            out->array.push_back(std::move(element));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return util::Status::okStatus();
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    util::Status parseString(std::string *out)
+    {
+        ++pos_; // '"'
+        out->clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return util::Status::okStatus();
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    break;
+                char e = text_[pos_];
+                switch (e) {
+                case '"': out->push_back('"'); break;
+                case '\\': out->push_back('\\'); break;
+                case '/': out->push_back('/'); break;
+                case 'b': out->push_back('\b'); break;
+                case 'f': out->push_back('\f'); break;
+                case 'n': out->push_back('\n'); break;
+                case 'r': out->push_back('\r'); break;
+                case 't': out->push_back('\t'); break;
+                case 'u': {
+                    // \uXXXX: decode the BMP code point to UTF-8.
+                    // Surrogate pairs are passed through as two
+                    // 3-byte sequences (requests never need them).
+                    if (pos_ + 4 >= text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 1; i <= 4; ++i) {
+                        char h = text_[pos_ + i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= unsigned(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= unsigned(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= unsigned(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    pos_ += 4;
+                    if (cp < 0x80) {
+                        out->push_back(char(cp));
+                    } else if (cp < 0x800) {
+                        out->push_back(char(0xC0 | (cp >> 6)));
+                        out->push_back(char(0x80 | (cp & 0x3F)));
+                    } else {
+                        out->push_back(char(0xE0 | (cp >> 12)));
+                        out->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+                        out->push_back(char(0x80 | (cp & 0x3F)));
+                    }
+                    break;
+                }
+                default:
+                    return fail("unknown escape");
+                }
+                ++pos_;
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            out->push_back(c);
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    util::Status parseNumber(JsonValue *out)
+    {
+        size_t start = pos_;
+        if (consume('-')) {
+        }
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_])))
+            return fail("malformed number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (consume('.')) {
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed number");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed number");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        out->type = JsonValue::Type::Number;
+        out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                  nullptr);
+        return util::Status::okStatus();
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+const char *JsonValue::typeName() const
+{
+    switch (type) {
+    case Type::Null: return "null";
+    case Type::Bool: return "bool";
+    case Type::Number: return "number";
+    case Type::String: return "string";
+    case Type::Array: return "array";
+    case Type::Object: return "object";
+    }
+    return "unknown";
+}
+
+const JsonValue *JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+util::Result<std::string> JsonValue::getString(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return util::Status::error(util::ErrorCode::InvalidArgument,
+                                   "missing required field \"%s\"",
+                                   key.c_str());
+    if (!v->isString())
+        return util::Status::error(util::ErrorCode::InvalidArgument,
+                                   "field \"%s\" must be a string, got %s",
+                                   key.c_str(), v->typeName());
+    return v->string;
+}
+
+util::Result<std::string>
+JsonValue::getStringOr(const std::string &key, std::string fallback) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return fallback;
+    if (!v->isString())
+        return util::Status::error(util::ErrorCode::InvalidArgument,
+                                   "field \"%s\" must be a string, got %s",
+                                   key.c_str(), v->typeName());
+    return v->string;
+}
+
+util::Result<double> JsonValue::getNumber(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return util::Status::error(util::ErrorCode::InvalidArgument,
+                                   "missing required field \"%s\"",
+                                   key.c_str());
+    if (!v->isNumber())
+        return util::Status::error(util::ErrorCode::InvalidArgument,
+                                   "field \"%s\" must be a number, got %s",
+                                   key.c_str(), v->typeName());
+    return v->number;
+}
+
+util::Result<double>
+JsonValue::getNumberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return fallback;
+    if (!v->isNumber())
+        return util::Status::error(util::ErrorCode::InvalidArgument,
+                                   "field \"%s\" must be a number, got %s",
+                                   key.c_str(), v->typeName());
+    return v->number;
+}
+
+util::Result<bool> JsonValue::getBoolOr(const std::string &key,
+                                        bool fallback) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        return fallback;
+    if (!v->isBool())
+        return util::Status::error(util::ErrorCode::InvalidArgument,
+                                   "field \"%s\" must be a bool, got %s",
+                                   key.c_str(), v->typeName());
+    return v->boolean;
+}
+
+util::Result<JsonValue> parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace lll::util

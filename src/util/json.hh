@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A minimal JSON document parser for request-shaped input.
+ *
+ * The repo deliberately carries no third-party JSON dependency; the
+ * exporters (obs/export.hh) only ever *emit* JSON and the result-cache
+ * spill format is flat by construction.  The run service, however,
+ * accepts nested request objects (`lll serve` JSON-lines), so this
+ * header adds the read side: a small recursive-descent parser into a
+ * JsonValue tree plus typed accessors with field-level error reporting.
+ *
+ * Scope is deliberately narrow — UTF-8 pass-through, doubles for all
+ * numbers, objects keep insertion order — enough for the versioned
+ * service schema, not a general-purpose library.
+ */
+
+#ifndef LLL_UTIL_JSON_HH
+#define LLL_UTIL_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace lll::util
+{
+
+/**
+ * One parsed JSON value.  A tagged union kept simple (vectors instead
+ * of maps so object key order survives for diagnostics).
+ */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Stable lower-case type name ("object", "number", ...). */
+    const char *typeName() const;
+
+    /** Member lookup on an object; nullptr when absent (or not an
+     *  object).  First occurrence wins on duplicate keys. */
+    const JsonValue *find(const std::string &key) const;
+
+    // Typed member accessors: the field as Result, with the offending
+    // key in the error message.  *Or variants return @p fallback when
+    // the key is absent (but still fail on a type mismatch).
+    util::Result<std::string> getString(const std::string &key) const;
+    util::Result<std::string> getStringOr(const std::string &key,
+                                          std::string fallback) const;
+    util::Result<double> getNumber(const std::string &key) const;
+    util::Result<double> getNumberOr(const std::string &key,
+                                     double fallback) const;
+    util::Result<bool> getBoolOr(const std::string &key,
+                                 bool fallback) const;
+};
+
+/**
+ * Parse @p text as one JSON document.  Trailing non-whitespace after
+ * the document, unterminated strings, bad escapes and malformed
+ * numbers are CorruptData errors carrying the byte offset.
+ */
+util::Result<JsonValue> parseJson(const std::string &text);
+
+} // namespace lll::util
+
+#endif // LLL_UTIL_JSON_HH

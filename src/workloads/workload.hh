@@ -105,6 +105,8 @@ std::vector<WorkloadPtr> allWorkloadsAndExtensions();
 util::Result<WorkloadPtr> findWorkload(const std::string &name);
 
 /** Legacy convenience wrapper around findWorkload(); fatal if unknown. */
+[[deprecated("use findWorkload(), which returns a Result instead of "
+             "aborting on unknown names")]]
 WorkloadPtr workloadByName(const std::string &name);
 
 } // namespace lll::workloads

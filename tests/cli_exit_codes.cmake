@@ -56,6 +56,24 @@ expect_exit(2 lint --profile file extra)
 expect_exit(3 lint --profile /nonexistent/profile.txt)
 
 # lint: usage errors exit 2, infeasible configs exit 3 with LLL-PLAT-001.
+# serve: flag errors exit 2; an unreadable batch file and a batch with
+# any failed request are bad input (exit 3); an empty batch is ok.
+expect_exit(2 serve --bogus)
+expect_exit(2 serve extra)
+expect_exit(2 serve --jobs 0)
+expect_exit(2 serve --jobs)
+expect_exit(2 serve --max-entries 0)
+expect_exit(2 serve --spill-budget nope)
+expect_exit(2 serve --batch)
+expect_exit(3 serve --batch /nonexistent/batch.jsonl)
+set(_serve_dir "${CMAKE_CURRENT_BINARY_DIR}/serve_exit_codes")
+file(MAKE_DIRECTORY "${_serve_dir}")
+file(WRITE "${_serve_dir}/empty.jsonl" "")
+expect_exit(0 serve --batch "${_serve_dir}/empty.jsonl")
+file(WRITE "${_serve_dir}/bad.jsonl"
+     "{\"schema_version\": 1, \"platform\": \"nope\", \"workload\": \"isx\"}\n")
+expect_exit(3 serve --batch "${_serve_dir}/bad.jsonl")
+
 expect_exit(2 lint isx)                      # platform missing
 expect_exit(2 lint isx skl nonsense-opt)     # unknown optimization
 expect_exit(2 lint --json)                   # dangling flag

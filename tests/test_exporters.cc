@@ -277,3 +277,52 @@ TEST(ExportIntegration, SimulatedRunProducesCompleteJson)
     std::string csv = obs::exportCsv(reg);
     EXPECT_NE(csv.find("sim.mshr.l1.0.occupancy,"), std::string::npos);
 }
+
+TEST(JsonEnvelope, WrapsDataAndTelemetryUnderOneSchema)
+{
+    std::string env = obs::jsonEnvelope(
+        "analyze", util::Status::okStatus(), 0,
+        "{\"throughput\": 1.5}", "{\"counters\": {}}");
+    EXPECT_TRUE(balancedJson(env)) << env;
+    EXPECT_NE(env.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(env.find("\"command\": \"analyze\""), std::string::npos);
+    EXPECT_NE(env.find("\"status\": {\"code\": \"ok\", \"exit\": 0, "
+                       "\"message\": \"\"}"),
+              std::string::npos)
+        << env;
+    EXPECT_NE(env.find("\"data\": {\"throughput\": 1.5}"),
+              std::string::npos);
+    EXPECT_NE(env.find("\"telemetry\": {\"counters\": {}}"),
+              std::string::npos);
+}
+
+TEST(JsonEnvelope, EmptySectionsBecomeNull)
+{
+    std::string env = obs::jsonEnvelope(
+        "lint",
+        util::Status::error(util::ErrorCode::FailedPrecondition,
+                            "2 infeasible configs"),
+        3, "", "  \n ");
+    EXPECT_TRUE(balancedJson(env)) << env;
+    EXPECT_NE(env.find("\"code\": \"failed-precondition\""),
+              std::string::npos)
+        << env;
+    EXPECT_NE(env.find("\"exit\": 3"), std::string::npos);
+    EXPECT_NE(env.find("\"message\": \"2 infeasible configs\""),
+              std::string::npos);
+    EXPECT_NE(env.find("\"data\": null"), std::string::npos);
+    EXPECT_NE(env.find("\"telemetry\": null"), std::string::npos);
+}
+
+TEST(JsonEnvelope, EscapesStatusMessages)
+{
+    std::string env = obs::jsonEnvelope(
+        "trace",
+        util::Status::error(util::ErrorCode::CorruptData,
+                            "bad \"quote\"\nand newline"),
+        3, "");
+    EXPECT_TRUE(balancedJson(env)) << env;
+    EXPECT_NE(env.find("bad \\\"quote\\\"\\nand newline"),
+              std::string::npos)
+        << env;
+}

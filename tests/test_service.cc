@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests for the batched run service (DESIGN.md §12): request parsing
+ * and validation, response ordering, duplicate-unit coalescing (one
+ * simulation per distinct stage key), per-request failure isolation,
+ * warm-cache reruns, and the service telemetry counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hh"
+#include "obs/span.hh"
+#include "service/service.hh"
+#include "util/status.hh"
+#include "xmem/xmem_harness.hh"
+
+namespace lll::service
+{
+namespace
+{
+
+using util::ErrorCode;
+
+/**
+ * Stage simulations run so far on this thread (workers fold into it).
+ * Counts only the `stage[...]/simulate` span itself, not the
+ * sim.warmup/sim.measure phases nested inside it — one per stage.
+ */
+uint64_t
+simulateSpanCount()
+{
+    const std::string leaf = "/simulate";
+    uint64_t n = 0;
+    for (const obs::SpanTracker::Stat &s :
+         obs::SpanTracker::global().stats()) {
+        if (s.path.size() >= leaf.size() &&
+            s.path.compare(s.path.size() - leaf.size(), leaf.size(),
+                           leaf) == 0)
+            n += s.count;
+    }
+    return n;
+}
+
+/** A fast well-formed request line (short windows, few cores). */
+std::string
+quickRequest(const std::string &id, const std::string &workload,
+             const std::string &extra = {})
+{
+    return "{\"schema_version\": 1, \"id\": \"" + id +
+           "\", \"platform\": \"skl\", \"workload\": \"" + workload +
+           "\", \"cores\": 6, \"warmup_us\": 5, \"measure_us\": 10" +
+           extra + "}";
+}
+
+/** The on-disk profile cache must exist before timing-sensitive
+ *  comparisons (first measurement differs from its disk round-trip). */
+void
+warmProfileCache()
+{
+    platforms::Platform skl = platforms::skl();
+    util::Result<xmem::LatencyProfile> prof =
+        xmem::XMemHarness().measureCachedChecked(
+            skl, xmem::defaultProfilePath(skl));
+    ASSERT_TRUE(prof.ok()) << prof.status().toString();
+}
+
+TEST(ParseRunRequest, AcceptsTheDocumentedShape)
+{
+    util::Result<RunRequest> r = parseRunRequest(
+        "{\"schema_version\": 1, \"id\": \"r1\", \"platform\": "
+        "\"bdx\", \"workload\": \"isx\", \"opts\": [\"vect\", "
+        "\"2-ht\"], \"cores\": 4, \"seed\": 11, \"warmup_us\": 2.5, "
+        "\"measure_us\": 7.5}",
+        1);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->id, "r1");
+    EXPECT_EQ(r->platformName, "bdx");
+    EXPECT_EQ(r->workloadName, "isx");
+    EXPECT_FALSE(r->hasSpec);
+    EXPECT_TRUE(r->opts.has(workloads::Opt::Vectorize));
+    EXPECT_TRUE(r->opts.has(workloads::Opt::Smt2));
+    EXPECT_EQ(r->cores, 4);
+    EXPECT_EQ(r->seed, 11u);
+    EXPECT_DOUBLE_EQ(r->warmupUs, 2.5);
+    EXPECT_DOUBLE_EQ(r->measureUs, 7.5);
+}
+
+TEST(ParseRunRequest, DefaultsIdToLineNumber)
+{
+    util::Result<RunRequest> r = parseRunRequest(
+        "{\"schema_version\": 1, \"platform\": \"skl\", "
+        "\"workload\": \"isx\"}",
+        42);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->id, "#42");
+    EXPECT_EQ(r->cores, 0);
+    EXPECT_EQ(r->seed, 7u);
+    EXPECT_DOUBLE_EQ(r->warmupUs, 0.0);
+}
+
+TEST(ParseRunRequest, RejectsMalformedInput)
+{
+    struct Case
+    {
+        const char *line;
+        ErrorCode code;
+    };
+    const Case cases[] = {
+        {"not json", ErrorCode::CorruptData},
+        {"[1, 2]", ErrorCode::InvalidArgument},
+        {"{\"platform\": \"skl\", \"workload\": \"isx\"}",
+         ErrorCode::InvalidArgument}, // schema_version required
+        {"{\"schema_version\": 9, \"platform\": \"skl\", "
+         "\"workload\": \"isx\"}",
+         ErrorCode::InvalidArgument},
+        {"{\"schema_version\": 1, \"workload\": \"isx\"}",
+         ErrorCode::InvalidArgument}, // platform required
+        {"{\"schema_version\": 1, \"platform\": \"skl\"}",
+         ErrorCode::InvalidArgument}, // workload xor spec
+        {"{\"schema_version\": 1, \"platform\": \"skl\", "
+         "\"workload\": \"isx\", \"spec\": {\"streams\": "
+         "[{\"kind\": \"random\"}]}}",
+         ErrorCode::InvalidArgument},
+        {"{\"schema_version\": 1, \"platform\": \"skl\", "
+         "\"workload\": \"isx\", \"frobnicate\": true}",
+         ErrorCode::InvalidArgument}, // unknown field
+        {"{\"schema_version\": 1, \"platform\": \"skl\", "
+         "\"workload\": \"isx\", \"opts\": [\"warp-drive\"]}",
+         ErrorCode::InvalidArgument},
+        {"{\"schema_version\": 1, \"platform\": \"skl\", "
+         "\"workload\": \"isx\", \"cores\": -2}",
+         ErrorCode::InvalidArgument},
+        {"{\"schema_version\": 1, \"platform\": \"skl\", "
+         "\"workload\": \"isx\", \"warmup_us\": -1}",
+         ErrorCode::InvalidArgument},
+        {"{\"schema_version\": 1, \"platform\": \"skl\", "
+         "\"spec\": {\"streams\": [{\"kind\": \"random\"}]}, "
+         "\"opts\": [\"vect\"]}",
+         ErrorCode::InvalidArgument}, // opts x inline spec
+        {"{\"schema_version\": 1, \"platform\": \"skl\", "
+         "\"spec\": {\"streams\": []}}",
+         ErrorCode::InvalidArgument},
+    };
+    for (const Case &c : cases) {
+        util::Result<RunRequest> r = parseRunRequest(c.line, 3);
+        ASSERT_FALSE(r.ok()) << c.line;
+        EXPECT_EQ(r.status().code(), c.code) << c.line;
+        // Every parse error names the offending request line.
+        EXPECT_NE(r.status().toString().find("request 3"),
+                  std::string::npos)
+            << r.status().toString();
+    }
+}
+
+TEST(ParseRunRequest, ParsesInlineSpec)
+{
+    util::Result<RunRequest> r = parseRunRequest(
+        "{\"schema_version\": 1, \"platform\": \"knl\", "
+        "\"random_dominated\": true, \"spec\": {\"name\": \"mine\", "
+        "\"window\": 12, \"compute_cycles_per_op\": 3.5, \"streams\": "
+        "[{\"kind\": \"random\", \"footprint_lines\": 1000000, "
+        "\"weight\": 0.9}, {\"kind\": \"strided\", \"stride_lines\": "
+        "4}]}}",
+        1);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_TRUE(r->hasSpec);
+    EXPECT_TRUE(r->randomDominated);
+    EXPECT_EQ(r->spec.name, "mine");
+    EXPECT_EQ(r->spec.window, 12u);
+    EXPECT_DOUBLE_EQ(r->spec.computeCyclesPerOp, 3.5);
+    ASSERT_EQ(r->spec.streams.size(), 2u);
+    EXPECT_EQ(r->spec.streams[0].kind, sim::StreamDesc::Kind::Random);
+    EXPECT_EQ(r->spec.streams[0].footprintLines, 1000000u);
+    EXPECT_EQ(r->spec.streams[1].kind, sim::StreamDesc::Kind::Strided);
+    EXPECT_EQ(r->spec.streams[1].strideLines, 4);
+}
+
+TEST(RunService, ResponsesComeBackInRequestOrder)
+{
+    warmProfileCache();
+    core::ResultCache cache;
+    obs::MetricRegistry registry;
+    RunService::Params params;
+    params.jobs = 2;
+    params.cache = &cache;
+    params.registry = &registry;
+    RunService svc(params);
+
+    // Mixed batch: two duplicates, one distinct, one unknown platform,
+    // one unparseable, one infeasible variant, and a blank line.
+    const std::vector<std::string> lines = {
+        quickRequest("a", "isx"),
+        "",
+        quickRequest("b", "hpcg"),
+        "{\"schema_version\": 1, \"id\": \"c\", \"platform\": "
+        "\"nope\", \"workload\": \"isx\"}",
+        quickRequest("d", "isx"), // duplicate of "a"
+        "this is not json",
+        quickRequest("e", "isx",
+                     ", \"opts\": [\"4-ht\"]"), // skl is 2-way max
+    };
+
+    const uint64_t sims_before = simulateSpanCount();
+    std::vector<RunResponse> rs = svc.serveLines(lines);
+    const uint64_t sims_after = simulateSpanCount();
+
+    // Blank line skipped; order preserved; ids echoed (line number for
+    // the unparseable line — it is line 6 of the batch).
+    ASSERT_EQ(rs.size(), 6u);
+    EXPECT_EQ(rs[0].id, "a");
+    EXPECT_EQ(rs[1].id, "b");
+    EXPECT_EQ(rs[2].id, "c");
+    EXPECT_EQ(rs[3].id, "d");
+    EXPECT_EQ(rs[4].id, "#6");
+    EXPECT_EQ(rs[5].id, "e");
+
+    EXPECT_TRUE(rs[0].status.ok()) << rs[0].status.toString();
+    EXPECT_TRUE(rs[1].status.ok()) << rs[1].status.toString();
+    EXPECT_EQ(rs[2].status.code(), ErrorCode::NotFound);
+    EXPECT_TRUE(rs[3].status.ok()) << rs[3].status.toString();
+    EXPECT_EQ(rs[4].status.code(), ErrorCode::CorruptData);
+    EXPECT_FALSE(rs[5].status.ok()); // infeasible smt pre-checked
+
+    // "a" and "d" coalesced onto one unit: only two distinct stages
+    // simulated for the whole batch.
+    EXPECT_EQ(sims_after - sims_before, 2u);
+    EXPECT_DOUBLE_EQ(rs[0].metrics.throughput,
+                     rs[3].metrics.throughput);
+    EXPECT_EQ(rs[0].platform, "skl");
+    EXPECT_EQ(rs[0].workload, "isx");
+
+    // Telemetry: the counters tell the same story.
+    EXPECT_EQ(registry.counter("service.batches_total").value(), 1u);
+    EXPECT_EQ(registry.counter("service.requests_total").value(), 6u);
+    EXPECT_EQ(registry.counter("service.requests_failed_total").value(),
+              3u);
+    EXPECT_EQ(registry.counter("service.units_total").value(), 2u);
+    EXPECT_EQ(
+        registry.counter("service.coalesced_requests_total").value(),
+        1u);
+    EXPECT_EQ(registry.counter("service.cache_misses_total").value(),
+              2u);
+    EXPECT_EQ(registry.counter("service.cache_hits_total").value(), 0u);
+}
+
+TEST(RunService, WarmRerunServesEntirelyFromCacheByteIdentically)
+{
+    warmProfileCache();
+    core::ResultCache cache;
+    RunService::Params params;
+    params.cache = &cache;
+    RunService svc(params);
+
+    const std::vector<std::string> lines = {
+        quickRequest("x", "isx"),
+        quickRequest("y", "hpcg"),
+    };
+
+    std::vector<RunResponse> cold = svc.serveLines(lines);
+    const uint64_t sims_cold = simulateSpanCount();
+    std::vector<RunResponse> warm = svc.serveLines(lines);
+    const uint64_t sims_warm = simulateSpanCount();
+
+    // No further simulation, and the rendered lines match exactly.
+    EXPECT_EQ(sims_cold, sims_warm);
+    ASSERT_EQ(cold.size(), warm.size());
+    for (size_t i = 0; i < cold.size(); ++i) {
+        ASSERT_TRUE(cold[i].status.ok()) << cold[i].status.toString();
+        EXPECT_EQ(renderRunResponse(cold[i]),
+                  renderRunResponse(warm[i]));
+    }
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(RunService, InlineSpecRequestsAnalyzeLikeNamedWorkloads)
+{
+    warmProfileCache();
+    RunService svc({});
+
+    const std::string line =
+        "{\"schema_version\": 1, \"id\": \"s\", \"platform\": "
+        "\"skl\", \"cores\": 6, \"warmup_us\": 5, \"measure_us\": 10, "
+        "\"random_dominated\": true, \"spec\": {\"name\": \"mykern\", "
+        "\"streams\": [{\"kind\": \"random\", \"footprint_lines\": "
+        "4000000}]}}";
+    std::vector<RunResponse> rs = svc.serveLines({line});
+    ASSERT_EQ(rs.size(), 1u);
+    ASSERT_TRUE(rs[0].status.ok()) << rs[0].status.toString();
+    EXPECT_EQ(rs[0].workload, "mykern");
+    EXPECT_GT(rs[0].metrics.analysis.bwGBs, 0.0);
+    EXPECT_EQ(rs[0].metrics.analysis.accessClass,
+              core::AccessClass::Random);
+}
+
+TEST(RunService, EvictionCountersSurfaceCachePressure)
+{
+    warmProfileCache();
+    core::ResultCache cache;
+    cache.setMaxEntries(1);
+    obs::MetricRegistry registry;
+    RunService::Params params;
+    params.cache = &cache;
+    params.registry = &registry;
+    RunService svc(params);
+
+    std::vector<RunResponse> rs = svc.serveLines({
+        quickRequest("a", "isx"),
+        quickRequest("b", "hpcg"),
+    });
+    ASSERT_EQ(rs.size(), 2u);
+    ASSERT_TRUE(rs[0].status.ok());
+    ASSERT_TRUE(rs[1].status.ok());
+
+    // Two distinct stages through a one-entry cache: at least one
+    // in-memory eviction, and the counter rode out on the registry.
+    EXPECT_LE(cache.size(), 1u);
+    EXPECT_GT(cache.stats().evictions, 0u);
+    EXPECT_EQ(
+        registry.counter("service.cache_evictions_total").value(),
+        cache.stats().evictions);
+}
+
+TEST(RenderRunResponse, FailedRequestsCarryNullDataAndExitCode)
+{
+    RunResponse r;
+    r.id = "bad";
+    r.status = util::Status::error(ErrorCode::NotFound,
+                                   "unknown platform 'zzz'");
+    const std::string line = renderRunResponse(r);
+    EXPECT_NE(line.find("\"id\": \"bad\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"code\": \"not-found\""), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"exit\": 3"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"data\": null"), std::string::npos) << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+}
+
+} // namespace
+} // namespace lll::service

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -294,8 +296,8 @@ TEST(ResultCache, SpillJsonRejectsMismatchAndCorruption)
               util::ErrorCode::FailedPrecondition);
 
     std::string wrong_version = text;
-    wrong_version.replace(wrong_version.find("\"version\": 1"),
-                          std::string("\"version\": 1").size(),
+    wrong_version.replace(wrong_version.find("\"version\": 2"),
+                          std::string("\"version\": 2").size(),
                           "\"version\": 99");
     util::Result<StageMetrics> bad_version =
         parseStageMetricsJson(wrong_version, "key-1");
@@ -409,6 +411,191 @@ TEST(ResultCache, StageKeyCoversEveryInput)
                                           11.0, 6));
     EXPECT_NE(base, ResultCache::stageKey(skl, spec, OptSet{}, 7, 5.0,
                                           10.0, 8));
+}
+
+TEST(ResultCache, LruCapEvictsLeastRecentlyUsed)
+{
+    const StageMetrics m = distinctiveMetrics();
+    ResultCache cache;
+    cache.setMaxEntries(2);
+    cache.insert("k1", m);
+    cache.insert("k2", m);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Touch k1 so k2 becomes the least recently used...
+    StageMetrics out;
+    ASSERT_TRUE(cache.lookup("k1", &out));
+
+    // ...and the third insert evicts k2, not k1.
+    cache.insert("k3", m);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.lookup("k2", &out));
+    EXPECT_TRUE(cache.lookup("k1", &out));
+    EXPECT_TRUE(cache.lookup("k3", &out));
+
+    // Shrinking below the current size evicts immediately; the last
+    // lookup made k3 most recent, so k1 goes.
+    cache.setMaxEntries(1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_FALSE(cache.lookup("k1", &out));
+    EXPECT_TRUE(cache.lookup("k3", &out));
+}
+
+TEST(ResultCache, LruEvictionIsMemoryOnlySpillStaysReloadable)
+{
+    const std::string dir =
+        ::testing::TempDir() + "lll_sweep_lru_spill_test";
+    std::filesystem::remove_all(dir);
+
+    ResultCache cache;
+    cache.setMaxEntries(1);
+    ASSERT_TRUE(cache.setSpillDir(dir).ok());
+    cache.insert("k1", distinctiveMetrics());
+    cache.insert("k2", distinctiveMetrics());
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // k1 left memory but not disk: the lookup is a hit via disk load.
+    StageMetrics out;
+    ASSERT_TRUE(cache.lookup("k1", &out));
+    EXPECT_EQ(cache.stats().diskLoads, 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+/** The single .json file under @p dir not already in @p known. */
+std::filesystem::path
+newestSpillFile(const std::string &dir,
+                const std::vector<std::filesystem::path> &known)
+{
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (std::find(known.begin(), known.end(), entry.path()) ==
+            known.end()) {
+            return entry.path();
+        }
+    }
+    return {};
+}
+
+TEST(ResultCache, SpillBudgetGcRemovesOldestFirst)
+{
+    const std::string dir =
+        ::testing::TempDir() + "lll_sweep_gc_test";
+    std::filesystem::remove_all(dir);
+
+    ResultCache writer;
+    ASSERT_TRUE(writer.setSpillDir(dir).ok());
+    writer.insert("k1", distinctiveMetrics());
+    const std::filesystem::path f1 = newestSpillFile(dir, {});
+    writer.insert("k2", distinctiveMetrics());
+    const std::filesystem::path f2 = newestSpillFile(dir, {f1});
+    ASSERT_FALSE(f1.empty());
+    ASSERT_FALSE(f2.empty());
+
+    // Make the age order unambiguous: f1 is two hours older.
+    const auto now = std::filesystem::last_write_time(f2);
+    std::filesystem::last_write_time(
+        f1, now - std::chrono::hours(2));
+
+    // A budget of exactly one file forces the GC on attach; the
+    // oldest-mtime file (f1) must be the one deleted.
+    ResultCache reader;
+    reader.setSpillBudget(std::filesystem::file_size(f2));
+    ASSERT_TRUE(reader.setSpillDir(dir).ok());
+    EXPECT_FALSE(std::filesystem::exists(f1));
+    EXPECT_TRUE(std::filesystem::exists(f2));
+    EXPECT_EQ(reader.stats().spillEvictions, 1u);
+    EXPECT_LE(reader.spillBytes(), reader.spillBudget());
+
+    // The survivor still serves; the GC'd key is now a plain miss.
+    StageMetrics out;
+    EXPECT_TRUE(reader.lookup("k2", &out));
+    EXPECT_FALSE(reader.lookup("k1", &out));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, SpillBudgetCapsTheDirOnEveryInsert)
+{
+    const std::string dir =
+        ::testing::TempDir() + "lll_sweep_gc_insert_test";
+    std::filesystem::remove_all(dir);
+
+    ResultCache cache;
+    ASSERT_TRUE(cache.setSpillDir(dir).ok());
+    cache.insert("probe", distinctiveMetrics());
+    const uint64_t one_file = cache.spillBytes();
+    ASSERT_GT(one_file, 0u);
+
+    // Budget two files, insert five: the dir may never exceed budget.
+    cache.setSpillBudget(2 * one_file);
+    for (int i = 0; i < 5; ++i) {
+        cache.insert("k" + std::to_string(i), distinctiveMetrics());
+        EXPECT_LE(cache.spillBytes(), cache.spillBudget());
+    }
+    EXPECT_GE(cache.stats().spillEvictions, 3u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, StaleFormatVersionReadsAsMissNotError)
+{
+    const std::string dir =
+        ::testing::TempDir() + "lll_sweep_stale_test";
+    std::filesystem::remove_all(dir);
+
+    ResultCache writer;
+    ASSERT_TRUE(writer.setSpillDir(dir).ok());
+    writer.insert("k1", distinctiveMetrics());
+
+    // Rewrite the spill as the previous on-disk format version.
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        std::ifstream in(entry.path());
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        in.close();
+        const std::string current = "\"version\": 2";
+        const size_t at = text.find(current);
+        ASSERT_NE(at, std::string::npos);
+        text.replace(at, current.size(), "\"version\": 1");
+        std::ofstream out(entry.path(),
+                          std::ios::out | std::ios::trunc);
+        out << text;
+    }
+
+    ResultCache reader;
+    ASSERT_TRUE(reader.setSpillDir(dir).ok());
+    StageMetrics out;
+    EXPECT_FALSE(reader.lookup("k1", &out));
+    EXPECT_EQ(reader.stats().misses, 1u);
+    EXPECT_EQ(reader.stats().hits, 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepRunner, EntryCapHonoredUnderSweepLargerThanCap)
+{
+    warmProfileCache();
+    std::vector<workloads::WorkloadPtr> wls = twoWorkloads();
+    const std::vector<SweepUnit> units = sweepUnits(twoPlatforms(), wls);
+
+    ResultCache cache;
+    cache.setMaxEntries(3);
+    SweepRunner::Params sp = fastParams();
+    sp.cache = &cache;
+    SweepRunner runner(sp);
+    util::Result<std::vector<SweepRunner::UnitResult>> res =
+        runner.run(units);
+    ASSERT_TRUE(res.ok()) << res.status().toString();
+
+    // Each unit stages several variants, so the sweep saw far more
+    // distinct stages than the cap: the table must have been pinned at
+    // the cap with the overflow evicted (and counted).
+    EXPECT_LE(cache.size(), 3u);
+    EXPECT_GT(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.maxEntries(), 3u);
 }
 
 } // namespace

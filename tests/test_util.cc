@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/argparse.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -373,6 +375,163 @@ TEST(FmtTest, BwPct)
 TEST(FmtTest, Speedup)
 {
     EXPECT_EQ(fmtSpeedup(1.4), "1.40x");
+}
+
+
+// --- argparse -----------------------------------------------------------
+
+TEST(ArgParserTest, ExtractsFlagsInAnyOrderLeavingPositionals)
+{
+    util::ArgParser ap({"isx", "--jobs", "4", "skl", "--json", "out",
+                        "vect", "--cores", "8"});
+    util::Result<std::string> json = ap.stringFlag("--json");
+    ASSERT_TRUE(json.ok());
+    EXPECT_EQ(*json, "out");
+    util::Result<int> jobs = ap.intFlag("--jobs", 1);
+    ASSERT_TRUE(jobs.ok());
+    EXPECT_EQ(*jobs, 4);
+    util::Result<int> cores = ap.intFlag("--cores", 0);
+    ASSERT_TRUE(cores.ok());
+    EXPECT_EQ(*cores, 8);
+    ASSERT_EQ(ap.rest().size(), 3u);
+    EXPECT_EQ(ap.rest()[0], "isx");
+    EXPECT_EQ(ap.rest()[1], "skl");
+    EXPECT_EQ(ap.rest()[2], "vect");
+    ap.consumePositional(3);
+    EXPECT_TRUE(ap.finish().ok());
+}
+
+TEST(ArgParserTest, AbsentFlagsFallBack)
+{
+    util::ArgParser ap({});
+    util::Result<std::string> s = ap.stringFlag("--batch");
+    ASSERT_TRUE(s.ok());
+    EXPECT_TRUE(s->empty());
+    util::Result<int> i = ap.intFlag("--jobs", 7);
+    ASSERT_TRUE(i.ok());
+    EXPECT_EQ(*i, 7);
+    util::Result<uint64_t> u = ap.uint64Flag("--seed", 11);
+    ASSERT_TRUE(u.ok());
+    EXPECT_EQ(*u, 11u);
+    util::Result<bool> b = ap.boolFlag("--json");
+    ASSERT_TRUE(b.ok());
+    EXPECT_FALSE(*b);
+    EXPECT_TRUE(ap.finish().ok());
+}
+
+TEST(ArgParserTest, MissingValueRepeatsAndLeftoversAreUsageErrors)
+{
+    {
+        util::ArgParser ap({"--json"});
+        util::Result<std::string> r = ap.stringFlag("--json");
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.status().code(), util::ErrorCode::InvalidArgument);
+        EXPECT_NE(r.status().message().find("--json needs an argument"),
+                  std::string::npos)
+            << r.status().message();
+    }
+    {
+        util::ArgParser ap({"--jobs", "2", "--jobs", "3"});
+        util::Result<int> r = ap.intFlag("--jobs", 1);
+        ASSERT_FALSE(r.ok());
+        EXPECT_NE(r.status().message().find("given more than once"),
+                  std::string::npos);
+    }
+    {
+        util::ArgParser ap({"--jobs", "zero"});
+        util::Result<int> r = ap.intFlag("--jobs", 1);
+        ASSERT_FALSE(r.ok());
+        EXPECT_NE(r.status().message().find("positive integer"),
+                  std::string::npos);
+    }
+    {
+        util::ArgParser ap({"--jobs", "0"});
+        util::Result<int> r = ap.intFlag("--jobs", 1);
+        EXPECT_FALSE(r.ok());
+    }
+    {
+        util::ArgParser ap({"--bogus"});
+        util::Status s = ap.finish();
+        ASSERT_FALSE(s.ok());
+        EXPECT_NE(s.message().find("unknown flag '--bogus'"),
+                  std::string::npos);
+    }
+    {
+        util::ArgParser ap({"stray"});
+        util::Status s = ap.finish();
+        ASSERT_FALSE(s.ok());
+        EXPECT_NE(s.message().find("unexpected argument 'stray'"),
+                  std::string::npos);
+    }
+}
+
+// --- json parser --------------------------------------------------------
+
+TEST(JsonParseTest, ParsesNestedDocuments)
+{
+    util::Result<util::JsonValue> doc = util::parseJson(
+        "{\"a\": 1.5, \"b\": [true, null, \"x\\n\"], "
+        "\"c\": {\"d\": -2e3}}");
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    ASSERT_TRUE(doc->isObject());
+    util::Result<double> a = doc->getNumber("a");
+    ASSERT_TRUE(a.ok());
+    EXPECT_DOUBLE_EQ(*a, 1.5);
+    const util::JsonValue *b = doc->find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(b->isArray());
+    ASSERT_EQ(b->array.size(), 3u);
+    EXPECT_TRUE(b->array[0].isBool());
+    EXPECT_TRUE(b->array[0].boolean);
+    EXPECT_TRUE(b->array[1].isNull());
+    EXPECT_EQ(b->array[2].string, "x\n");
+    const util::JsonValue *c = doc->find("c");
+    ASSERT_NE(c, nullptr);
+    util::Result<double> d = c->getNumber("d");
+    ASSERT_TRUE(d.ok());
+    EXPECT_DOUBLE_EQ(*d, -2000.0);
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffsets)
+{
+    const char *bad[] = {
+        "",
+        "{\"a\": }",
+        "{\"a\": 1,}",
+        "[1, 2",
+        "\"unterminated",
+        "{\"a\": 1} trailing",
+        "nul",
+        "{\"a\" 1}",
+    };
+    for (const char *text : bad) {
+        util::Result<util::JsonValue> doc = util::parseJson(text);
+        ASSERT_FALSE(doc.ok()) << text;
+        EXPECT_EQ(doc.status().code(), util::ErrorCode::CorruptData)
+            << text;
+        EXPECT_NE(doc.status().message().find("byte"),
+                  std::string::npos)
+            << doc.status().message();
+    }
+}
+
+TEST(JsonParseTest, TypedAccessorsNameTheOffendingField)
+{
+    util::Result<util::JsonValue> doc =
+        util::parseJson("{\"n\": \"oops\"}");
+    ASSERT_TRUE(doc.ok());
+    util::Result<double> n = doc->getNumber("n");
+    ASSERT_FALSE(n.ok());
+    EXPECT_NE(n.status().message().find("\"n\""), std::string::npos)
+        << n.status().message();
+    util::Result<std::string> missing = doc->getString("gone");
+    ASSERT_FALSE(missing.ok());
+    util::Result<std::string> fallback =
+        doc->getStringOr("gone", "dflt");
+    ASSERT_TRUE(fallback.ok());
+    EXPECT_EQ(*fallback, "dflt");
+    util::Result<bool> mismatch = doc->getBoolOr("n", false);
+    EXPECT_FALSE(mismatch.ok());
 }
 
 } // namespace

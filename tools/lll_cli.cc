@@ -16,10 +16,11 @@
  *   lll vendors                           counter visibility (Table I)
  *   lll selftest [--iterations N]         fault-injection harness
  *   lll lint [<wl> <plat> [opts...]]      static analyzer (+ determinism)
+ *   lll serve [--batch FILE]              batched JSON-lines run service
  *
  * Variant opts: vect 2-ht 4-ht l2-pref tiling unroll-jam fusion distr
  * analyze/trace also accept `--cores N` (drive the load with fewer
- * cores), `--json FILE` (full metric export, "-" for stdout) and
+ * cores), `--json FILE` (machine-readable report, "-" for stdout) and
  * `--metrics FILE` (sampled time series as CSV).
  * lint accepts `--json FILE` and `--determinism` (event-order race
  * check); without a workload/platform it scans the whole registry;
@@ -27,17 +28,32 @@
  * table/sweep/reproduce run through the parallel SweepRunner: `--jobs N`
  * fans units out to N workers (output is byte-identical for any N) and
  * `--cache-dir DIR` spills the result cache to disk so warm reruns skip
- * simulation entirely.
+ * simulation entirely.  `--max-entries N` caps the in-process memo
+ * (LRU) and `--spill-budget BYTES` caps the spill dir (oldest first).
+ * serve reads one JSON request per line (stdin or `--batch FILE`),
+ * coalesces duplicates, and answers one JSON response per line on
+ * stdout, in request order — see DESIGN.md §12 for the schema.
+ *
+ * Every `--json FILE` export is wrapped in the same envelope:
+ *   {"schema_version": 1, "command": ..., "status": {code, exit,
+ *    message}, "data": ..., "telemetry": ...}
+ * so consumers parse one shape and never re-derive exit semantics.
+ *
+ * Flag parsing is shared (util::ArgParser): repeated flags, missing
+ * values and unknown leftovers fail the same way on every subcommand.
  *
  * Exit codes (see README "Robustness"): 0 success, 2 usage error,
- * 3 bad input data (including lint errors), 4 simulation failure
- * (including determinism divergence), 1 anything else.
+ * 3 bad input data (including lint errors and failed serve requests),
+ * 4 simulation failure (including determinism divergence), 1 anything
+ * else.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,11 +64,14 @@
 #include "analysis/spec_lint.hh"
 #include "counters/vendor_matrix.hh"
 #include "faultinject/faultinject.hh"
+#include "lll/api.hh"
 #include "lll/lll.hh"
+#include "util/argparse.hh"
 #include "util/diagnostic.hh"
 #include "util/status.hh"
 
 using namespace lll;
+using util::ArgParser;
 using util::ErrorCode;
 using util::Status;
 using workloads::Opt;
@@ -82,25 +101,11 @@ usage()
         "  selftest [--iterations N] [--seed S] [--verbose]\n"
         "  lint [<workload> <platform> [opts ...]] [--json FILE] "
         "[--determinism]\n"
-        "  lint --profile FILE [--json FILE]\n");
+        "  lint --profile FILE [--json FILE]\n"
+        "  serve [--batch FILE] [--jobs N] [--cache-dir DIR] "
+        "[--max-entries N]\n"
+        "        [--spill-budget BYTES] [--json FILE]\n");
     return 2;
-}
-
-/**
- * Every subcommand rejects operands it does not consume: a typo'd
- * trailing flag silently ignored is a run the user did not ask for.
- * Exit-code contract: unknown flags/arguments are usage errors (2).
- */
-Status
-rejectExtraArgs(int argc, char **argv, int first_extra)
-{
-    if (argc <= first_extra)
-        return Status::okStatus();
-    const char *arg = argv[first_extra];
-    return Status::error(ErrorCode::InvalidArgument,
-                         arg[0] == '-' ? "unknown flag '%s'"
-                                       : "unexpected argument '%s'",
-                         arg);
 }
 
 /** Report @p status on stderr and map it to the process exit code. */
@@ -109,42 +114,6 @@ failWith(const Status &status)
 {
     std::fprintf(stderr, "lll: %s\n", status.toString().c_str());
     return util::exitCodeFor(status.code());
-}
-
-/**
- * Pull `flag FILE` out of @p args (destructively); empty string when the
- * flag is absent.  Keeps optimization names clean for parseOpts().
- */
-util::Result<std::string>
-takeFlag(std::vector<std::string> &args, const std::string &flag)
-{
-    for (size_t i = 0; i < args.size(); ++i) {
-        if (args[i] != flag)
-            continue;
-        if (i + 1 >= args.size()) {
-            return Status::error(ErrorCode::InvalidArgument,
-                                 "%s needs an argument", flag.c_str());
-        }
-        std::string value = args[i + 1];
-        args.erase(args.begin() + static_cast<long>(i),
-                   args.begin() + static_cast<long>(i) + 2);
-        return value;
-    }
-    return std::string();
-}
-
-/** Strictly positive integer flag values (`--jobs`, `--cores`, ...). */
-util::Result<int>
-parsePositiveInt(const char *flag, const std::string &value)
-{
-    char *end = nullptr;
-    const long n = std::strtol(value.c_str(), &end, 10);
-    if (value.empty() || *end != '\0' || n < 1) {
-        return Status::error(ErrorCode::InvalidArgument,
-                             "%s wants a positive integer, got '%s'",
-                             flag, value.c_str());
-    }
-    return static_cast<int>(n);
 }
 
 util::Result<OptSet>
@@ -188,7 +157,8 @@ profileFor(const platforms::Platform &p)
 int
 cmdPlatforms(int argc, char **argv)
 {
-    Status extra = rejectExtraArgs(argc, argv, 2);
+    ArgParser ap(argc, argv, 2);
+    Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
     Table t({"id", "description", "cores", "peak BW", "L1/L2 MSHRs",
@@ -208,7 +178,8 @@ cmdPlatforms(int argc, char **argv)
 int
 cmdWorkloads(int argc, char **argv)
 {
-    Status extra = rejectExtraArgs(argc, argv, 2);
+    ArgParser ap(argc, argv, 2);
+    Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
     Table t({"id", "description", "routine", "problem size", "pattern"});
@@ -226,7 +197,8 @@ cmdWorkloads(int argc, char **argv)
 int
 cmdVendors(int argc, char **argv)
 {
-    Status extra = rejectExtraArgs(argc, argv, 2);
+    ArgParser ap(argc, argv, 2);
+    Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
     Table t({"vendor", "stall breakdown", "L1-MSHRQ-full",
@@ -247,32 +219,31 @@ cmdVendors(int argc, char **argv)
 int
 cmdCharacterize(int argc, char **argv)
 {
-    if (argc < 3)
+    ArgParser ap(argc, argv, 2);
+    util::Result<bool> fresh = ap.boolFlag("--fresh");
+    if (!fresh.ok())
+        return failWith(fresh.status());
+    if (ap.rest().empty())
         return usage();
-    bool fresh = false;
-    if (argc > 3) {
-        if (std::strcmp(argv[3], "--fresh") != 0) {
-            return failWith(Status::error(ErrorCode::InvalidArgument,
-                                          "unknown flag '%s'", argv[3]));
-        }
-        fresh = true;
-    }
-    Status extra = rejectExtraArgs(argc, argv, 4);
+    const std::string which = ap.rest().front();
+    ap.consumePositional(1);
+    Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
+
     std::vector<platforms::Platform> plats;
-    if (std::string(argv[2]) == "all") {
+    if (which == "all") {
         plats = platforms::allPlatforms();
     } else {
         util::Result<platforms::Platform> p =
-            platforms::findPlatform(argv[2]);
+            platforms::findPlatform(which);
         if (!p.ok())
             return failWith(p.status());
         plats.push_back(p.take());
     }
     for (const platforms::Platform &p : plats) {
         std::string path = xmem::defaultProfilePath(p);
-        if (fresh)
+        if (*fresh)
             std::remove(path.c_str());
         util::Result<xmem::LatencyProfile> prof =
             xmem::XMemHarness().measureCachedChecked(p, path);
@@ -298,38 +269,40 @@ struct VariantArgs
 };
 
 util::Result<VariantArgs>
-parseVariantArgs(int argc, char **argv)
+parseVariantArgs(ArgParser &ap, const char *command)
 {
     VariantArgs va;
-    util::Result<workloads::WorkloadPtr> w =
-        workloads::findWorkload(argv[2]);
-    if (!w.ok())
-        return w.status();
-    va.workload = w.take();
-    util::Result<platforms::Platform> p = platforms::findPlatform(argv[3]);
-    if (!p.ok())
-        return p.status();
-    va.platform = p.take();
-
-    std::vector<std::string> args(argv + 4, argv + argc);
-    util::Result<std::string> json = takeFlag(args, "--json");
+    util::Result<std::string> json = ap.stringFlag("--json");
     if (!json.ok())
         return json.status();
     va.jsonPath = json.take();
-    util::Result<std::string> metrics = takeFlag(args, "--metrics");
+    util::Result<std::string> metrics = ap.stringFlag("--metrics");
     if (!metrics.ok())
         return metrics.status();
     va.metricsPath = metrics.take();
-    util::Result<std::string> cores = takeFlag(args, "--cores");
+    util::Result<int> cores = ap.intFlag("--cores", 0);
     if (!cores.ok())
         return cores.status();
-    if (!cores->empty()) {
-        util::Result<int> n = parsePositiveInt("--cores", *cores);
-        if (!n.ok())
-            return n.status();
-        va.cores = *n;
+    va.cores = *cores;
+
+    if (ap.rest().size() < 2) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "%s needs a workload and a platform",
+                             command);
     }
-    util::Result<OptSet> opts = parseOpts(args);
+    util::Result<workloads::WorkloadPtr> w =
+        workloads::findWorkload(ap.rest()[0]);
+    if (!w.ok())
+        return w.status();
+    va.workload = w.take();
+    util::Result<platforms::Platform> p =
+        platforms::findPlatform(ap.rest()[1]);
+    if (!p.ok())
+        return p.status();
+    va.platform = p.take();
+    ap.consumePositional(2);
+
+    util::Result<OptSet> opts = parseOpts(ap.rest());
     if (!opts.ok())
         return opts.status();
     va.opts = opts.take();
@@ -349,9 +322,8 @@ writeExportChecked(const std::string &path, const std::string &content)
 int
 cmdAnalyze(int argc, char **argv)
 {
-    if (argc < 4)
-        return usage();
-    util::Result<VariantArgs> parsed = parseVariantArgs(argc, argv);
+    ArgParser ap(argc, argv, 2);
+    util::Result<VariantArgs> parsed = parseVariantArgs(ap, "analyze");
     if (!parsed.ok())
         return failWith(parsed.status());
     VariantArgs &va = *parsed;
@@ -398,9 +370,15 @@ cmdAnalyze(int argc, char **argv)
     }
 
     if (!va.jsonPath.empty()) {
+        const std::string data = service::stageDataJson(
+            m, va.platform.name, va.workload->name(),
+            va.opts.label());
+        const std::string telemetry =
+            obs::exportJson(registry, &obs::SpanTracker::global());
         Status s = writeExportChecked(
-            va.jsonPath,
-            obs::exportJson(registry, &obs::SpanTracker::global()));
+            va.jsonPath, obs::jsonEnvelope("analyze",
+                                           Status::okStatus(), 0, data,
+                                           telemetry));
         if (!s.ok())
             return failWith(s);
     }
@@ -416,9 +394,8 @@ cmdAnalyze(int argc, char **argv)
 int
 cmdTrace(int argc, char **argv)
 {
-    if (argc < 4)
-        return usage();
-    util::Result<VariantArgs> parsed = parseVariantArgs(argc, argv);
+    ArgParser ap(argc, argv, 2);
+    util::Result<VariantArgs> parsed = parseVariantArgs(ap, "trace");
     if (!parsed.ok())
         return failWith(parsed.status());
     VariantArgs &va = *parsed;
@@ -465,11 +442,12 @@ cmdTrace(int argc, char **argv)
                           "export)\n");
 
     if (!va.jsonPath.empty()) {
-        std::vector<obs::JsonSection> extra{{"trace", tracer.toJson()}};
+        const std::string telemetry =
+            obs::exportJson(registry, &obs::SpanTracker::global());
         Status s = writeExportChecked(
-            va.jsonPath,
-            obs::exportJson(registry, &obs::SpanTracker::global(),
-                            extra));
+            va.jsonPath, obs::jsonEnvelope("trace", Status::okStatus(),
+                                           0, tracer.toJson(),
+                                           telemetry));
         if (!s.ok())
             return failWith(s);
     }
@@ -485,18 +463,21 @@ cmdTrace(int argc, char **argv)
 int
 cmdWalk(int argc, char **argv)
 {
-    if (argc < 4)
+    ArgParser ap(argc, argv, 2);
+    if (ap.rest().size() < 2)
         return usage();
-    Status extra = rejectExtraArgs(argc, argv, 4);
-    if (!extra.ok())
-        return failWith(extra);
     util::Result<workloads::WorkloadPtr> w =
-        workloads::findWorkload(argv[2]);
+        workloads::findWorkload(ap.rest()[0]);
     if (!w.ok())
         return failWith(w.status());
-    util::Result<platforms::Platform> p = platforms::findPlatform(argv[3]);
+    util::Result<platforms::Platform> p =
+        platforms::findPlatform(ap.rest()[1]);
     if (!p.ok())
         return failWith(p.status());
+    ap.consumePositional(2);
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
     util::Result<xmem::LatencyProfile> prof = profileFor(*p);
     if (!prof.ok())
         return failWith(prof.status());
@@ -534,33 +515,52 @@ cmdWalk(int argc, char **argv)
 }
 
 /**
- * Pull the SweepRunner knobs (`--jobs N`, `--cache-dir DIR`) out of
- * @p args.  The global ResultCache is always engaged — a sweep
- * revisiting a stage must never pay for it twice — and `--cache-dir`
- * additionally spills it to disk so the *next process* is warm too.
+ * Apply the shared cache-capacity knobs to @p cache: `--max-entries N`
+ * (in-process LRU cap), `--spill-budget BYTES` (on-disk cap, oldest
+ * spill evicted first) and `--cache-dir DIR`.  Policy flags are
+ * applied *before* the spill dir attaches so a pre-existing dir is
+ * GC'd against the budget immediately.
+ */
+Status
+applyCacheFlags(ArgParser &ap, core::ResultCache &cache)
+{
+    util::Result<int> max_entries = ap.intFlag("--max-entries", 0);
+    if (!max_entries.ok())
+        return max_entries.status();
+    if (*max_entries > 0)
+        cache.setMaxEntries(static_cast<size_t>(*max_entries));
+    util::Result<uint64_t> budget = ap.uint64Flag("--spill-budget", 0);
+    if (!budget.ok())
+        return budget.status();
+    if (*budget > 0)
+        cache.setSpillBudget(*budget);
+    util::Result<std::string> dir = ap.stringFlag("--cache-dir");
+    if (!dir.ok())
+        return dir.status();
+    if (!dir->empty())
+        return cache.setSpillDir(*dir);
+    return Status::okStatus();
+}
+
+/**
+ * Pull the SweepRunner knobs (`--jobs N` plus the cache-capacity
+ * flags) out of @p ap.  The global ResultCache is always engaged — a
+ * sweep revisiting a stage must never pay for it twice — and
+ * `--cache-dir` additionally spills it to disk so the *next process*
+ * is warm too.
  */
 util::Result<core::SweepRunner::Params>
-parseSweepFlags(std::vector<std::string> &args)
+parseSweepFlags(ArgParser &ap)
 {
     core::SweepRunner::Params sp;
     sp.cache = &core::ResultCache::global();
-    util::Result<std::string> jobs = takeFlag(args, "--jobs");
+    util::Result<int> jobs = ap.intFlag("--jobs", 1);
     if (!jobs.ok())
         return jobs.status();
-    if (!jobs->empty()) {
-        util::Result<int> n = parsePositiveInt("--jobs", *jobs);
-        if (!n.ok())
-            return n.status();
-        sp.jobs = *n;
-    }
-    util::Result<std::string> dir = takeFlag(args, "--cache-dir");
-    if (!dir.ok())
-        return dir.status();
-    if (!dir->empty()) {
-        Status s = sp.cache->setSpillDir(*dir);
-        if (!s.ok())
-            return s;
-    }
+    sp.jobs = *jobs;
+    Status cache = applyCacheFlags(ap, *sp.cache);
+    if (!cache.ok())
+        return cache;
     return sp;
 }
 
@@ -593,24 +593,35 @@ addUnitRows(Table &t, const core::SweepRunner::UnitResult &u,
     }
 }
 
+/** The ResultCache counters as a JSON object (shared by sweep/serve). */
+std::string
+cacheStatsJson(const core::ResultCache::Stats &cs)
+{
+    std::ostringstream out;
+    out << "{\"hits\": " << cs.hits << ", \"misses\": " << cs.misses
+        << ", \"disk_loads\": " << cs.diskLoads << ", \"spills\": "
+        << cs.spills << ", \"evictions\": " << cs.evictions
+        << ", \"spill_evictions\": " << cs.spillEvictions << "}";
+    return out.str();
+}
+
 int
 cmdTable(int argc, char **argv)
 {
-    if (argc < 3)
-        return usage();
-    util::Result<workloads::WorkloadPtr> w =
-        workloads::findWorkload(argv[2]);
-    if (!w.ok())
-        return failWith(w.status());
-    std::vector<std::string> args(argv + 3, argv + argc);
-    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(args);
+    ArgParser ap(argc, argv, 2);
+    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(ap);
     if (!sp.ok())
         return failWith(sp.status());
-    if (!args.empty()) {
-        return failWith(Status::error(ErrorCode::InvalidArgument,
-                                      "unknown table argument '%s'",
-                                      args.front().c_str()));
-    }
+    if (ap.rest().empty())
+        return usage();
+    util::Result<workloads::WorkloadPtr> w =
+        workloads::findWorkload(ap.rest().front());
+    if (!w.ok())
+        return failWith(w.status());
+    ap.consumePositional(1);
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
 
     std::vector<workloads::WorkloadPtr> wls;
     wls.push_back(w.take());
@@ -635,18 +646,20 @@ cmdTable(int argc, char **argv)
 int
 cmdSweep(int argc, char **argv)
 {
-    std::vector<std::string> args(argv + 2, argv + argc);
-    util::Result<std::string> json = takeFlag(args, "--json");
+    ArgParser ap(argc, argv, 2);
+    util::Result<std::string> json = ap.stringFlag("--json");
     if (!json.ok())
         return failWith(json.status());
-    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(args);
+    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(ap);
     if (!sp.ok())
         return failWith(sp.status());
-    if (!args.empty()) {
-        return failWith(Status::error(ErrorCode::InvalidArgument,
-                                      "unknown sweep argument '%s'",
-                                      args.front().c_str()));
-    }
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
+
+    obs::MetricRegistry registry;
+    if (!json->empty())
+        sp->registry = &registry;
 
     const std::vector<workloads::WorkloadPtr> wls =
         workloads::allWorkloadsAndExtensions();
@@ -686,16 +699,16 @@ cmdSweep(int argc, char **argv)
     if (!json->empty()) {
         std::ostringstream out;
         out.precision(17);
-        out << "{\n  \"sweep\": {\n    \"units\": [";
+        out << "{\n  \"units\": [";
         bool first_unit = true;
         for (const core::SweepRunner::UnitResult &u : *res) {
-            out << (first_unit ? "" : ",") << "\n      {\"workload\": \""
+            out << (first_unit ? "" : ",") << "\n    {\"workload\": \""
                 << u.workload << "\", \"platform\": \"" << u.platform
                 << "\", \"rows\": [";
             bool first_row = true;
             for (const core::TableRow &row : u.rows) {
                 out << (first_row ? "" : ",")
-                    << "\n        {\"source\": \"" << row.source
+                    << "\n      {\"source\": \"" << row.source
                     << "\", \"bw_gbs\": " << row.bwGBs
                     << ", \"pct_peak\": " << row.pctPeak
                     << ", \"latency_ns\": " << row.latencyNs
@@ -705,15 +718,16 @@ cmdSweep(int argc, char **argv)
                     << "}";
                 first_row = false;
             }
-            out << (first_row ? "" : "\n      ") << "]}";
+            out << (first_row ? "" : "\n    ") << "]}";
             first_unit = false;
         }
-        out << (first_unit ? "" : "\n    ") << "],\n"
-            << "    \"cache\": {\"hits\": " << cs.hits
-            << ", \"misses\": " << cs.misses << ", \"disk_loads\": "
-            << cs.diskLoads << ", \"spills\": " << cs.spills
-            << "}\n  }\n}\n";
-        Status s = writeExportChecked(*json, out.str());
+        out << (first_unit ? "" : "\n  ") << "],\n  \"cache\": "
+            << cacheStatsJson(cs) << "\n}";
+        const std::string telemetry =
+            obs::exportJson(registry, &obs::SpanTracker::global());
+        Status s = writeExportChecked(
+            *json, obs::jsonEnvelope("sweep", Status::okStatus(), 0,
+                                     out.str(), telemetry));
         if (!s.ok())
             return failWith(s);
     }
@@ -723,15 +737,13 @@ cmdSweep(int argc, char **argv)
 int
 cmdReproduce(int argc, char **argv)
 {
-    std::vector<std::string> args(argv + 2, argv + argc);
-    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(args);
+    ArgParser ap(argc, argv, 2);
+    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(ap);
     if (!sp.ok())
         return failWith(sp.status());
-    if (!args.empty()) {
-        return failWith(Status::error(ErrorCode::InvalidArgument,
-                                      "unknown reproduce argument '%s'",
-                                      args.front().c_str()));
-    }
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
 
     const std::vector<workloads::WorkloadPtr> wls =
         workloads::allWorkloads();
@@ -762,16 +774,120 @@ cmdReproduce(int argc, char **argv)
 }
 
 int
-cmdRoofline(int argc, char **argv)
+cmdServe(int argc, char **argv)
 {
-    if (argc < 3)
-        return usage();
-    Status extra = rejectExtraArgs(argc, argv, 3);
+    ArgParser ap(argc, argv, 2);
+    util::Result<std::string> batch = ap.stringFlag("--batch");
+    if (!batch.ok())
+        return failWith(batch.status());
+    util::Result<std::string> json = ap.stringFlag("--json");
+    if (!json.ok())
+        return failWith(json.status());
+    util::Result<int> jobs = ap.intFlag("--jobs", 1);
+    if (!jobs.ok())
+        return failWith(jobs.status());
+    core::ResultCache &cache = core::ResultCache::global();
+    Status cache_flags = applyCacheFlags(ap, cache);
+    if (!cache_flags.ok())
+        return failWith(cache_flags);
+    Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
-    util::Result<platforms::Platform> p = platforms::findPlatform(argv[2]);
+
+    std::vector<std::string> lines;
+    std::string line;
+    if (!batch->empty()) {
+        std::ifstream in(*batch);
+        if (!in) {
+            return failWith(Status::error(ErrorCode::IoError,
+                                          "cannot read '%s'",
+                                          batch->c_str()));
+        }
+        while (std::getline(in, line))
+            lines.push_back(line);
+    } else {
+        while (std::getline(std::cin, line))
+            lines.push_back(line);
+    }
+
+    obs::MetricRegistry registry;
+    service::RunService::Params sp;
+    sp.jobs = *jobs;
+    sp.cache = &cache;
+    sp.registry = &registry;
+    service::RunService svc(sp);
+    const std::vector<service::RunResponse> responses =
+        svc.serveLines(lines);
+
+    // stdout carries exactly one response line per request — nothing
+    // else — so a warm rerun is byte-identical and pipeable; the human
+    // summary goes to stderr.
+    size_t failed = 0;
+    for (const service::RunResponse &r : responses) {
+        if (!r.status.ok())
+            ++failed;
+        const std::string rendered = service::renderRunResponse(r);
+        std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+        std::fputc('\n', stdout);
+    }
+
+    const uint64_t units =
+        registry.counter("service.units_total").value();
+    const uint64_t coalesced =
+        registry.counter("service.coalesced_requests_total").value();
+    const core::ResultCache::Stats cs = cache.stats();
+    std::fprintf(stderr,
+                 "serve: %zu requests (%zu failed), %llu units "
+                 "simulated, %llu coalesced — cache: %llu hits, %llu "
+                 "misses, %llu evictions, %llu spill evictions\n",
+                 responses.size(), failed,
+                 static_cast<unsigned long long>(units),
+                 static_cast<unsigned long long>(coalesced),
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.evictions),
+                 static_cast<unsigned long long>(cs.spillEvictions));
+
+    Status verdict = Status::okStatus();
+    if (failed) {
+        verdict = Status::error(ErrorCode::FailedPrecondition,
+                                "%zu of %zu requests failed", failed,
+                                responses.size());
+    }
+    const int exit_code =
+        verdict.ok() ? 0 : util::exitCodeFor(verdict.code());
+
+    if (!json->empty()) {
+        std::ostringstream data;
+        data << "{\n  \"requests\": " << responses.size()
+             << ",\n  \"failed\": " << failed << ",\n  \"units\": "
+             << units << ",\n  \"coalesced\": " << coalesced
+             << ",\n  \"cache\": " << cacheStatsJson(cs) << "\n}";
+        const std::string telemetry =
+            obs::exportJson(registry, &obs::SpanTracker::global());
+        Status s = writeExportChecked(
+            *json, obs::jsonEnvelope("serve", verdict, exit_code,
+                                     data.str(), telemetry));
+        if (!s.ok())
+            return failWith(s);
+    }
+    return exit_code;
+}
+
+int
+cmdRoofline(int argc, char **argv)
+{
+    ArgParser ap(argc, argv, 2);
+    if (ap.rest().empty())
+        return usage();
+    util::Result<platforms::Platform> p =
+        platforms::findPlatform(ap.rest().front());
     if (!p.ok())
         return failWith(p.status());
+    ap.consumePositional(1);
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
     util::Result<xmem::LatencyProfile> prof = profileFor(*p);
     if (!prof.ok())
         return failWith(prof.status());
@@ -790,38 +906,23 @@ int
 cmdSelftest(int argc, char **argv)
 {
     faultinject::Options opts;
-    std::vector<std::string> args(argv + 2, argv + argc);
-
-    util::Result<std::string> iters = takeFlag(args, "--iterations");
+    ArgParser ap(argc, argv, 2);
+    util::Result<int> iters =
+        ap.intFlag("--iterations", opts.fuzzIterations);
     if (!iters.ok())
         return failWith(iters.status());
-    if (!iters->empty()) {
-        char *end = nullptr;
-        long n = std::strtol(iters->c_str(), &end, 10);
-        if (*end != '\0' || n < 1) {
-            return failWith(Status::error(ErrorCode::InvalidArgument,
-                                          "--iterations wants a positive "
-                                          "integer, got '%s'",
-                                          iters->c_str()));
-        }
-        opts.fuzzIterations = static_cast<int>(n);
-    }
-    util::Result<std::string> seed = takeFlag(args, "--seed");
+    opts.fuzzIterations = *iters;
+    util::Result<uint64_t> seed = ap.uint64Flag("--seed", opts.seed);
     if (!seed.ok())
         return failWith(seed.status());
-    if (!seed->empty())
-        opts.seed = std::strtoull(seed->c_str(), nullptr, 10);
-    for (size_t i = 0; i < args.size(); ++i) {
-        if (args[i] == "--verbose") {
-            opts.verbose = true;
-            args.erase(args.begin() + static_cast<long>(i--));
-        }
-    }
-    if (!args.empty()) {
-        return failWith(Status::error(ErrorCode::InvalidArgument,
-                                      "unknown selftest argument '%s'",
-                                      args.front().c_str()));
-    }
+    opts.seed = *seed;
+    util::Result<bool> verbose = ap.boolFlag("--verbose");
+    if (!verbose.ok())
+        return failWith(verbose.status());
+    opts.verbose = *verbose;
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
 
     faultinject::Report report = faultinject::runAll(opts);
     std::fputs(report.render(opts.verbose).c_str(), stdout);
@@ -846,23 +947,20 @@ printDiags(FILE *rep, const util::DiagnosticList &diags)
 int
 cmdLint(int argc, char **argv)
 {
-    std::vector<std::string> args(argv + 2, argv + argc);
-    util::Result<std::string> json = takeFlag(args, "--json");
+    ArgParser ap(argc, argv, 2);
+    util::Result<std::string> json = ap.stringFlag("--json");
     if (!json.ok())
         return failWith(json.status());
 
     // `lint --profile FILE` lints a cached latency-profile file instead
     // of workload configs; the two modes do not mix.
-    util::Result<std::string> profile = takeFlag(args, "--profile");
+    util::Result<std::string> profile = ap.stringFlag("--profile");
     if (!profile.ok())
         return failWith(profile.status());
     if (!profile->empty()) {
-        if (!args.empty()) {
-            return failWith(Status::error(
-                ErrorCode::InvalidArgument,
-                "--profile takes no other operands, got '%s'",
-                args.front().c_str()));
-        }
+        Status extra = ap.finish();
+        if (!extra.ok())
+            return failWith(extra);
         util::DiagnosticList diags =
             analysis::lintProfileFile(*profile);
         FILE *rep = *json == "-" ? stderr : stdout;
@@ -872,57 +970,61 @@ cmdLint(int argc, char **argv)
                      "notes\n",
                      profile->c_str(), diags.errorCount(),
                      diags.warningCount(), diags.noteCount());
+
+        Status verdict = Status::okStatus();
+        if (diags.errorCount()) {
+            verdict = Status::error(ErrorCode::FailedPrecondition,
+                                    "%zu profile lint error(s)",
+                                    diags.errorCount());
+        }
+        const int exit_code =
+            verdict.ok() ? 0 : util::exitCodeFor(verdict.code());
         if (!json->empty()) {
             std::ostringstream out;
-            out << "{\n  \"lint\": {\n    \"profiles\": [\n"
-                << "      {\"path\": \"" << *profile
-                << "\", \"diagnostics\": " << diags.renderJson(6)
-                << "}\n    ],\n    \"summary\": {\"errors\": "
+            out << "{\n  \"profiles\": [\n    {\"path\": \"" << *profile
+                << "\", \"diagnostics\": " << diags.renderJson(4)
+                << "}\n  ],\n  \"summary\": {\"errors\": "
                 << diags.errorCount() << ", \"warnings\": "
                 << diags.warningCount() << ", \"notes\": "
-                << diags.noteCount() << "}\n  }\n}\n";
-            Status s = writeExportChecked(*json, out.str());
+                << diags.noteCount() << "}\n}";
+            Status s = writeExportChecked(
+                *json, obs::jsonEnvelope("lint", verdict, exit_code,
+                                         out.str(), std::string()));
             if (!s.ok())
                 return failWith(s);
         }
-        if (diags.errorCount())
-            return util::exitCodeFor(ErrorCode::FailedPrecondition);
-        return 0;
+        return exit_code;
     }
 
-    bool determinism = false;
-    for (size_t i = 0; i < args.size(); ++i) {
-        if (args[i] == "--determinism") {
-            determinism = true;
-            args.erase(args.begin() + static_cast<long>(i--));
-        }
-    }
+    util::Result<bool> determinism = ap.boolFlag("--determinism");
+    if (!determinism.ok())
+        return failWith(determinism.status());
 
     // Operands: none (scan the whole registry) or workload platform
     // [opts...].  Unlike analyze/trace, an *infeasible* variant is a
     // valid lint request — that is the point of linting — so opts are
     // parsed but never pre-checked against the platform.
     std::vector<LintJob> jobs;
-    if (args.empty()) {
+    if (ap.rest().empty()) {
         for (const platforms::Platform &p : platforms::allPlatforms()) {
             for (workloads::WorkloadPtr &w :
                  workloads::allWorkloadsAndExtensions()) {
                 jobs.push_back({p, std::move(w), OptSet()});
             }
         }
-    } else if (args.size() == 1) {
+    } else if (ap.rest().size() == 1) {
         return usage();
     } else {
         util::Result<workloads::WorkloadPtr> w =
-            workloads::findWorkload(args[0]);
+            workloads::findWorkload(ap.rest()[0]);
         if (!w.ok())
             return failWith(w.status());
         util::Result<platforms::Platform> p =
-            platforms::findPlatform(args[1]);
+            platforms::findPlatform(ap.rest()[1]);
         if (!p.ok())
             return failWith(p.status());
-        util::Result<OptSet> opts = parseOpts(
-            {args.begin() + 2, args.end()});
+        ap.consumePositional(2);
+        util::Result<OptSet> opts = parseOpts(ap.rest());
         if (!opts.ok())
             return failWith(opts.status());
         jobs.push_back({p.take(), w.take(), opts.take()});
@@ -948,9 +1050,9 @@ cmdLint(int argc, char **argv)
         errors += diags.errorCount();
         warnings += diags.warningCount();
         notes += diags.noteCount();
-        jplat << (first_jplat ? "" : ",") << "\n      {\"name\": \""
+        jplat << (first_jplat ? "" : ",") << "\n    {\"name\": \""
               << name << "\", \"diagnostics\": "
-              << diags.renderJson(6) << "}";
+              << diags.renderJson(4) << "}";
         first_jplat = false;
     }
 
@@ -969,18 +1071,18 @@ cmdLint(int argc, char **argv)
         errors += cl.diagnostics.errorCount();
         warnings += cl.diagnostics.warningCount();
         notes += cl.diagnostics.noteCount();
-        jconf << (first_jconf ? "" : ",") << "\n      {\"subject\": \""
+        jconf << (first_jconf ? "" : ",") << "\n    {\"subject\": \""
               << cl.subject << "\", \"feasible\": "
               << (cl.feasible() ? "true" : "false") << ", \"bounds\": "
-              << (cl.boundsValid ? analysis::boundsJson(cl.bounds, 6)
+              << (cl.boundsValid ? analysis::boundsJson(cl.bounds, 4)
                                  : std::string("null"))
-              << ", \"diagnostics\": " << cl.diagnostics.renderJson(6)
+              << ", \"diagnostics\": " << cl.diagnostics.renderJson(4)
               << "}";
         first_jconf = false;
     }
 
     bool first_jdet = true;
-    if (determinism) {
+    if (*determinism) {
         for (const LintJob &job : jobs) {
             // A variant the platform cannot even build was already
             // reported as infeasible above; nothing to run.
@@ -1006,12 +1108,12 @@ cmdLint(int argc, char **argv)
                          r->seedsRun, r->metricsCompared);
             if (!r->deterministic)
                 ++det_failures;
-            jdet << (first_jdet ? "" : ",") << "\n      {\"subject\": \""
+            jdet << (first_jdet ? "" : ",") << "\n    {\"subject\": \""
                  << subject << "\", \"deterministic\": "
                  << (r->deterministic ? "true" : "false")
                  << ", \"seeds\": " << r->seedsRun << ", \"metrics\": "
                  << r->metricsCompared << ", \"diagnostics\": "
-                 << r->diagnostics.renderJson(6) << "}";
+                 << r->diagnostics.renderJson(4) << "}";
             first_jdet = false;
         }
     }
@@ -1021,33 +1123,44 @@ cmdLint(int argc, char **argv)
                  "warnings, %zu notes",
                  jobs.size(), seen_platforms.size(), errors, warnings,
                  notes);
-    if (determinism)
+    if (*determinism)
         std::fprintf(rep, ", %zu determinism failures", det_failures);
     std::fprintf(rep, "\n");
 
+    // The exit decision is made *before* the envelope is written so
+    // the export carries the authoritative status/exit pair.
+    Status verdict = Status::okStatus();
+    if (det_failures) {
+        verdict = Status::error(ErrorCode::Internal,
+                                "%zu determinism failure(s)",
+                                det_failures);
+    } else if (errors) {
+        verdict = Status::error(ErrorCode::FailedPrecondition,
+                                "%zu lint error(s)", errors);
+    }
+    const int exit_code =
+        verdict.ok() ? 0 : util::exitCodeFor(verdict.code());
+
     if (!json->empty()) {
         std::ostringstream out;
-        out << "{\n  \"lint\": {\n    \"platforms\": [" << jplat.str()
-            << (jplat.str().empty() ? "" : "\n    ") << "],\n"
-            << "    \"configs\": [" << jconf.str()
-            << (jconf.str().empty() ? "" : "\n    ") << "],\n"
-            << "    \"determinism\": [" << jdet.str()
-            << (jdet.str().empty() ? "" : "\n    ") << "],\n"
-            << "    \"summary\": {\"configs\": " << jobs.size()
+        out << "{\n  \"platforms\": [" << jplat.str()
+            << (jplat.str().empty() ? "" : "\n  ") << "],\n"
+            << "  \"configs\": [" << jconf.str()
+            << (jconf.str().empty() ? "" : "\n  ") << "],\n"
+            << "  \"determinism\": [" << jdet.str()
+            << (jdet.str().empty() ? "" : "\n  ") << "],\n"
+            << "  \"summary\": {\"configs\": " << jobs.size()
             << ", \"errors\": " << errors << ", \"warnings\": "
             << warnings << ", \"notes\": " << notes
             << ", \"determinism_failures\": " << det_failures
-            << "}\n  }\n}\n";
-        Status s = writeExportChecked(*json, out.str());
+            << "}\n}";
+        Status s = writeExportChecked(
+            *json, obs::jsonEnvelope("lint", verdict, exit_code,
+                                     out.str(), std::string()));
         if (!s.ok())
             return failWith(s);
     }
-
-    if (det_failures)
-        return util::exitCodeFor(ErrorCode::Internal);
-    if (errors)
-        return util::exitCodeFor(ErrorCode::FailedPrecondition);
-    return 0;
+    return exit_code;
 }
 
 } // namespace
@@ -1084,6 +1197,8 @@ main(int argc, char **argv)
         return cmdSelftest(argc, argv);
     if (cmd == "lint")
         return cmdLint(argc, argv);
+    if (cmd == "serve")
+        return cmdServe(argc, argv);
     std::fprintf(stderr, "lll: unknown command '%s'\n", cmd.c_str());
     return usage();
 }
