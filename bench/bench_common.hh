@@ -11,6 +11,8 @@
 #include <string>
 
 #include "core/experiment.hh"
+#include "obs/span.hh"
+#include "obs/timer.hh"
 #include "platforms/platform.hh"
 #include "util/status.hh"
 #include "util/table.hh"
@@ -26,6 +28,10 @@ namespace lll::bench
 inline xmem::LatencyProfile
 profileFor(const platforms::Platform &platform)
 {
+    // Bench timing rides the obs span/timer clock (obs/timer.hh), the
+    // same source the profiler and `lll bench` trials read, so a bench
+    // run profiled with `lll profile` attributes consistently.
+    LLL_SPAN("bench.profile[" + platform.name + "]");
     xmem::XMemHarness harness;
     util::Result<xmem::LatencyProfile> profile =
         harness.measureCachedChecked(
@@ -75,6 +81,10 @@ platformFor(const std::string &name)
 inline void
 runPaperTable(const std::string &workload_name, const char *caption)
 {
+    // One wall timer + per-platform spans from the obs clock; the
+    // summary goes to stderr so the stdout table stays byte-stable.
+    obs::WallTimer wall;
+    LLL_SPAN("bench.table[" + workload_name + "]");
     workloads::WorkloadPtr w = workloadFor(workload_name);
 
     Table t({"Proc", "Source", "BW_obs (GB/s)", "lat_avg (ns)", "n_avg",
@@ -83,6 +93,7 @@ runPaperTable(const std::string &workload_name, const char *caption)
 
     int agree = 0, total = 0;
     for (const platforms::Platform &p : platforms::allPlatforms()) {
+        LLL_SPAN("bench.platform[" + p.name + "]");
         core::Experiment exp(p, *w, profileFor(p));
         core::Recipe recipe(p);
         const auto rows = exp.paperTable();
@@ -130,6 +141,8 @@ runPaperTable(const std::string &workload_name, const char *caption)
     std::printf("recipe/outcome agreement: %d of %d tried "
                 "optimizations (recommended<->helped)\n",
                 agree, total);
+    std::fprintf(stderr, "bench: %s reproduced in %.1f ms\n",
+                 workload_name.c_str(), wall.elapsedNs() / 1e6);
 }
 
 } // namespace lll::bench

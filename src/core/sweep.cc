@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "obs/span.hh"
+#include "obs/timer.hh"
 #include "xmem/xmem_harness.hh"
 
 namespace lll::core
@@ -977,12 +978,18 @@ SweepRunner::runStages(const std::vector<StageUnit> &units)
     std::vector<obs::MetricRegistry> registries(
         params_.registry ? n : 0);
 
+    // Per-unit host timing: queue wait is measured from the fan-out
+    // start so the service can attribute end-to-end request latency.
+    obs::WallTimer fanout;
+
     std::atomic<size_t> next{0};
     auto workerLoop = [&] {
         for (size_t i = next.fetch_add(1); i < n;
              i = next.fetch_add(1)) {
             const StageUnit &u = units[i];
             StageOutcome &out = outcomes[i];
+            const double picked_up_ns = fanout.elapsedNs();
+            out.queueWaitNs = picked_up_ns;
 
             obs::SpanTracker &tracker = obs::SpanTracker::global();
             tracker.reset();
@@ -991,6 +998,7 @@ SweepRunner::runStages(const std::vector<StageUnit> &units)
             if (perr != profile_errors.end()) {
                 out.status = perr->second;
                 spans[i] = tracker.stats();
+                out.simulateNs = fanout.elapsedNs() - picked_up_ns;
                 continue;
             }
 
@@ -1016,6 +1024,7 @@ SweepRunner::runStages(const std::vector<StageUnit> &units)
             }
             spans[i] = tracker.stats();
             tracker.reset();
+            out.simulateNs = fanout.elapsedNs() - picked_up_ns;
         }
     };
 
@@ -1027,12 +1036,31 @@ SweepRunner::runStages(const std::vector<StageUnit> &units)
         pool.emplace_back(workerLoop);
     for (std::thread &t : pool)
         t.join();
+    const double wall_ns = fanout.elapsedNs();
 
     // Merge-after-join, in unit order regardless of completion order.
     for (size_t i = 0; i < n; ++i) {
         if (params_.registry)
             params_.registry->mergeFrom(registries[i]);
         obs::SpanTracker::global().merge(spans[i]);
+    }
+
+    // Worker-utilization gauges: busy time over jobs x wall.  Wall-
+    // clock valued, so they live only on this (service) path — run()'s
+    // merged telemetry is byte-compared across --jobs values.
+    if (params_.registry) {
+        double busy_ns = 0.0;
+        for (const StageOutcome &o : outcomes)
+            busy_ns += o.simulateNs;
+        params_.registry->setGauge("sweep.workers",
+                                   static_cast<double>(jobs));
+        params_.registry->setGauge("sweep.wall_ns", wall_ns);
+        params_.registry->setGauge("sweep.busy_ns", busy_ns);
+        params_.registry->setGauge(
+            "sweep.worker_utilization",
+            wall_ns > 0.0
+                ? busy_ns / (static_cast<double>(jobs) * wall_ns)
+                : 0.0);
     }
     return outcomes;
 }

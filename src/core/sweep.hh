@@ -221,6 +221,13 @@ class SweepRunner
     {
         util::Status status;
         StageMetrics metrics; //!< meaningful only when status.ok()
+
+        /** Host wall time from fan-out start until a worker picked
+         *  this unit up — the unit's time in the work queue. */
+        double queueWaitNs = 0.0;
+        /** Host wall time the worker spent running the unit
+         *  (Experiment creation + simulated stage). */
+        double simulateNs = 0.0;
     };
 
     explicit SweepRunner(Params params) : params_(params) {}

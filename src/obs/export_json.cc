@@ -92,6 +92,7 @@ exportJson(const MetricRegistry &registry, const SpanTracker *spans,
         out << "{\"total\": " << h.total()
             << ", \"mean\": " << jsonNumber(h.mean())
             << ", \"p50\": " << jsonNumber(h.percentile(0.50))
+            << ", \"p90\": " << jsonNumber(h.percentile(0.90))
             << ", \"p99\": " << jsonNumber(h.percentile(0.99))
             << ", \"buckets\": [";
         bool first = true;

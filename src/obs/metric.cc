@@ -15,6 +15,13 @@ Log2Histogram::sample(double v)
         idx = std::min(idx, kBuckets - 1);
     }
     ++counts_[idx];
+    if (total_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
     ++total_;
     sum_ += v;
 }
@@ -30,20 +37,47 @@ Log2Histogram::percentile(double frac) const
 {
     if (total_ == 0)
         return 0.0;
-    uint64_t target =
-        static_cast<uint64_t>(frac * static_cast<double>(total_));
-    uint64_t seen = 0;
+    if (total_ == 1 || frac <= 0.0)
+        return frac >= 1.0 ? max_ : min_;
+    if (frac >= 1.0)
+        return max_;
+
+    // 1-based rank of the sample the percentile falls on.
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(frac * static_cast<double>(total_))));
+    uint64_t before = 0;
     for (size_t k = 0; k < kBuckets; ++k) {
-        seen += counts_[k];
-        if (seen >= target && counts_[k])
-            return bucketUpper(k);
+        if (before + counts_[k] >= target && counts_[k]) {
+            // Spread the bucket's samples evenly across [lower, upper)
+            // and pick the target rank's midpoint position.
+            const double lower = k == 0 ? 0.0 : bucketUpper(k - 1);
+            const double upper = bucketUpper(k);
+            const double pos =
+                (static_cast<double>(target - before) - 0.5) /
+                static_cast<double>(counts_[k]);
+            const double v = lower + pos * (upper - lower);
+            // The top bucket absorbs overflow up to 2^63; clamping to
+            // the observed range keeps every answer a real value.
+            return std::clamp(v, min_, max_);
+        }
+        before += counts_[k];
     }
-    return bucketUpper(kBuckets - 1);
+    return max_;
 }
 
 void
 Log2Histogram::merge(const Log2Histogram &other)
 {
+    if (other.total_ == 0)
+        return;
+    if (total_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
     for (size_t k = 0; k < kBuckets; ++k)
         counts_[k] += other.counts_[k];
     total_ += other.total_;
@@ -56,6 +90,8 @@ Log2Histogram::reset()
     counts_.fill(0);
     total_ = 0;
     sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
 }
 
 void

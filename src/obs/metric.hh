@@ -143,12 +143,32 @@ class Log2Histogram
     {
         return total_ ? sum_ / static_cast<double>(total_) : 0.0;
     }
+    /** Smallest sample recorded (0.0 while empty). */
+    double min() const { return total_ ? min_ : 0.0; }
+    /** Largest sample recorded (0.0 while empty). */
+    double max() const { return total_ ? max_ : 0.0; }
     uint64_t bucket(size_t k) const { return counts_.at(k); }
 
     /** Upper bound of bucket @p k (lower bound of k+1). */
     static double bucketUpper(size_t k);
 
-    /** Value below which @p frac of samples fall (bucket resolution). */
+    /**
+     * Value below which @p frac of the samples fall.
+     *
+     * Defined for every histogram state — no division by zero, no UB:
+     *  - empty histogram: 0.0;
+     *  - a single sample (or frac <= 0 / frac >= 1): the exact
+     *    recorded min/max, not a bucket boundary;
+     *  - otherwise: the target rank's bucket is located and the value
+     *    linearly interpolated across it, then clamped to the observed
+     *    [min, max] — so the overflow top bucket (which spans to
+     *    2^63) can never report past the largest real sample.
+     *
+     * Error bound: the result lies inside the target sample's bucket
+     * [2^(k-1), 2^k), so the absolute error is below the bucket width
+     * 2^(k-1) and the relative error below 2x (one log2 bucket); the
+     * min/max clamp makes the 0th/100th percentiles exact.
+     */
     double percentile(double frac) const;
 
     /** Add @p other's samples into this histogram bucket-wise. */
@@ -160,6 +180,8 @@ class Log2Histogram
     std::array<uint64_t, kBuckets> counts_{};
     uint64_t total_ = 0;
     double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
 };
 
 /**

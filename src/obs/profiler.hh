@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Self-profiler: folds the span tracker's per-path aggregates into a
+ * wall-clock attribution tree — inclusive/exclusive time, call counts
+ * and a hot-path ranking — so `lll profile <cmd>` can answer "where did
+ * the wall time go?" with the same numbers the telemetry spans carry.
+ *
+ * The profiler is pure post-processing: it reads SpanTracker::stats()
+ * after the fact and costs nothing while the profiled code runs beyond
+ * the spans that are already there.  When no report is built the only
+ * overhead is the (always-on) span bookkeeping itself.
+ *
+ * Tree semantics:
+ *  - the root is a synthetic "total" node carrying the measured wall
+ *    time of the whole command;
+ *  - each span path `a/b/c` becomes a node under its parent `a/b`
+ *    (parents missing from the stats are synthesized with zero count);
+ *  - inclusiveNs is the span's own aggregated wall time; exclusiveNs
+ *    is inclusive minus the children's inclusive, clamped at zero;
+ *  - children are ordered by path, so two identical runs produce an
+ *    identical tree shape (wall times differ, structure does not).
+ *
+ * Coverage = attributed / wall: the fraction of the command's wall
+ * time inside any named top-level span.  The acceptance bar for the
+ * CLI is >= 95% on `lll profile analyze ...`.
+ */
+
+#ifndef LLL_OBS_PROFILER_HH
+#define LLL_OBS_PROFILER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metric.hh"
+#include "obs/span.hh"
+
+namespace lll::obs
+{
+
+/** One node of the attribution tree. */
+struct ProfileNode
+{
+    std::string name;         //!< last path segment ("total" at root)
+    std::string path;         //!< full slash-joined span path
+    uint64_t count = 0;       //!< times the span was entered
+    double inclusiveNs = 0.0; //!< wall time inside the span
+    double exclusiveNs = 0.0; //!< inclusive minus children's inclusive
+    std::vector<ProfileNode> children; //!< ordered by path
+};
+
+class Profiler
+{
+  public:
+    /** Schema version of the profile JSON emitted by renderJson(). */
+    static constexpr int kSchemaVersion = 1;
+
+    struct Report
+    {
+        ProfileNode root;         //!< synthetic "total" node
+        double wallNs = 0.0;      //!< measured command wall time
+        double attributedNs = 0.0; //!< sum of top-level span time
+        double buildNs = 0.0;     //!< cost of building this report
+
+        /** Fraction of wall time inside named spans (0 when wall 0). */
+        double coverage() const
+        {
+            return wallNs > 0.0 ? attributedNs / wallNs : 0.0;
+        }
+
+        /**
+         * Up to @p limit nodes ranked by exclusive time (descending,
+         * path as tie-break).  Pointers into root's tree.
+         */
+        std::vector<const ProfileNode *> hotPaths(size_t limit) const;
+    };
+
+    /**
+     * Build the attribution tree for a command that ran for @p wall_ns
+     * from @p stats (a SpanTracker::stats() snapshot taken after the
+     * command finished).  Adds its own build cost to the report and,
+     * when @p self_counter is given, to that counter (the
+     * kSelfOverheadCounter contract).
+     */
+    static Report build(const std::vector<SpanTracker::Stat> &stats,
+                        double wall_ns,
+                        CounterMetric *self_counter = nullptr);
+
+    /** Human-readable tree + hot-path ranking (for stderr). */
+    static std::string renderText(const Report &report,
+                                  size_t hot_limit = 10);
+
+    /** The report as a JSON object (the profile envelope's data). */
+    static std::string renderJson(const Report &report,
+                                  size_t hot_limit = 10);
+};
+
+} // namespace lll::obs
+
+#endif // LLL_OBS_PROFILER_HH

@@ -29,6 +29,16 @@
 namespace lll::obs
 {
 
+/**
+ * Counter accumulating the observability layer's own host-time cost in
+ * nanoseconds: every sampler snapshot and profiler tree build adds its
+ * wall time here, so each `--json` telemetry block prices the
+ * measurement itself.  Wall-clock valued, hence nondeterministic —
+ * determinism comparisons must exclude it (like span wall times).
+ */
+inline constexpr const char *kSelfOverheadCounter =
+    "obs.self.overhead_ns";
+
 struct GaugeOptions
 {
     /** Snapshot this gauge into a time-series ring on every

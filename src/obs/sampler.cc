@@ -1,5 +1,7 @@
 #include "obs/sampler.hh"
 
+#include "obs/timer.hh"
+
 namespace lll::obs
 {
 
@@ -8,8 +10,13 @@ Sampler::sample(Tick now)
 {
     if (!armed_)
         return;
+    WallTimer cost;
     registry_.sampleAll(now);
     ++taken_;
+    // Price the snapshot itself: per-snapshot cost is this counter
+    // divided by the registry's snapshots() count.
+    registry_.counter(kSelfOverheadCounter)
+        .increment(static_cast<uint64_t>(cost.elapsedNs()));
 }
 
 } // namespace lll::obs

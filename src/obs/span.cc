@@ -18,9 +18,7 @@ SpanTracker::end()
 {
     lll_assert(!stack_.empty(), "span end() without a matching begin()");
     const Open &open = stack_.back();
-    double ns = std::chrono::duration<double, std::nano>(
-                    Clock::now() - open.start)
-                    .count();
+    double ns = wallDeltaNs(open.start, Clock::now());
     Agg &agg = agg_[open.path];
     agg.depth = static_cast<unsigned>(stack_.size());
     ++agg.count;

@@ -24,10 +24,11 @@
 #ifndef LLL_OBS_SPAN_HH
 #define LLL_OBS_SPAN_HH
 
-#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "obs/timer.hh"
 
 namespace lll::obs
 {
@@ -73,7 +74,9 @@ class SpanTracker
     static SpanTracker &global();
 
   private:
-    using Clock = std::chrono::steady_clock;
+    // All span durations come from the obs layer's single wall-clock
+    // source (timer.hh) so spans, the profiler and bench trials agree.
+    using Clock = WallClock;
 
     struct Open
     {

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The observability layer's one host-time source.
+ *
+ * Every wall-clock measurement in the repo — span trackers, the
+ * profiler, `lll bench` trials, per-request serve latencies — reads
+ * this monotonic clock, so numbers from different subsystems are
+ * directly comparable and a future clock swap (e.g. rdtsc fast path)
+ * happens in exactly one place.
+ */
+
+#ifndef LLL_OBS_TIMER_HH
+#define LLL_OBS_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace lll::obs
+{
+
+/** The monotonic host clock behind all obs wall-time measurements. */
+using WallClock = std::chrono::steady_clock;
+
+/** Nanoseconds between two WallClock points as a double. */
+inline double
+wallDeltaNs(WallClock::time_point start, WallClock::time_point stop)
+{
+    return std::chrono::duration<double, std::nano>(stop - start)
+        .count();
+}
+
+/**
+ * A running stopwatch started at construction.  Reading it does not
+ * stop it, so one timer can mark several stage boundaries:
+ *
+ *   WallTimer t;
+ *   ... stage 1 ...
+ *   double s1 = t.elapsedNs();
+ *   ... stage 2 ...
+ *   double s2 = t.elapsedNs() - s1;
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(WallClock::now()) {}
+
+    /** Nanoseconds since construction or the last restart(). */
+    double elapsedNs() const { return wallDeltaNs(start_, WallClock::now()); }
+
+    /** Reset the origin to now. */
+    void restart() { start_ = WallClock::now(); }
+
+    WallClock::time_point startedAt() const { return start_; }
+
+  private:
+    WallClock::time_point start_;
+};
+
+} // namespace lll::obs
+
+#endif // LLL_OBS_TIMER_HH

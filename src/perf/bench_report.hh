@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The BENCH_<rev>.json perf-trajectory format: serialize a bench run,
+ * parse a committed baseline back, and compare the two for the CI
+ * ratchet (README "Perf trajectory").
+ *
+ * The report rides inside the standard `--json` envelope as the
+ * "data" object; parseBenchReport() accepts either the bare data
+ * object or a full envelope, so `lll bench --compare` works on
+ * baselines produced by any `lll bench --json` invocation.
+ */
+
+#ifndef LLL_PERF_BENCH_REPORT_HH
+#define LLL_PERF_BENCH_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "perf/microbench.hh"
+#include "util/status.hh"
+
+namespace lll::perf
+{
+
+/** Version of the BENCH_*.json "data" schema. */
+constexpr int kBenchSchemaVersion = 1;
+
+/** One full bench run: configuration + per-kernel statistics. */
+struct BenchReport
+{
+    int schemaVersion = kBenchSchemaVersion;
+    std::string rev;        //!< source revision label ("dev" default)
+    int trials = 0;
+    double warmupMs = 0.0;
+    double measureMs = 0.0;
+    std::vector<KernelStats> kernels;
+};
+
+/** Serialize @p report as the envelope's "data" JSON object. */
+std::string benchReportJson(const BenchReport &report);
+
+/** Parse a report from JSON text (bare data object or envelope). */
+util::Result<BenchReport> parseBenchReport(const std::string &text);
+
+/** Read and parse @p path. */
+util::Result<BenchReport> parseBenchReportFile(const std::string &path);
+
+/**
+ * The ratchet verdict for one kernel: current median events/sec
+ * against the baseline's, with ratio = current / baseline.
+ */
+struct BenchComparison
+{
+    struct Row
+    {
+        std::string kernel;
+        double baselineEps = 0.0;
+        double currentEps = 0.0;
+        double ratio = 0.0;
+        bool regressed = false; //!< ratio < 1 - tolerance, or missing
+        bool missing = false;   //!< kernel absent from the current run
+    };
+
+    std::vector<Row> rows; //!< one per baseline kernel, in order
+    double tolerance = 0.0;
+
+    bool ok() const
+    {
+        for (const Row &r : rows) {
+            if (r.regressed)
+                return false;
+        }
+        return true;
+    }
+
+    /** Human-readable verdict table (one line per kernel). */
+    std::string render() const;
+};
+
+/**
+ * Compare @p current against @p baseline: a kernel regresses when its
+ * median events/sec falls below baseline * (1 - tolerance); a kernel
+ * missing from the current run also regresses (lost coverage).
+ * Kernels new in @p current are ignored — adding a kernel must not
+ * fail the ratchet.
+ */
+BenchComparison compareBenchReports(const BenchReport &baseline,
+                                    const BenchReport &current,
+                                    double tolerance);
+
+} // namespace lll::perf
+
+#endif // LLL_PERF_BENCH_REPORT_HH

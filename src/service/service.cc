@@ -7,6 +7,7 @@
 #include "core/analyzer.hh"
 #include "obs/export.hh"
 #include "obs/span.hh"
+#include "obs/timer.hh"
 #include "platforms/platform.hh"
 #include "util/json.hh"
 #include "workloads/workload.hh"
@@ -386,7 +387,7 @@ parseRunRequest(const std::string &line, size_t line_no)
 }
 
 std::string
-renderRunResponse(const RunResponse &r)
+renderRunResponse(const RunResponse &r, bool include_timing)
 {
     std::ostringstream out;
     out << "{\"schema_version\": " << kServiceSchemaVersion
@@ -395,7 +396,17 @@ renderRunResponse(const RunResponse &r)
         << util::errorCodeName(r.status.code())
         << "\", \"exit\": " << util::exitCodeFor(r.status.code())
         << ", \"message\": \"" << obs::jsonEscape(r.status.message())
-        << "\"}, \"data\": ";
+        << "\"}, ";
+    if (include_timing) {
+        const StageTiming &t = r.timing;
+        out << "\"timing\": {\"parse_ns\": " << fmtG17(t.parseNs)
+            << ", \"coalesce_ns\": " << fmtG17(t.coalesceNs)
+            << ", \"queue_wait_ns\": " << fmtG17(t.queueWaitNs)
+            << ", \"simulate_ns\": " << fmtG17(t.simulateNs)
+            << ", \"respond_ns\": " << fmtG17(t.respondNs)
+            << ", \"total_ns\": " << fmtG17(t.totalNs) << "}, ";
+    }
+    out << "\"data\": ";
     if (!r.status.ok()) {
         out << "null}";
         return out.str();
@@ -446,6 +457,7 @@ RunService::serveLines(const std::vector<std::string> &lines)
         RunRequest req;
         Status status;       //!< first error on the request's path
         size_t unit = SIZE_MAX; //!< index into the coalesced units
+        StageTiming timing;  //!< host wall time per stage
     };
     std::vector<Slot> slots;
 
@@ -463,6 +475,7 @@ RunService::serveLines(const std::vector<std::string> &lines)
             }
             if (blank)
                 continue;
+            obs::WallTimer parse_timer;
             Slot slot;
             util::Result<RunRequest> req =
                 parseRunRequest(line, line_no);
@@ -475,6 +488,7 @@ RunService::serveLines(const std::vector<std::string> &lines)
                 slot.req.id = fallback;
                 slot.status = req.status();
             }
+            slot.timing.parseNs = parse_timer.elapsedNs();
             slots.push_back(std::move(slot));
         }
     }
@@ -485,11 +499,21 @@ RunService::serveLines(const std::vector<std::string> &lines)
     std::vector<core::SweepRunner::StageUnit> units;
     std::vector<workloads::WorkloadPtr> owned; //!< outlive the runner
     std::map<std::string, size_t> by_key;
+    // Records the coalesce time on every exit path of the loop body
+    // (several `continue`s bail out on per-request errors).
+    struct CoalesceDone
+    {
+        Slot &slot;
+        obs::WallTimer &timer;
+        ~CoalesceDone() { slot.timing.coalesceNs = timer.elapsedNs(); }
+    };
     {
         obs::ScopedSpan span("serve.coalesce");
         for (Slot &slot : slots) {
             if (!slot.status.ok())
                 continue;
+            obs::WallTimer coalesce_timer;
+            CoalesceDone record_coalesce{slot, coalesce_timer};
             RunRequest &req = slot.req;
             util::Result<platforms::Platform> plat =
                 platforms::findPlatform(req.platformName);
@@ -560,6 +584,7 @@ RunService::serveLines(const std::vector<std::string> &lines)
         obs::ScopedSpan span("serve.respond");
         responses.reserve(slots.size());
         for (Slot &slot : slots) {
+            obs::WallTimer respond_timer;
             RunResponse resp;
             resp.id = slot.req.id;
             if (!slot.status.ok()) {
@@ -570,6 +595,10 @@ RunService::serveLines(const std::vector<std::string> &lines)
                 resp.status = out.status;
                 if (out.status.ok())
                     resp.metrics = out.metrics;
+                // Coalesced requests share their unit's queue-wait and
+                // simulation time: each of them did wait on that work.
+                slot.timing.queueWaitNs = out.queueWaitNs;
+                slot.timing.simulateNs = out.simulateNs;
             }
             if (resp.status.ok()) {
                 resp.platform = units[slot.unit].platform.name;
@@ -578,6 +607,9 @@ RunService::serveLines(const std::vector<std::string> &lines)
             } else {
                 ++failed;
             }
+            slot.timing.respondNs = respond_timer.elapsedNs();
+            slot.timing.totalNs = slot.timing.sum();
+            resp.timing = slot.timing;
             responses.push_back(std::move(resp));
         }
     }
@@ -598,6 +630,21 @@ RunService::serveLines(const std::vector<std::string> &lines)
         reg.counter("service.coalesced_requests_total")
             .increment(resolved - units.size());
         reg.setGauge("service.batch_size", double(slots.size()));
+        // Per-request end-to-end latency, one sample per request per
+        // stage; percentiles come out via Log2Histogram::percentile.
+        for (const RunResponse &resp : responses) {
+            const StageTiming &t = resp.timing;
+            reg.histogram("service.latency.parse_ns").sample(t.parseNs);
+            reg.histogram("service.latency.coalesce_ns")
+                .sample(t.coalesceNs);
+            reg.histogram("service.latency.queue_wait_ns")
+                .sample(t.queueWaitNs);
+            reg.histogram("service.latency.simulate_ns")
+                .sample(t.simulateNs);
+            reg.histogram("service.latency.respond_ns")
+                .sample(t.respondNs);
+            reg.histogram("service.latency.total_ns").sample(t.totalNs);
+        }
         if (params_.cache) {
             const core::ResultCache::Stats after =
                 params_.cache->stats();

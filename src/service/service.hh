@@ -75,6 +75,28 @@ struct RunRequest
 util::Result<RunRequest> parseRunRequest(const std::string &line,
                                          size_t line_no);
 
+/**
+ * Host wall time one request spent in each service stage.  All fields
+ * are nanoseconds; queue-wait and simulate come from the coalesced
+ * unit the request resolved to (coalesced requests share them), and
+ * total is the sum of the stages, so queue_wait <= total always.
+ */
+struct StageTiming
+{
+    double parseNs = 0.0;     //!< JSON line -> RunRequest
+    double coalesceNs = 0.0;  //!< name resolution + stage-key dedup
+    double queueWaitNs = 0.0; //!< fan-out start -> worker pickup
+    double simulateNs = 0.0;  //!< the unit's simulation wall time
+    double respondNs = 0.0;   //!< outcome -> RunResponse
+    double totalNs = 0.0;     //!< sum of the above
+
+    double sum() const
+    {
+        return parseNs + coalesceNs + queueWaitNs + simulateNs +
+               respondNs;
+    }
+};
+
 /** One response line: per-request status plus (on success) the
  *  analysis payload of the stage the request resolved to. */
 struct RunResponse
@@ -85,10 +107,17 @@ struct RunResponse
     std::string platform;
     std::string workload;
     std::string optsLabel;
+    StageTiming timing; //!< always populated by serveLines()
 };
 
-/** Serialize @p r as one JSON line (no trailing newline). */
-std::string renderRunResponse(const RunResponse &r);
+/**
+ * Serialize @p r as one JSON line (no trailing newline).
+ * @p include_timing adds the per-request "timing" object; it defaults
+ * off because timing is wall-clock — cold and warm reruns must stay
+ * byte-identical on the default path (the serve contract).
+ */
+std::string renderRunResponse(const RunResponse &r,
+                              bool include_timing = false);
 
 /**
  * Just the "data" object of a successful response — the analysis
@@ -121,7 +150,10 @@ class RunService
          * (service.requests_total, service.requests_failed_total,
          * service.units_total, service.coalesced_requests_total,
          * service.cache_{hits,misses,evictions,spill_evictions}_total,
-         * gauge service.batch_size) and the merged per-unit telemetry.
+         * gauge service.batch_size), per-request stage-latency
+         * histograms (service.latency.{parse,coalesce,queue_wait,
+         * simulate,respond,total}_ns), the sweep worker-utilization
+         * gauges and the merged per-unit telemetry.
          */
         obs::MetricRegistry *registry = nullptr;
     };

@@ -72,6 +72,24 @@ util::Result<uint64_t> ArgParser::uint64Flag(const std::string &flag,
     return static_cast<uint64_t>(n);
 }
 
+util::Result<double> ArgParser::doubleFlag(const std::string &flag,
+                                           double fallback)
+{
+    util::Result<std::string> raw = stringFlag(flag);
+    if (!raw.ok())
+        return raw.status();
+    if (raw->empty())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(raw->c_str(), &end);
+    if (*end != '\0' || !(v >= 0.0) || v > 1e300) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "%s wants a non-negative number, got '%s'",
+                             flag.c_str(), raw->c_str());
+    }
+    return v;
+}
+
 util::Result<bool> ArgParser::boolFlag(const std::string &flag)
 {
     util::Result<size_t> at = findOnce(flag);

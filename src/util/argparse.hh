@@ -65,6 +65,13 @@ class ArgParser
     util::Result<uint64_t> uint64Flag(const std::string &flag,
                                       uint64_t fallback);
 
+    /**
+     * Extract `FLAG X` as a finite non-negative double; @p fallback
+     * when absent ("--tolerance", "--measure-ms").
+     */
+    util::Result<double> doubleFlag(const std::string &flag,
+                                    double fallback);
+
     /** Extract a bare `FLAG`; false when absent, error on repeats. */
     util::Result<bool> boolFlag(const std::string &flag);
 

@@ -106,6 +106,22 @@ TEST(ExportJson, ContainsAllSections)
     EXPECT_EQ(json.find("\"spans\""), std::string::npos);
 }
 
+TEST(ExportJson, HistogramsCarryQuantileTrio)
+{
+    obs::MetricRegistry reg = populatedRegistry();
+    std::string json = obs::exportJson(reg);
+    // Serve latency reporting reads p50/p90/p99 from the same export.
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p90\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    // p90 sits between the other two in the serialized order.
+    const size_t p50 = json.find("\"p50\"");
+    const size_t p90 = json.find("\"p90\"");
+    const size_t p99 = json.find("\"p99\"");
+    EXPECT_LT(p50, p90);
+    EXPECT_LT(p90, p99);
+}
+
 TEST(ExportJson, SeriesCarriesSamples)
 {
     obs::MetricRegistry reg = populatedRegistry();

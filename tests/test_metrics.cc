@@ -93,6 +93,93 @@ TEST(Log2Histogram, BucketsByPowerOfTwo)
     EXPECT_EQ(h.total(), 0u);
 }
 
+TEST(Log2Histogram, PercentileEmptyAndSingleSample)
+{
+    obs::Log2Histogram h;
+    // Empty: every percentile is a defined 0.0, never a 0-division.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+
+    // A single sample answers every percentile with the exact value,
+    // not a bucket boundary (42 sits in [32, 64)).
+    h.sample(42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+}
+
+TEST(Log2Histogram, PercentileInterpolatesWithinBucket)
+{
+    // 100 samples spread inside one bucket [64, 128): interpolation
+    // must move monotonically through the bucket instead of answering
+    // the same boundary for every rank.
+    obs::Log2Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(64.0 + 0.63 * i);
+    const double p10 = h.percentile(0.10);
+    const double p50 = h.percentile(0.50);
+    const double p90 = h.percentile(0.90);
+    EXPECT_LT(p10, p50);
+    EXPECT_LT(p50, p90);
+    // Within-bucket error bound: the answer stays inside the bucket,
+    // so it is within one bucket width of the true value.
+    EXPECT_GE(p10, h.min());
+    EXPECT_LE(p90, h.max());
+    EXPECT_NEAR(p50, 64.0 + 0.63 * 50, 64.0);
+}
+
+TEST(Log2Histogram, PercentileOverflowTopBucketClampsToMax)
+{
+    // Values past 2^62 land in the overflow top bucket, whose nominal
+    // upper bound is 2^63; the observed-max clamp keeps the answer a
+    // value that actually occurred.
+    obs::Log2Histogram h;
+    const double huge = 8.0e18;    // > 2^62
+    h.sample(huge);
+    h.sample(huge * 1.1);
+    h.sample(1.0);
+    EXPECT_EQ(h.bucket(obs::Log2Histogram::kBuckets - 1), 2u);
+    EXPECT_LE(h.percentile(0.99), h.max());
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), huge * 1.1);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+}
+
+TEST(Log2Histogram, PercentileZeroAndOneAreExactMinMax)
+{
+    obs::Log2Histogram h;
+    h.sample(3.0);
+    h.sample(5.0);
+    h.sample(900.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 900.0);
+    // Out-of-range fractions behave like the endpoints.
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 900.0);
+}
+
+TEST(Log2Histogram, MergeCombinesMinMaxAndRanks)
+{
+    obs::Log2Histogram a, b;
+    a.sample(2.0);
+    a.sample(4.0);
+    b.sample(1000.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 1000.0);
+
+    // Merging an empty histogram is a no-op on the observed range.
+    obs::Log2Histogram empty;
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+}
+
 TEST(TimeSeries, RingWrapKeepsNewestInOrder)
 {
     obs::TimeSeries ts(4);
@@ -290,6 +377,26 @@ TEST(Sampler, DisarmStopsSampling)
     s.disarm();
     s.sample(20 * ticksPerNs);
     EXPECT_EQ(s.taken(), 1u);
+}
+
+TEST(Sampler, RecordsItsOwnOverhead)
+{
+    // Every snapshot charges its wall-clock cost to the
+    // obs.self.overhead_ns counter, so `--json` telemetry always shows
+    // what observability itself cost.
+    obs::MetricRegistry reg;
+    obs::Sampler::Params params;
+    params.cadence = 10 * ticksPerNs;
+    obs::Sampler s(reg, params);
+    s.sample(10 * ticksPerNs);
+    s.sample(20 * ticksPerNs);
+    ASSERT_EQ(s.taken(), 2u);
+    EXPECT_EQ(reg.counters().count(obs::kSelfOverheadCounter), 1u);
+    // Wall-clock valued: present and non-decreasing, no exact value.
+    const uint64_t after_two =
+        reg.counter(obs::kSelfOverheadCounter).value();
+    s.sample(30 * ticksPerNs);
+    EXPECT_GE(reg.counter(obs::kSelfOverheadCounter).value(), after_two);
 }
 
 TEST(Sampler, AttachTwiceIsRejected)

@@ -324,6 +324,76 @@ TEST(RunService, EvictionCountersSurfaceCachePressure)
         cache.stats().evictions);
 }
 
+TEST(RunService, StageTimingsArePresentAndMonotonic)
+{
+    warmProfileCache();
+    obs::MetricRegistry registry;
+    RunService::Params params;
+    params.jobs = 2;
+    params.registry = &registry;
+    RunService svc(params);
+
+    std::vector<RunResponse> rs = svc.serveLines({
+        quickRequest("a", "isx"),
+        quickRequest("b", "hpcg"),
+        quickRequest("c", "isx"), // coalesces with "a"
+    });
+    ASSERT_EQ(rs.size(), 3u);
+
+    for (const RunResponse &r : rs) {
+        ASSERT_TRUE(r.status.ok()) << r.status.toString();
+        const StageTiming &t = r.timing;
+        // Every stage is non-negative, simulation did real work, and
+        // queue-wait can never exceed the end-to-end total.
+        EXPECT_GE(t.parseNs, 0.0);
+        EXPECT_GE(t.coalesceNs, 0.0);
+        EXPECT_GE(t.queueWaitNs, 0.0);
+        EXPECT_GT(t.simulateNs, 0.0);
+        EXPECT_GE(t.respondNs, 0.0);
+        EXPECT_GT(t.totalNs, 0.0);
+        EXPECT_LE(t.queueWaitNs, t.totalNs);
+        EXPECT_DOUBLE_EQ(t.totalNs, t.sum());
+    }
+    // Coalesced requests share their unit's simulate/queue-wait time.
+    EXPECT_DOUBLE_EQ(rs[0].timing.simulateNs, rs[2].timing.simulateNs);
+
+    // One latency sample per request per stage rode out on the
+    // registry, and the percentile extraction is usable directly.
+    const auto &hists = registry.histograms();
+    ASSERT_EQ(hists.count("service.latency.total_ns"), 1u);
+    ASSERT_EQ(hists.count("service.latency.queue_wait_ns"), 1u);
+    const obs::Log2Histogram &total =
+        hists.at("service.latency.total_ns");
+    EXPECT_EQ(total.total(), 3u);
+    EXPECT_GT(total.percentile(0.50), 0.0);
+    EXPECT_LE(total.percentile(0.50), total.percentile(0.99));
+    EXPECT_LE(hists.at("service.latency.queue_wait_ns").percentile(0.99),
+              total.max());
+}
+
+TEST(RenderRunResponse, TimingRenderedOnlyOnRequest)
+{
+    RunResponse r;
+    r.id = "t";
+    r.timing.parseNs = 1.0;
+    r.timing.simulateNs = 5.0;
+    r.timing.totalNs = r.timing.sum();
+
+    // Default rendering must not mention timing at all: the serve
+    // cold/warm byte-identity contract compares default renderings,
+    // and wall-clock values would differ between the runs.
+    const std::string plain = renderRunResponse(r);
+    EXPECT_EQ(plain.find("timing"), std::string::npos) << plain;
+
+    const std::string timed = renderRunResponse(r, true);
+    EXPECT_NE(timed.find("\"timing\""), std::string::npos) << timed;
+    EXPECT_NE(timed.find("\"parse_ns\": 1"), std::string::npos) << timed;
+    EXPECT_NE(timed.find("\"queue_wait_ns\": 0"), std::string::npos)
+        << timed;
+    EXPECT_NE(timed.find("\"total_ns\": 6"), std::string::npos) << timed;
+    EXPECT_EQ(timed.find('\n'), std::string::npos) << timed;
+}
+
 TEST(RenderRunResponse, FailedRequestsCarryNullDataAndExitCode)
 {
     RunResponse r;

@@ -203,7 +203,11 @@ TEST(SweepRunner, MergedTelemetryIsDeterministic)
 
     // Merge-after-join in unit order: the exporters must not be able to
     // tell the two runs apart, byte for byte.  (Span stats carry wall
-    // time, so they stay out of this comparison.)
+    // time, so they stay out of this comparison — and the sampler's
+    // obs.self.overhead_ns counter is wall-clock-valued by design, so
+    // it is zeroed on both sides the same way span stats are excluded.)
+    serial_reg.counter(obs::kSelfOverheadCounter).reset();
+    parallel_reg.counter(obs::kSelfOverheadCounter).reset();
     EXPECT_EQ(obs::exportJson(serial_reg, nullptr),
               obs::exportJson(parallel_reg, nullptr));
     EXPECT_EQ(obs::exportCsv(serial_reg), obs::exportCsv(parallel_reg));

@@ -17,6 +17,8 @@
  *   lll selftest [--iterations N]         fault-injection harness
  *   lll lint [<wl> <plat> [opts...]]      static analyzer (+ determinism)
  *   lll serve [--batch FILE]              batched JSON-lines run service
+ *   lll profile <cmd> [args...]           self-profile any subcommand
+ *   lll bench                             microbenchmark harness + ratchet
  *
  * Variant opts: vect 2-ht 4-ht l2-pref tiling unroll-jam fusion distr
  * analyze/trace also accept `--cores N` (drive the load with fewer
@@ -66,6 +68,10 @@
 #include "faultinject/faultinject.hh"
 #include "lll/api.hh"
 #include "lll/lll.hh"
+#include "obs/profiler.hh"
+#include "obs/timer.hh"
+#include "perf/bench_report.hh"
+#include "perf/microbench.hh"
 #include "util/argparse.hh"
 #include "util/diagnostic.hh"
 #include "util/status.hh"
@@ -104,7 +110,14 @@ usage()
         "  lint --profile FILE [--json FILE]\n"
         "  serve [--batch FILE] [--jobs N] [--cache-dir DIR] "
         "[--max-entries N]\n"
-        "        [--spill-budget BYTES] [--json FILE]\n");
+        "        [--spill-budget BYTES] [--json FILE] "
+        "[--stats-interval N]\n"
+        "        [--request-telemetry]\n"
+        "  profile [--out FILE] [--top N] <command> [args ...]\n"
+        "  bench [--trials N] [--warmup-ms MS] [--measure-ms MS] "
+        "[--kernel NAME]\n"
+        "        [--rev REV] [--json FILE] [--compare BASELINE] "
+        "[--tolerance FRAC]\n");
     return 2;
 }
 
@@ -786,6 +799,13 @@ cmdServe(int argc, char **argv)
     util::Result<int> jobs = ap.intFlag("--jobs", 1);
     if (!jobs.ok())
         return failWith(jobs.status());
+    util::Result<int> stats_interval = ap.intFlag("--stats-interval", 0);
+    if (!stats_interval.ok())
+        return failWith(stats_interval.status());
+    util::Result<bool> request_telemetry =
+        ap.boolFlag("--request-telemetry");
+    if (!request_telemetry.ok())
+        return failWith(request_telemetry.status());
     core::ResultCache &cache = core::ResultCache::global();
     Status cache_flags = applyCacheFlags(ap, cache);
     if (!cache_flags.ok())
@@ -821,14 +841,42 @@ cmdServe(int argc, char **argv)
 
     // stdout carries exactly one response line per request — nothing
     // else — so a warm rerun is byte-identical and pipeable; the human
-    // summary goes to stderr.
+    // summary goes to stderr.  --request-telemetry adds the wall-clock
+    // "timing" object per line and therefore opts out of byte
+    // identity; --stats-interval N prints a cumulative p50/p90/p99
+    // stat line to stderr every N responses.
     size_t failed = 0;
+    size_t written = 0;
+    obs::Log2Histogram stat_total, stat_queue, stat_sim;
     for (const service::RunResponse &r : responses) {
         if (!r.status.ok())
             ++failed;
-        const std::string rendered = service::renderRunResponse(r);
+        const std::string rendered =
+            service::renderRunResponse(r, *request_telemetry);
         std::fwrite(rendered.data(), 1, rendered.size(), stdout);
         std::fputc('\n', stdout);
+        ++written;
+        if (*stats_interval > 0) {
+            stat_total.sample(r.timing.totalNs);
+            stat_queue.sample(r.timing.queueWaitNs);
+            stat_sim.sample(r.timing.simulateNs);
+            if (written % static_cast<size_t>(*stats_interval) == 0) {
+                std::fprintf(
+                    stderr,
+                    "serve stats: %zu responses — total p50/p90/p99 "
+                    "%.2f/%.2f/%.2f ms, queue %.2f/%.2f/%.2f ms, "
+                    "simulate %.2f/%.2f/%.2f ms\n",
+                    written, stat_total.percentile(0.50) / 1e6,
+                    stat_total.percentile(0.90) / 1e6,
+                    stat_total.percentile(0.99) / 1e6,
+                    stat_queue.percentile(0.50) / 1e6,
+                    stat_queue.percentile(0.90) / 1e6,
+                    stat_queue.percentile(0.99) / 1e6,
+                    stat_sim.percentile(0.50) / 1e6,
+                    stat_sim.percentile(0.90) / 1e6,
+                    stat_sim.percentile(0.99) / 1e6);
+            }
+        }
     }
 
     const uint64_t units =
@@ -868,6 +916,128 @@ cmdServe(int argc, char **argv)
         Status s = writeExportChecked(
             *json, obs::jsonEnvelope("serve", verdict, exit_code,
                                      data.str(), telemetry));
+        if (!s.ok())
+            return failWith(s);
+    }
+    return exit_code;
+}
+
+/**
+ * `lll bench`: run the perf microbenchmark kernels (src/perf) for
+ * repeated trials and report events/sec (min/median/IQR across trials)
+ * plus per-item latency quantiles.  `--json FILE` writes the versioned
+ * BENCH report in the standard envelope; `--compare BASELINE` applies
+ * the perf ratchet and exits 3 on regression beyond `--tolerance`.
+ */
+int
+cmdBench(int argc, char **argv)
+{
+    ArgParser ap(argc, argv, 2);
+    perf::TrialParams tp;
+    util::Result<int> trials = ap.intFlag("--trials", tp.trials);
+    if (!trials.ok())
+        return failWith(trials.status());
+    tp.trials = *trials;
+    util::Result<double> warmup = ap.doubleFlag("--warmup-ms",
+                                                tp.warmupMs);
+    if (!warmup.ok())
+        return failWith(warmup.status());
+    tp.warmupMs = *warmup;
+    util::Result<double> measure = ap.doubleFlag("--measure-ms",
+                                                 tp.measureMs);
+    if (!measure.ok())
+        return failWith(measure.status());
+    tp.measureMs = *measure;
+    util::Result<std::string> kernel = ap.stringFlag("--kernel");
+    if (!kernel.ok())
+        return failWith(kernel.status());
+    util::Result<std::string> rev = ap.stringFlag("--rev");
+    if (!rev.ok())
+        return failWith(rev.status());
+    util::Result<std::string> json = ap.stringFlag("--json");
+    if (!json.ok())
+        return failWith(json.status());
+    util::Result<std::string> compare = ap.stringFlag("--compare");
+    if (!compare.ok())
+        return failWith(compare.status());
+    util::Result<double> tolerance = ap.doubleFlag("--tolerance", 0.15);
+    if (!tolerance.ok())
+        return failWith(tolerance.status());
+    if (*tolerance >= 1.0) {
+        return failWith(Status::error(ErrorCode::InvalidArgument,
+                                      "--tolerance wants a fraction "
+                                      "below 1 (e.g. 0.15)"));
+    }
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
+
+    std::vector<const perf::KernelInfo *> selected;
+    if (kernel->empty()) {
+        for (const perf::KernelInfo &k : perf::kernels())
+            selected.push_back(&k);
+    } else {
+        const perf::KernelInfo *k = perf::findKernel(*kernel);
+        if (!k) {
+            return failWith(Status::error(ErrorCode::InvalidArgument,
+                                          "unknown bench kernel '%s'",
+                                          kernel->c_str()));
+        }
+        selected.push_back(k);
+    }
+
+    perf::BenchReport report;
+    report.rev = rev->empty() ? "dev" : *rev;
+    report.trials = tp.trials;
+    report.warmupMs = tp.warmupMs;
+    report.measureMs = tp.measureMs;
+
+    // Per-kernel latency histograms land in a registry so the envelope
+    // telemetry shares the exporter schema with every other command.
+    obs::MetricRegistry registry;
+    FILE *rep = *json == "-" ? stderr : stdout;
+    std::fprintf(rep, "%-12s %12s %12s %12s %8s %8s %8s\n", "kernel",
+                 "median ev/s", "min ev/s", "IQR ev/s", "p50 ns",
+                 "p90 ns", "p99 ns");
+    for (const perf::KernelInfo *k : selected) {
+        obs::ScopedSpan span("bench." + k->name);
+        perf::KernelStats stats = perf::runKernel(*k, tp);
+        std::fprintf(rep,
+                     "%-12s %12.4g %12.4g %12.4g %8.1f %8.1f %8.1f\n",
+                     stats.name.c_str(), stats.medianEps, stats.minEps,
+                     stats.iqrEps, stats.p50ItemNs, stats.p90ItemNs,
+                     stats.p99ItemNs);
+        registry.histogram("perf." + k->name + ".item_ns")
+            .merge(stats.itemNs);
+        report.kernels.push_back(std::move(stats));
+    }
+
+    Status verdict = Status::okStatus();
+    if (!compare->empty()) {
+        util::Result<perf::BenchReport> baseline =
+            perf::parseBenchReportFile(*compare);
+        if (!baseline.ok())
+            return failWith(baseline.status());
+        perf::BenchComparison cmp = perf::compareBenchReports(
+            *baseline, report, *tolerance);
+        std::fputs(cmp.render().c_str(), rep);
+        if (!cmp.ok()) {
+            verdict = Status::error(
+                ErrorCode::FailedPrecondition,
+                "events/sec regressed beyond %.0f%% of baseline %s",
+                *tolerance * 100.0, compare->c_str());
+        }
+    }
+    const int exit_code =
+        verdict.ok() ? 0 : util::exitCodeFor(verdict.code());
+
+    if (!json->empty()) {
+        const std::string telemetry =
+            obs::exportJson(registry, &obs::SpanTracker::global());
+        Status s = writeExportChecked(
+            *json, obs::jsonEnvelope("bench", verdict, exit_code,
+                                     perf::benchReportJson(report),
+                                     telemetry));
         if (!s.ok())
             return failWith(s);
     }
@@ -1163,14 +1333,14 @@ cmdLint(int argc, char **argv)
     return exit_code;
 }
 
-} // namespace
-
+/**
+ * Dispatch @p cmd with argv[1] == cmd.  Factored out of main() so
+ * cmdProfile can run any subcommand under a root span; -1 means the
+ * command is unknown (main turns that into usage()).
+ */
 int
-main(int argc, char **argv)
+runCommand(const std::string &cmd, int argc, char **argv)
 {
-    if (argc < 2)
-        return usage();
-    std::string cmd = argv[1];
     if (cmd == "platforms")
         return cmdPlatforms(argc, argv);
     if (cmd == "workloads")
@@ -1199,6 +1369,123 @@ main(int argc, char **argv)
         return cmdLint(argc, argv);
     if (cmd == "serve")
         return cmdServe(argc, argv);
+    if (cmd == "bench")
+        return cmdBench(argc, argv);
+    return -1;
+}
+
+/**
+ * `lll profile [--out FILE] [--top N] <command> [args ...]`: run the
+ * wrapped command under a root span, then fold the span tracker into a
+ * wall-clock attribution tree printed to stderr (stdout stays the inner
+ * command's, so `lll profile sweep --json -` still pipes clean JSON).
+ * The process exit code is the inner command's.
+ */
+int
+cmdProfile(int argc, char **argv)
+{
+    // profile's own flags come before the wrapped command; everything
+    // from the first non-flag token on belongs to the inner command and
+    // is handed over untouched (so its own `--out`/`--top` still work).
+    std::string out;
+    size_t top = 10;
+    int i = 2;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg != "--out" && arg != "--top") {
+            if (!arg.empty() && arg[0] == '-') {
+                return failWith(Status::error(ErrorCode::InvalidArgument,
+                                              "unknown flag '%s'",
+                                              arg.c_str()));
+            }
+            break;
+        }
+        if (i + 1 >= argc) {
+            return failWith(Status::error(ErrorCode::InvalidArgument,
+                                          "%s needs an argument",
+                                          arg.c_str()));
+        }
+        const std::string value = argv[++i];
+        if (arg == "--out") {
+            out = value;
+            continue;
+        }
+        char *end = nullptr;
+        const long n = std::strtol(value.c_str(), &end, 10);
+        if (*end != '\0' || n < 1) {
+            return failWith(Status::error(
+                ErrorCode::InvalidArgument,
+                "--top wants a positive integer, got '%s'",
+                value.c_str()));
+        }
+        top = static_cast<size_t>(n);
+    }
+    if (i >= argc)
+        return usage();
+    const std::string inner = argv[i];
+    if (inner == "profile" || inner == "--profile") {
+        return failWith(Status::error(ErrorCode::InvalidArgument,
+                                      "profile does not nest"));
+    }
+
+    // Re-seat argv so the inner command sees itself at argv[1].
+    std::vector<char *> inner_argv;
+    inner_argv.push_back(argv[0]);
+    for (int j = i; j < argc; ++j)
+        inner_argv.push_back(argv[j]);
+
+    obs::SpanTracker::global().reset();
+    obs::WallTimer wall;
+    int inner_exit;
+    {
+        obs::ScopedSpan root("cmd." + inner);
+        inner_exit = runCommand(inner,
+                                static_cast<int>(inner_argv.size()),
+                                inner_argv.data());
+    }
+    if (inner_exit < 0) {
+        return failWith(Status::error(ErrorCode::InvalidArgument,
+                                      "unknown command '%s'",
+                                      inner.c_str()));
+    }
+    const double wall_ns = wall.elapsedNs();
+
+    obs::Profiler::Report report = obs::Profiler::build(
+        obs::SpanTracker::global().stats(), wall_ns);
+    std::fprintf(stderr, "profile: %s (exit %d)\n", inner.c_str(),
+                 inner_exit);
+    std::fputs(obs::Profiler::renderText(report, top).c_str(), stderr);
+
+    if (!out.empty()) {
+        std::ostringstream data;
+        data << "{\n  \"profiled_command\": \"" << obs::jsonEscape(inner)
+             << "\",\n  \"inner_exit\": " << inner_exit
+             << ",\n  \"profile\": "
+             << obs::Profiler::renderJson(report, top) << "\n}";
+        Status s = writeExportChecked(
+            out, obs::jsonEnvelope("profile", Status::okStatus(),
+                                   inner_exit, data.str(),
+                                   std::string()));
+        if (!s.ok())
+            return failWith(s);
+    }
+    return inner_exit;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    // `lll --profile <cmd>` is an alias for `lll profile <cmd>`.
+    if (cmd == "profile" || cmd == "--profile")
+        return cmdProfile(argc, argv);
+    const int code = runCommand(cmd, argc, argv);
+    if (code >= 0)
+        return code;
     std::fprintf(stderr, "lll: unknown command '%s'\n", cmd.c_str());
     return usage();
 }
