@@ -465,6 +465,10 @@ runAll(const Options &opts)
     report.entries.push_back(configFuzzScenario(opts));
     report.entries.push_back(profileByteFuzzScenario(opts));
 
+    // The socket front-end under hostile clients.
+    for (ScenarioResult &r : listenerScenarios(opts))
+        report.entries.push_back(std::move(r));
+
     std::filesystem::remove_all(dir, ec);
     return report;
 }

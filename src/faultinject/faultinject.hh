@@ -69,6 +69,17 @@ std::string negatePoint(const std::string &text);
 /** Flip @p flips random bytes (may hit digits, keys or newlines). */
 std::string flipRandomBytes(const std::string &text, Rng &rng, int flips);
 
+/**
+ * The socket front-end under deliberately hostile clients (DESIGN.md
+ * §14): malformed frame, oversized line, slow-loris partial request,
+ * mid-request disconnect, and a client that never reads its responses.
+ * Every scenario asserts the same invariant — the listener answers
+ * with a structured error or reaps the connection, and *keeps serving
+ * other connections*.  Implemented in netfaults.cc so the core harness
+ * stays free of the net layer.
+ */
+std::vector<ScenarioResult> listenerScenarios(const Options &opts);
+
 /** Run every scenario; never aborts on user-input errors by design. */
 Report runAll(const Options &opts = Options());
 

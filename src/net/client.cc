@@ -1,0 +1,184 @@
+#include "net/client.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/timer.hh"
+
+namespace lll::net
+{
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+BlockingClient::~BlockingClient()
+{
+    close();
+}
+
+BlockingClient::BlockingClient(BlockingClient &&other) noexcept
+    : fd_(other.fd_), rxbuf_(std::move(other.rxbuf_))
+{
+    other.fd_ = -1;
+}
+
+BlockingClient &
+BlockingClient::operator=(BlockingClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        rxbuf_ = std::move(other.rxbuf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Result<BlockingClient>
+BlockingClient::connectTcp(const std::string &host, int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return Status::error(ErrorCode::IoError, "socket: %s",
+                             strerror(errno));
+    }
+    sockaddr_in sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(uint16_t(port));
+    if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+        ::close(fd);
+        return Status::error(ErrorCode::InvalidArgument,
+                             "bad host '%s'", host.c_str());
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) <
+        0) {
+        Status s = Status::error(ErrorCode::IoError,
+                                 "connect %s:%d: %s", host.c_str(),
+                                 port, strerror(errno));
+        ::close(fd);
+        return s;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return BlockingClient(fd);
+}
+
+Result<BlockingClient>
+BlockingClient::connectUnix(const std::string &path)
+{
+    sockaddr_un sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sa.sun_path)) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "unix socket path longer than %zu bytes",
+                             sizeof(sa.sun_path) - 1);
+    }
+    std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return Status::error(ErrorCode::IoError, "socket: %s",
+                             strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) <
+        0) {
+        Status s = Status::error(ErrorCode::IoError, "connect %s: %s",
+                                 path.c_str(), strerror(errno));
+        ::close(fd);
+        return s;
+    }
+    return BlockingClient(fd);
+}
+
+Status
+BlockingClient::sendAll(const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::error(ErrorCode::IoError, "send: %s",
+                                 strerror(errno));
+        }
+        off += size_t(n);
+    }
+    return Status::okStatus();
+}
+
+Result<std::string>
+BlockingClient::recvLine(int timeout_ms)
+{
+    const obs::WallClock::time_point start = obs::WallClock::now();
+    for (;;) {
+        const size_t nl = rxbuf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = rxbuf_.substr(0, nl);
+            rxbuf_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+
+        const double elapsed_ms =
+            obs::wallDeltaNs(start, obs::WallClock::now()) / 1e6;
+        const int remaining = timeout_ms - int(elapsed_ms);
+        if (remaining <= 0) {
+            return Status::error(ErrorCode::DeadlineExceeded,
+                                 "no response line within %d ms",
+                                 timeout_ms);
+        }
+        pollfd pfd{fd_, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, remaining);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::error(ErrorCode::IoError, "poll: %s",
+                                 strerror(errno));
+        }
+        if (rc == 0)
+            continue; // loop re-checks the deadline
+        char buf[65536];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::error(ErrorCode::IoError, "recv: %s",
+                                 strerror(errno));
+        }
+        if (n == 0) {
+            return Status::error(ErrorCode::IoError,
+                                 "server closed the connection");
+        }
+        rxbuf_.append(buf, size_t(n));
+    }
+}
+
+void
+BlockingClient::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+void
+BlockingClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace lll::net

@@ -1,0 +1,125 @@
+#include "net/frame.hh"
+
+namespace lll::net
+{
+
+using util::ErrorCode;
+using util::Status;
+
+void
+FrameDecoder::feed(const char *data, size_t n)
+{
+    // Compact before growing: everything before off_ is consumed.
+    if (off_ > 0) {
+        buf_.erase(0, off_);
+        off_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+bool
+FrameDecoder::hasPartial() const
+{
+    for (size_t i = off_; i < buf_.size(); ++i) {
+        if (buf_[i] != '\n' && buf_[i] != '\r')
+            return true;
+    }
+    return false;
+}
+
+util::Status
+FrameDecoder::poison(util::Status s)
+{
+    failed_ = true;
+    return s;
+}
+
+FrameDecoder::Next
+FrameDecoder::next(std::string *frame, util::Status *error)
+{
+    if (failed_) {
+        *error = Status::error(ErrorCode::InvalidArgument,
+                               "frame stream already failed");
+        return Next::Error;
+    }
+    for (;;) {
+        // Bare separators between frames are keep-alives.
+        while (off_ < buf_.size() &&
+               (buf_[off_] == '\n' || buf_[off_] == '\r'))
+            ++off_;
+        if (off_ >= buf_.size())
+            return Next::NeedMore;
+
+        const char c = buf_[off_];
+        if (c >= '0' && c <= '9') {
+            // Length framing: LEN:PAYLOAD, LEN at most 8 digits.
+            size_t p = off_;
+            size_t len = 0;
+            size_t digits = 0;
+            while (p < buf_.size() && buf_[p] >= '0' && buf_[p] <= '9') {
+                len = len * 10 + size_t(buf_[p] - '0');
+                ++digits;
+                ++p;
+                if (digits > 8) {
+                    *error = poison(Status::error(
+                        ErrorCode::InvalidArgument,
+                        "frame length prefix exceeds 8 digits"));
+                    return Next::Error;
+                }
+            }
+            if (p >= buf_.size())
+                return Next::NeedMore; // prefix still arriving
+            if (buf_[p] != ':') {
+                *error = poison(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "frame length prefix must be DIGITS ':', got "
+                    "'%c' after %zu digits", buf_[p], digits));
+                return Next::Error;
+            }
+            if (len > maxFrameBytes_) {
+                *error = poison(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "frame of %zu bytes exceeds the %zu-byte limit",
+                    len, maxFrameBytes_));
+                return Next::Error;
+            }
+            ++p; // ':'
+            if (buf_.size() - p < len)
+                return Next::NeedMore;
+            frame->assign(buf_, p, len);
+            off_ = p + len;
+        } else {
+            // Newline framing.
+            const size_t nl = buf_.find('\n', off_);
+            if (nl == std::string::npos) {
+                // +2 leaves room for a limit-sized line's CRLF.
+                if (buf_.size() - off_ > maxFrameBytes_ + 2) {
+                    *error = poison(Status::error(
+                        ErrorCode::InvalidArgument,
+                        "request line exceeds the %zu-byte limit",
+                        maxFrameBytes_));
+                    return Next::Error;
+                }
+                return Next::NeedMore;
+            }
+            size_t end = nl;
+            if (end > off_ && buf_[end - 1] == '\r')
+                --end;
+            if (end - off_ > maxFrameBytes_) {
+                *error = poison(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "request line exceeds the %zu-byte limit",
+                    maxFrameBytes_));
+                return Next::Error;
+            }
+            frame->assign(buf_, off_, end - off_);
+            off_ = nl + 1;
+        }
+
+        // Whitespace-only frames are keep-alives, not requests.
+        if (frame->find_first_not_of(" \t") != std::string::npos)
+            return Next::Frame;
+    }
+}
+
+} // namespace lll::net

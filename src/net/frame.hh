@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Incremental frame decoding for the socket front-end (DESIGN.md §14).
+ *
+ * The wire protocol is JSON-lines with two interchangeable framings,
+ * distinguished by the first byte of each frame:
+ *
+ *  - newline framing: the frame is everything up to the next '\n'
+ *    (a trailing '\r' is stripped).  JSON requests start with '{', so
+ *    this is the common case and what `lll serve --batch` files use
+ *    unchanged.
+ *  - length framing: `LEN:PAYLOAD` where LEN is the decimal payload
+ *    byte count (at most 8 digits).  Needed when a payload may contain
+ *    raw newlines; also what a binary client naturally emits.
+ *
+ * The decoder is fed raw socket bytes and hands back complete frames;
+ * it never copies more than one compaction per read and never buffers
+ * beyond the configured frame limit — an over-limit or malformed frame
+ * is an InvalidArgument error that poisons the decoder, because the
+ * stream cannot be re-synchronized after it.
+ */
+
+#ifndef LLL_NET_FRAME_HH
+#define LLL_NET_FRAME_HH
+
+#include <string>
+
+#include "util/status.hh"
+
+namespace lll::net
+{
+
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(size_t max_frame_bytes)
+        : maxFrameBytes_(max_frame_bytes)
+    {
+    }
+
+    /** Append @p n raw bytes from the socket. */
+    void feed(const char *data, size_t n);
+
+    enum class Next
+    {
+        Frame,    //!< one complete frame extracted
+        NeedMore, //!< no complete frame buffered yet
+        Error,    //!< framing violation; the stream is unrecoverable
+    };
+
+    /**
+     * Extract the next complete frame into @p frame.  Whitespace-only
+     * frames (bare newlines, keep-alive blanks) are swallowed, so a
+     * returned frame always has content.  On Error, @p error carries
+     * the InvalidArgument describing the violation and every further
+     * call returns Error again.
+     */
+    Next next(std::string *frame, util::Status *error);
+
+    /** True when bytes of an incomplete frame are buffered — the
+     *  read-timeout (slow-loris) clock runs only while this holds. */
+    bool hasPartial() const;
+
+    /** Bytes currently buffered (diagnostics). */
+    size_t buffered() const { return buf_.size() - off_; }
+
+  private:
+    util::Status poison(util::Status s);
+
+    size_t maxFrameBytes_;
+    std::string buf_;
+    size_t off_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace lll::net
+
+#endif // LLL_NET_FRAME_HH

@@ -1,0 +1,942 @@
+#include "net/listener.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "net/frame.hh"
+#include "obs/timer.hh"
+#include "service/service.hh"
+
+namespace lll::net
+{
+
+using obs::WallClock;
+using util::ErrorCode;
+using util::Status;
+
+util::Status
+parseHostPort(const std::string &addr, std::string *host, int *port)
+{
+    const size_t colon = addr.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= addr.size()) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "listen address wants HOST:PORT, got '%s'",
+                             addr.c_str());
+    }
+    char *end = nullptr;
+    const long p = std::strtol(addr.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || p < 0 || p > 65535) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "bad port in listen address '%s'",
+                             addr.c_str());
+    }
+    *host = addr.substr(0, colon);
+    *port = int(p);
+    return Status::okStatus();
+}
+
+namespace
+{
+
+double
+msSince(WallClock::time_point t, WallClock::time_point now)
+{
+    return obs::wallDeltaNs(t, now) / 1e6;
+}
+
+Status
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        return Status::error(ErrorCode::IoError,
+                             "fcntl(O_NONBLOCK): %s", strerror(errno));
+    }
+    return Status::okStatus();
+}
+
+/** Render the structured response for a request the service never
+ *  saw: shed (Unavailable) or a fatal framing error.  Same schema as
+ *  every other response line; positional id, data null. */
+std::string
+outOfBandResponse(uint64_t req_no, const Status &status)
+{
+    service::RunResponse resp;
+    resp.id = "#" + std::to_string(req_no);
+    resp.status = status;
+    return service::renderRunResponse(resp);
+}
+
+} // namespace
+
+struct Listener::Impl
+{
+    explicit Impl(ListenerParams p) : params(std::move(p)) {}
+
+    // ---- configuration + registry --------------------------------
+    ListenerParams params;
+    obs::MetricRegistry ownedRegistry;
+    obs::MetricRegistry *reg = nullptr;
+
+    // ---- sockets --------------------------------------------------
+    int tcpFd = -1;
+    int unixFd = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    int boundPort = 0;
+    bool started = false;
+
+    // ---- worker pool ---------------------------------------------
+    struct Task
+    {
+        uint64_t connId = 0;
+        uint64_t reqNo = 0;
+        std::string line;
+        WallClock::time_point admitted;
+    };
+    struct Completion
+    {
+        uint64_t connId = 0;
+        uint64_t reqNo = 0;
+        HandlerResult result;
+        WallClock::time_point admitted;
+        double queueWaitNs = 0.0;
+        double handlerNs = 0.0;
+    };
+    std::mutex taskMu;
+    std::condition_variable taskCv;
+    std::deque<Task> tasks;
+    bool tasksClosed = false;
+    std::mutex compMu;
+    std::deque<Completion> completions;
+    std::vector<std::thread> workerThreads;
+
+    // ---- connections ---------------------------------------------
+    struct Conn
+    {
+        uint64_t id = 0;
+        int fd = -1;
+        FrameDecoder decoder;
+        uint64_t nextReq = 1;  //!< next request number to assign
+        uint64_t nextSend = 1; //!< next request number to respond to
+        std::map<uint64_t, std::string> ready; //!< out-of-order done
+        size_t outstanding = 0; //!< admitted, not yet responded
+        std::string outbuf;
+        size_t outoff = 0;
+        bool readPaused = false;
+        bool eofSeen = false;   //!< client half-closed; flush + close
+        bool wantClose = false; //!< close once flushed + drained
+        bool partialActive = false;
+        WallClock::time_point partialSince;
+        WallClock::time_point lastActivity;
+
+        explicit Conn(size_t max_frame) : decoder(max_frame) {}
+    };
+    std::map<uint64_t, Conn> conns;
+    uint64_t nextConnId = 1;
+    size_t inflight = 0;
+
+    // ---- lifecycle -----------------------------------------------
+    std::atomic<int> shutdownSignals{0};
+    bool draining = false;
+    WallClock::time_point drainStart;
+    WallClock::time_point lastProgress;
+    uint64_t responsesWritten = 0;
+
+    // ================================================================
+
+    obs::CounterMetric &counter(const char *name)
+    {
+        return reg->counter(name);
+    }
+
+    void workerLoop()
+    {
+        for (;;) {
+            Task task;
+            {
+                std::unique_lock<std::mutex> lock(taskMu);
+                taskCv.wait(lock, [this] {
+                    return tasksClosed || !tasks.empty();
+                });
+                if (tasks.empty())
+                    return; // closed and drained
+                task = std::move(tasks.front());
+                tasks.pop_front();
+            }
+            Completion c;
+            c.connId = task.connId;
+            c.reqNo = task.reqNo;
+            c.admitted = task.admitted;
+            const WallClock::time_point picked = WallClock::now();
+            c.queueWaitNs = obs::wallDeltaNs(task.admitted, picked);
+            c.result = params.handler(task.line, task.reqNo);
+            c.handlerNs = obs::wallDeltaNs(picked, WallClock::now());
+            {
+                std::lock_guard<std::mutex> lock(compMu);
+                completions.push_back(std::move(c));
+            }
+            wake();
+        }
+    }
+
+    void wake()
+    {
+        const char b = 'c';
+        // The pipe is O_NONBLOCK; a full pipe already guarantees a
+        // pending wakeup, so a short/failed write is fine.
+        [[maybe_unused]] ssize_t n = ::write(wakeWrite, &b, 1);
+    }
+
+    Status bindTcp()
+    {
+        tcpFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcpFd < 0) {
+            return Status::error(ErrorCode::IoError, "socket: %s",
+                                 strerror(errno));
+        }
+        const int one = 1;
+        ::setsockopt(tcpFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sin_family = AF_INET;
+        sa.sin_port = htons(uint16_t(params.tcpPort));
+        if (::inet_pton(AF_INET, params.tcpHost.c_str(), &sa.sin_addr) !=
+            1) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "bad listen host '%s' (IPv4 dotted "
+                                 "quad expected)", params.tcpHost.c_str());
+        }
+        if (::bind(tcpFd, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) < 0) {
+            return Status::error(ErrorCode::IoError,
+                                 "bind %s:%d: %s", params.tcpHost.c_str(),
+                                 params.tcpPort, strerror(errno));
+        }
+        if (::listen(tcpFd, 128) < 0) {
+            return Status::error(ErrorCode::IoError, "listen: %s",
+                                 strerror(errno));
+        }
+        sockaddr_in bound;
+        socklen_t len = sizeof(bound);
+        if (::getsockname(tcpFd, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            boundPort = ntohs(bound.sin_port);
+        return setNonBlocking(tcpFd);
+    }
+
+    Status bindUnix()
+    {
+        sockaddr_un sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sun_family = AF_UNIX;
+        if (params.unixPath.size() >= sizeof(sa.sun_path)) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "unix socket path longer than %zu "
+                                 "bytes", sizeof(sa.sun_path) - 1);
+        }
+        std::memcpy(sa.sun_path, params.unixPath.c_str(),
+                    params.unixPath.size() + 1);
+        unixFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (unixFd < 0) {
+            return Status::error(ErrorCode::IoError, "socket: %s",
+                                 strerror(errno));
+        }
+        ::unlink(params.unixPath.c_str()); // stale socket file
+        if (::bind(unixFd, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) < 0) {
+            return Status::error(ErrorCode::IoError, "bind %s: %s",
+                                 params.unixPath.c_str(),
+                                 strerror(errno));
+        }
+        if (::listen(unixFd, 128) < 0) {
+            return Status::error(ErrorCode::IoError, "listen: %s",
+                                 strerror(errno));
+        }
+        return setNonBlocking(unixFd);
+    }
+
+    Status start()
+    {
+        if (!params.handler) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "listener needs a handler");
+        }
+        if (params.tcpPort < 0 && params.unixPath.empty()) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "listener needs a TCP port or a unix "
+                                 "socket path");
+        }
+        reg = params.registry ? params.registry : &ownedRegistry;
+        if (params.workers < 1)
+            params.workers = 1;
+        if (params.maxPipelined < 1)
+            params.maxPipelined = 1;
+
+        int pipefd[2];
+        if (::pipe(pipefd) < 0) {
+            return Status::error(ErrorCode::IoError, "pipe: %s",
+                                 strerror(errno));
+        }
+        wakeRead = pipefd[0];
+        wakeWrite = pipefd[1];
+        LLL_RETURN_IF_ERROR(setNonBlocking(wakeRead));
+        LLL_RETURN_IF_ERROR(setNonBlocking(wakeWrite));
+
+        if (params.tcpPort >= 0) {
+            Status s = bindTcp();
+            if (!s.ok()) {
+                closeFds();
+                return s;
+            }
+        }
+        if (!params.unixPath.empty()) {
+            Status s = bindUnix();
+            if (!s.ok()) {
+                closeFds();
+                return s;
+            }
+        }
+        for (int i = 0; i < params.workers; ++i)
+            workerThreads.emplace_back([this] { workerLoop(); });
+        started = true;
+        return Status::okStatus();
+    }
+
+    void closeFds()
+    {
+        for (int *fd : {&tcpFd, &unixFd, &wakeRead, &wakeWrite}) {
+            if (*fd >= 0) {
+                ::close(*fd);
+                *fd = -1;
+            }
+        }
+        if (!params.unixPath.empty())
+            ::unlink(params.unixPath.c_str());
+    }
+
+    void stopWorkers()
+    {
+        {
+            std::lock_guard<std::mutex> lock(taskMu);
+            tasksClosed = true;
+        }
+        taskCv.notify_all();
+        for (std::thread &t : workerThreads)
+            t.join();
+        workerThreads.clear();
+    }
+
+    // ---- connection plumbing -------------------------------------
+
+    void teardown(uint64_t conn_id, const char *reason_counter)
+    {
+        auto it = conns.find(conn_id);
+        if (it == conns.end())
+            return;
+        ::close(it->second.fd);
+        conns.erase(it);
+        counter("net.conns_closed_total")++;
+        counter(reason_counter)++;
+        reg->setGauge("net.conns_active", double(conns.size()));
+    }
+
+    void acceptFrom(int lfd)
+    {
+        for (;;) {
+            const int cfd = ::accept(lfd, nullptr, nullptr);
+            if (cfd < 0) {
+                if (errno == EINTR)
+                    continue;
+                return; // EAGAIN or transient accept error
+            }
+            if (conns.size() >= params.maxConns) {
+                // Fast, honest rejection beats a backlog the client
+                // cannot observe.
+                ::close(cfd);
+                counter("net.conns_rejected_total")++;
+                continue;
+            }
+            if (!setNonBlocking(cfd).ok()) {
+                ::close(cfd);
+                continue;
+            }
+            if (lfd == tcpFd) {
+                const int one = 1;
+                ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+            }
+            const uint64_t id = nextConnId++;
+            auto [it, fresh] =
+                conns.emplace(id, Conn(params.maxFrameBytes));
+            Conn &conn = it->second;
+            conn.id = id;
+            conn.fd = cfd;
+            conn.lastActivity = WallClock::now();
+            counter("net.conns_accepted_total")++;
+            reg->setGauge("net.conns_active", double(conns.size()));
+        }
+    }
+
+    /** Move consecutive completed responses into the output buffer. */
+    void flushReady(Conn &conn)
+    {
+        auto it = conn.ready.find(conn.nextSend);
+        while (it != conn.ready.end()) {
+            conn.outbuf += it->second;
+            conn.outbuf += '\n';
+            conn.ready.erase(it);
+            ++conn.nextSend;
+            ++responsesWritten;
+            counter("net.responses_total")++;
+            maybePrintStats();
+            it = conn.ready.find(conn.nextSend);
+        }
+    }
+
+    /** True when the conn was torn down (caller must stop using it). */
+    bool attemptWrite(uint64_t conn_id)
+    {
+        auto cit = conns.find(conn_id);
+        if (cit == conns.end())
+            return true;
+        Conn &conn = cit->second;
+        while (conn.outoff < conn.outbuf.size()) {
+            const ssize_t n = ::send(
+                conn.fd, conn.outbuf.data() + conn.outoff,
+                conn.outbuf.size() - conn.outoff, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    break; // poll for POLLOUT
+                // EPIPE/ECONNRESET: the client is gone.
+                teardown(conn_id, "net.conns_closed_error_total");
+                return true;
+            }
+            counter("net.bytes_written_total")
+                .increment(uint64_t(n));
+            conn.outoff += size_t(n);
+            conn.lastActivity = WallClock::now();
+        }
+        if (conn.outoff == conn.outbuf.size() && conn.outoff > 0) {
+            conn.outbuf.clear();
+            conn.outoff = 0;
+        }
+        const size_t pending = conn.outbuf.size() - conn.outoff;
+        if (pending >= params.maxWriteBuffer) {
+            // The client is not reading; its buffer will not shrink.
+            teardown(conn_id, "net.conns_closed_overflow_total");
+            return true;
+        }
+        if ((conn.wantClose || conn.eofSeen) && pending == 0 &&
+            conn.outstanding == 0 && conn.ready.empty()) {
+            teardown(conn_id, conn.wantClose
+                                  ? "net.conns_closed_protocol_total"
+                                  : "net.conns_closed_eof_total");
+            return true;
+        }
+        maybeResumeRead(conn);
+        return false;
+    }
+
+    /** Reads resume only when every pause condition has cleared. */
+    void maybeResumeRead(Conn &conn)
+    {
+        if (!conn.readPaused)
+            return;
+        if (conn.eofSeen || conn.wantClose || draining)
+            return;
+        if (conn.outstanding >= params.maxPipelined)
+            return;
+        if (conn.outbuf.size() - conn.outoff >=
+            params.maxWriteBuffer / 2)
+            return;
+        conn.readPaused = false;
+        // Frames may already be buffered behind the pause point.
+        extractFrames(conn.id);
+    }
+
+    void shed(Conn &conn, uint64_t req_no, const char *why)
+    {
+        counter("net.requests_shed_total")++;
+        conn.ready[req_no] = outOfBandResponse(
+            req_no,
+            Status::error(ErrorCode::Unavailable, "%s — retry later",
+                          why));
+        flushReady(conn);
+    }
+
+    void admit(Conn &conn, uint64_t req_no, std::string line,
+               WallClock::time_point now)
+    {
+        if (inflight == 0)
+            lastProgress = now; // arm the watchdog at first admit
+        ++inflight;
+        ++conn.outstanding;
+        counter("net.requests_admitted_total")++;
+        reg->setGauge("net.inflight", double(inflight));
+        Task task;
+        task.connId = conn.id;
+        task.reqNo = req_no;
+        task.line = std::move(line);
+        task.admitted = now;
+        {
+            std::lock_guard<std::mutex> lock(taskMu);
+            tasks.push_back(std::move(task));
+        }
+        taskCv.notify_one();
+    }
+
+    /** Pull every complete frame the pause conditions allow. */
+    void extractFrames(uint64_t conn_id)
+    {
+        auto cit = conns.find(conn_id);
+        if (cit == conns.end())
+            return;
+        Conn &conn = cit->second;
+        const WallClock::time_point now = WallClock::now();
+        std::string frame;
+        Status err;
+        while (!conn.readPaused && !conn.wantClose) {
+            const FrameDecoder::Next r = conn.decoder.next(&frame, &err);
+            if (r == FrameDecoder::Next::NeedMore)
+                break;
+            if (r == FrameDecoder::Next::Error) {
+                // One structured error response, then close: the
+                // stream cannot be re-synchronized after a framing
+                // violation.
+                counter("net.requests_malformed_total")++;
+                conn.ready[conn.nextReq] =
+                    outOfBandResponse(conn.nextReq, err);
+                ++conn.nextReq;
+                conn.wantClose = true;
+                flushReady(conn);
+                break;
+            }
+            const uint64_t req_no = conn.nextReq++;
+            counter("net.requests_received_total")++;
+            if (draining) {
+                shed(conn, req_no, "server is draining");
+            } else if (inflight >= params.maxInflight) {
+                shed(conn, req_no,
+                     "server is at its in-flight request capacity");
+            } else {
+                admit(conn, req_no, std::move(frame), now);
+            }
+            if (conn.outstanding >= params.maxPipelined ||
+                conn.outbuf.size() - conn.outoff >=
+                    params.maxWriteBuffer / 2)
+                conn.readPaused = true;
+        }
+        // (Re)start or clear the slow-loris clock.
+        if (conn.decoder.hasPartial()) {
+            if (!conn.partialActive) {
+                conn.partialActive = true;
+                conn.partialSince = now;
+            }
+        } else {
+            conn.partialActive = false;
+        }
+        attemptWrite(conn_id);
+    }
+
+    void handleReadable(uint64_t conn_id)
+    {
+        auto cit = conns.find(conn_id);
+        if (cit == conns.end())
+            return;
+        Conn &conn = cit->second;
+        char buf[65536];
+        for (;;) {
+            const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK)
+                    break;
+                teardown(conn_id, "net.conns_closed_error_total");
+                return;
+            }
+            if (n == 0) {
+                // Half-close: stop reading, still deliver what was
+                // admitted, then close.  A client that disconnected
+                // mid-request simply never gets its responses.
+                conn.eofSeen = true;
+                conn.readPaused = true;
+                if (conn.outstanding == 0 && conn.ready.empty() &&
+                    conn.outbuf.size() == conn.outoff) {
+                    teardown(conn_id, "net.conns_closed_eof_total");
+                    return;
+                }
+                break;
+            }
+            counter("net.bytes_read_total").increment(uint64_t(n));
+            conn.lastActivity = WallClock::now();
+            conn.decoder.feed(buf, size_t(n));
+            // One chunk per loop iteration keeps one firehose client
+            // from starving the rest of the poll set.
+            break;
+        }
+        extractFrames(conn_id);
+    }
+
+    void drainCompletions()
+    {
+        std::deque<Completion> batch;
+        {
+            std::lock_guard<std::mutex> lock(compMu);
+            batch.swap(completions);
+        }
+        if (batch.empty())
+            return;
+        const WallClock::time_point now = WallClock::now();
+        lastProgress = now;
+        for (Completion &c : batch) {
+            --inflight;
+            reg->setGauge("net.inflight", double(inflight));
+            reg->histogram("net.latency.queue_wait_ns")
+                .sample(c.queueWaitNs);
+            reg->histogram("net.latency.handler_ns").sample(c.handlerNs);
+            reg->histogram("net.latency.request_ns")
+                .sample(obs::wallDeltaNs(c.admitted, now));
+            if (c.result.failed)
+                counter("net.requests_failed_total")++;
+            if (c.result.telemetry)
+                reg->mergeFrom(*c.result.telemetry);
+            auto cit = conns.find(c.connId);
+            if (cit == conns.end()) {
+                // The client disconnected while its request ran.
+                counter("net.responses_orphaned_total")++;
+                continue;
+            }
+            Conn &conn = cit->second;
+            --conn.outstanding;
+            conn.ready[c.reqNo] = std::move(c.result.line);
+            flushReady(conn);
+            if (!attemptWrite(c.connId))
+                maybeResumeRead(conn);
+        }
+    }
+
+    void maybePrintStats()
+    {
+        if (params.statsIntervalResponses <= 0)
+            return;
+        if (responsesWritten %
+                uint64_t(params.statsIntervalResponses) != 0)
+            return;
+        const obs::Log2Histogram &req =
+            reg->histogram("net.latency.request_ns");
+        const obs::Log2Histogram &queue =
+            reg->histogram("net.latency.queue_wait_ns");
+        std::fprintf(
+            stderr,
+            "serve net stats: %llu responses (%llu admitted, %llu "
+            "shed) — request p50/p90/p99 %.2f/%.2f/%.2f ms, queue "
+            "%.2f/%.2f/%.2f ms\n",
+            static_cast<unsigned long long>(responsesWritten),
+            static_cast<unsigned long long>(
+                counter("net.requests_admitted_total").value()),
+            static_cast<unsigned long long>(
+                counter("net.requests_shed_total").value()),
+            req.percentile(0.50) / 1e6, req.percentile(0.90) / 1e6,
+            req.percentile(0.99) / 1e6, queue.percentile(0.50) / 1e6,
+            queue.percentile(0.90) / 1e6, queue.percentile(0.99) / 1e6);
+    }
+
+    void watchdogSnapshot(WallClock::time_point now)
+    {
+        counter("net.watchdog_trips_total")++;
+        std::fprintf(
+            stderr,
+            "serve watchdog: no request completed for %.0f ms with "
+            "%zu in flight — %zu connections, %llu admitted, %llu "
+            "shed, %llu responses\n",
+            msSince(lastProgress, now), inflight, conns.size(),
+            static_cast<unsigned long long>(
+                counter("net.requests_admitted_total").value()),
+            static_cast<unsigned long long>(
+                counter("net.requests_shed_total").value()),
+            static_cast<unsigned long long>(responsesWritten));
+        lastProgress = now; // re-arm instead of spamming
+    }
+
+    void beginDrain()
+    {
+        if (draining)
+            return;
+        draining = true;
+        drainStart = WallClock::now();
+        if (tcpFd >= 0) {
+            ::close(tcpFd);
+            tcpFd = -1;
+        }
+        if (unixFd >= 0) {
+            ::close(unixFd);
+            unixFd = -1;
+            ::unlink(params.unixPath.c_str());
+        }
+        // Connections stop being read; anything already admitted
+        // completes and flushes.
+        for (auto &[id, conn] : conns) {
+            (void)id;
+            conn.readPaused = true;
+        }
+        std::fprintf(stderr,
+                     "serve: draining — %zu in flight, %zu "
+                     "connections\n",
+                     inflight, conns.size());
+    }
+
+    bool drainComplete() const
+    {
+        if (inflight != 0)
+            return false;
+        for (const auto &[id, conn] : conns) {
+            (void)id;
+            if (conn.outstanding != 0 || !conn.ready.empty() ||
+                conn.outbuf.size() != conn.outoff)
+                return false;
+        }
+        return true;
+    }
+
+    Status run()
+    {
+        if (!started) {
+            return Status::error(ErrorCode::FailedPrecondition,
+                                 "run() before start()");
+        }
+        lastProgress = WallClock::now();
+        std::vector<pollfd> fds;
+        std::vector<uint64_t> fdConn; // conn id per pollfd (0 = none)
+        Status result = Status::okStatus();
+        for (;;) {
+            fds.clear();
+            fdConn.clear();
+            fds.push_back({wakeRead, POLLIN, 0});
+            fdConn.push_back(0);
+            if (tcpFd >= 0) {
+                fds.push_back({tcpFd, POLLIN, 0});
+                fdConn.push_back(0);
+            }
+            if (unixFd >= 0) {
+                fds.push_back({unixFd, POLLIN, 0});
+                fdConn.push_back(0);
+            }
+            for (auto &[id, conn] : conns) {
+                short events = 0;
+                if (!conn.readPaused)
+                    events |= POLLIN;
+                if (conn.outoff < conn.outbuf.size())
+                    events |= POLLOUT;
+                fds.push_back({conn.fd, events, 0});
+                fdConn.push_back(id);
+            }
+
+            const int timeout_ms = pollTimeoutMs();
+            const int rc = ::poll(fds.data(), nfds_t(fds.size()),
+                                  timeout_ms);
+            if (rc < 0 && errno != EINTR) {
+                result = Status::error(ErrorCode::IoError, "poll: %s",
+                                       strerror(errno));
+                break;
+            }
+            const WallClock::time_point now = WallClock::now();
+
+            // Wake pipe: worker completions and/or shutdown signals.
+            if (rc > 0 && (fds[0].revents & POLLIN)) {
+                char buf[256];
+                while (::read(wakeRead, buf, sizeof(buf)) > 0) {
+                }
+            }
+            const int signals =
+                shutdownSignals.load(std::memory_order_relaxed);
+            if (signals >= 2)
+                break; // second signal: abandon the drain
+            if (signals >= 1)
+                beginDrain();
+
+            drainCompletions();
+
+            // Accept + per-connection IO, against a snapshot of the
+            // pollfd set (handlers may erase connections).
+            for (size_t i = 1; i < fds.size(); ++i) {
+                if (fds[i].revents == 0)
+                    continue;
+                if (fdConn[i] == 0) {
+                    if (fds[i].fd == tcpFd || fds[i].fd == unixFd)
+                        acceptFrom(fds[i].fd);
+                    continue;
+                }
+                const uint64_t id = fdConn[i];
+                auto cit = conns.find(id);
+                if (cit == conns.end() || cit->second.fd != fds[i].fd)
+                    continue; // torn down earlier this iteration
+                if (fds[i].revents & (POLLERR | POLLNVAL)) {
+                    teardown(id, "net.conns_closed_error_total");
+                    continue;
+                }
+                if (fds[i].revents & POLLOUT) {
+                    if (attemptWrite(id))
+                        continue;
+                }
+                if (fds[i].revents & (POLLIN | POLLHUP))
+                    handleReadable(id);
+            }
+
+            enforceTimeouts(now);
+
+            if (draining) {
+                if (drainComplete())
+                    break;
+                if (params.drainGraceMs > 0 &&
+                    msSince(drainStart, now) >
+                        double(params.drainGraceMs)) {
+                    std::fprintf(stderr,
+                                 "serve: drain grace of %d ms "
+                                 "exceeded with %zu in flight — "
+                                 "closing\n",
+                                 params.drainGraceMs, inflight);
+                    break;
+                }
+            }
+        }
+
+        // Close every remaining connection, stop the workers.
+        for (auto &[id, conn] : conns) {
+            (void)id;
+            ::close(conn.fd);
+        }
+        conns.clear();
+        reg->setGauge("net.conns_active", 0.0);
+        stopWorkers();
+        // Workers may have completed work after the loop exited.
+        drainCompletions();
+        closeFds();
+        return result;
+    }
+
+    int pollTimeoutMs() const
+    {
+        // The nearest deadline decides how long poll may sleep; 1 s
+        // bounds the wait so gauge/watchdog upkeep always runs.
+        double next = 1000.0;
+        const WallClock::time_point now = WallClock::now();
+        auto consider = [&next](double remaining) {
+            if (remaining < next)
+                next = remaining < 0.0 ? 0.0 : remaining;
+        };
+        for (const auto &[id, conn] : conns) {
+            (void)id;
+            if (params.readTimeoutMs > 0 && conn.partialActive) {
+                consider(double(params.readTimeoutMs) -
+                         msSince(conn.partialSince, now));
+            }
+            if (params.idleTimeoutMs > 0 && !conn.partialActive &&
+                conn.outstanding == 0) {
+                consider(double(params.idleTimeoutMs) -
+                         msSince(conn.lastActivity, now));
+            }
+        }
+        if (params.watchdogMs > 0 && inflight > 0) {
+            consider(double(params.watchdogMs) -
+                     msSince(lastProgress, now));
+        }
+        if (draining && params.drainGraceMs > 0) {
+            consider(double(params.drainGraceMs) -
+                     msSince(drainStart, now));
+        }
+        return int(next) + 1;
+    }
+
+    void enforceTimeouts(WallClock::time_point now)
+    {
+        std::vector<uint64_t> lorises, idlers;
+        for (const auto &[id, conn] : conns) {
+            if (params.readTimeoutMs > 0 && conn.partialActive &&
+                msSince(conn.partialSince, now) >
+                    double(params.readTimeoutMs)) {
+                lorises.push_back(id);
+                continue;
+            }
+            // Covers both the keep-alive connection with nothing to
+            // say and the stalled writer: a client that stops reading
+            // freezes lastActivity (successful writes refresh it), so
+            // pending output must NOT exempt a connection here.
+            if (params.idleTimeoutMs > 0 && !conn.partialActive &&
+                conn.outstanding == 0 &&
+                msSince(conn.lastActivity, now) >
+                    double(params.idleTimeoutMs)) {
+                idlers.push_back(id);
+            }
+        }
+        for (uint64_t id : lorises)
+            teardown(id, "net.conns_closed_read_timeout_total");
+        for (uint64_t id : idlers)
+            teardown(id, "net.conns_closed_idle_total");
+        if (params.watchdogMs > 0 && inflight > 0 &&
+            msSince(lastProgress, now) > double(params.watchdogMs))
+            watchdogSnapshot(now);
+    }
+};
+
+Listener::Listener(ListenerParams params)
+    : impl_(std::make_unique<Impl>(std::move(params)))
+{
+}
+
+Listener::~Listener()
+{
+    if (impl_->started && !impl_->workerThreads.empty())
+        impl_->stopWorkers();
+    impl_->closeFds();
+}
+
+util::Status
+Listener::start()
+{
+    Status s = impl_->start();
+    boundPort_ = impl_->boundPort;
+    return s;
+}
+
+util::Status
+Listener::run()
+{
+    return impl_->run();
+}
+
+void
+Listener::requestShutdown()
+{
+    impl_->shutdownSignals.fetch_add(1, std::memory_order_relaxed);
+    if (impl_->wakeWrite >= 0)
+        impl_->wake();
+}
+
+obs::MetricRegistry &
+Listener::registry()
+{
+    return impl_->reg ? *impl_->reg : impl_->ownedRegistry;
+}
+
+} // namespace lll::net

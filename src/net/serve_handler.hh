@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The bridge from the socket listener to the run service: a Handler
+ * (listener.hh) that serves exactly one request line per call on
+ * whatever worker thread the listener picked.
+ *
+ * Byte-identity contract: admitted responses are rendered by the same
+ * service::serveLines() + renderRunResponse() pair as the
+ * `lll serve --batch` stdin path, with the connection's request number
+ * as the line number — so a response observed over a socket is
+ * byte-identical to the one the same request yields in a batch file
+ * (tests/test_net.cc asserts this).
+ *
+ * Thread safety: each call builds its own RunService over the shared
+ * core::ResultCache (which is internally synchronized) and a private
+ * MetricRegistry, returned in HandlerResult::telemetry for the event
+ * loop to merge — the registry type itself is not thread-safe, so no
+ * shared registry is ever touched from a worker.
+ */
+
+#ifndef LLL_NET_SERVE_HANDLER_HH
+#define LLL_NET_SERVE_HANDLER_HH
+
+#include "core/sweep.hh"
+#include "net/listener.hh"
+
+namespace lll::net
+{
+
+struct ServeHandlerParams
+{
+    /** Shared stage memo (thread-safe); nullptr serves uncached. */
+    core::ResultCache *cache = nullptr;
+
+    /** Render per-request "timing" objects into response lines.
+     *  Breaks cold/warm byte-identity, so it defaults off (mirrors
+     *  `lll serve --request-telemetry`). */
+    bool requestTelemetry = false;
+};
+
+/** Copyable callable satisfying net::Handler. */
+class ServeHandler
+{
+  public:
+    explicit ServeHandler(ServeHandlerParams params) : params_(params) {}
+
+    HandlerResult operator()(const std::string &line,
+                             uint64_t req_no) const;
+
+  private:
+    ServeHandlerParams params_;
+};
+
+} // namespace lll::net
+
+#endif // LLL_NET_SERVE_HANDLER_HH

@@ -249,10 +249,20 @@ class SpecWorkload : public workloads::Workload
 
 } // namespace
 
+util::JsonLimits
+requestJsonLimits()
+{
+    util::JsonLimits limits;
+    limits.maxDepth = kMaxRequestDepth;
+    limits.maxBytes = kMaxRequestBytes;
+    return limits;
+}
+
 util::Result<RunRequest>
 parseRunRequest(const std::string &line, size_t line_no)
 {
-    util::Result<JsonValue> doc = util::parseJson(line);
+    util::Result<JsonValue> doc = util::parseJson(line,
+                                                  requestJsonLimits());
     if (!doc.ok()) {
         return doc.status().withContext("request %zu", line_no);
     }
@@ -447,7 +457,8 @@ stageDataJson(const core::StageMetrics &m, const std::string &platform,
 }
 
 std::vector<RunResponse>
-RunService::serveLines(const std::vector<std::string> &lines)
+RunService::serveLines(const std::vector<std::string> &lines,
+                       size_t first_line_no)
 {
     obs::ScopedSpan batch_span("serve.batch");
 
@@ -463,7 +474,7 @@ RunService::serveLines(const std::vector<std::string> &lines)
 
     {
         obs::ScopedSpan span("serve.parse");
-        size_t line_no = 0;
+        size_t line_no = first_line_no > 0 ? first_line_no - 1 : 0;
         for (const std::string &line : lines) {
             ++line_no;
             bool blank = true;

@@ -40,6 +40,7 @@
 #include "core/sweep.hh"
 #include "obs/registry.hh"
 #include "sim/kernel_spec.hh"
+#include "util/json.hh"
 #include "util/status.hh"
 #include "workloads/optimization.hh"
 
@@ -48,6 +49,21 @@ namespace lll::service
 
 /** Version of the request/response line schema. */
 constexpr int kServiceSchemaVersion = 1;
+
+/**
+ * Resource bounds on one request line.  A request is a small, shallow
+ * object (the deepest legitimate path is request > spec > streams >
+ * stream, four levels), so a deeply nested or multi-megabyte line is
+ * hostile by construction and fails as InvalidArgument — per request,
+ * before the parser recurses into it.  The socket listener enforces
+ * kMaxRequestBytes again at the framing layer so an oversized line
+ * never even reaches the parser.
+ */
+constexpr size_t kMaxRequestBytes = 1u << 20;
+constexpr int kMaxRequestDepth = 16;
+
+/** The service's JSON parse limits (see kMaxRequestBytes). */
+util::JsonLimits requestJsonLimits();
 
 /**
  * One normalized analysis request.  Exactly one of workloadName /
@@ -166,9 +182,16 @@ class RunService
      * fails as a whole — per-request errors ride in the responses.
      * Runs under a `serve.batch` span with parse/coalesce/run/respond
      * phases nested inside.
+     *
+     * @p first_line_no numbers the first entry of @p lines — default
+     * ids and error context count from it, so the socket listener can
+     * serve one line at a time while keeping per-connection request
+     * numbering ("#7" is the connection's 7th request, not "#1" over
+     * and over).
      */
     std::vector<RunResponse>
-    serveLines(const std::vector<std::string> &lines);
+    serveLines(const std::vector<std::string> &lines,
+               size_t first_line_no = 1);
 
   private:
     Params params_;

@@ -13,10 +13,19 @@ namespace
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : text_(text) {}
+    Parser(const std::string &text, const JsonLimits &limits)
+        : text_(text), limits_(limits)
+    {
+    }
 
     util::Result<JsonValue> parse()
     {
+        if (limits_.maxBytes > 0 && text_.size() > limits_.maxBytes) {
+            return util::Status::error(
+                util::ErrorCode::InvalidArgument,
+                "json: input is %zu bytes (limit %zu)", text_.size(),
+                limits_.maxBytes);
+        }
         JsonValue root;
         auto st = parseValue(&root, 0);
         if (!st.ok())
@@ -28,8 +37,6 @@ class Parser
     }
 
   private:
-    static constexpr int kMaxDepth = 64;
-
     util::Status fail(const char *what) const
     {
         return util::Status::error(util::ErrorCode::CorruptData,
@@ -66,8 +73,12 @@ class Parser
 
     util::Status parseValue(JsonValue *out, int depth)
     {
-        if (depth > kMaxDepth)
-            return fail("nesting too deep");
+        if (depth > limits_.maxDepth) {
+            return util::Status::error(
+                util::ErrorCode::InvalidArgument,
+                "json: nesting deeper than %d levels at byte %zu",
+                limits_.maxDepth, pos_);
+        }
         skipWs();
         if (pos_ >= text_.size())
             return fail("unexpected end of input");
@@ -267,6 +278,7 @@ class Parser
     }
 
     const std::string &text_;
+    JsonLimits limits_;
     size_t pos_ = 0;
 };
 
@@ -362,9 +374,10 @@ util::Result<bool> JsonValue::getBoolOr(const std::string &key,
     return v->boolean;
 }
 
-util::Result<JsonValue> parseJson(const std::string &text)
+util::Result<JsonValue> parseJson(const std::string &text,
+                                  const JsonLimits &limits)
 {
-    return Parser(text).parse();
+    return Parser(text, limits).parse();
 }
 
 } // namespace lll::util

@@ -78,11 +78,30 @@ class JsonValue
 };
 
 /**
+ * Resource bounds enforced while parsing.  A hostile document — one
+ * crafted to exhaust the parser rather than to describe a request —
+ * must fail with InvalidArgument *before* it costs anything: maxBytes
+ * is checked up front, maxDepth caps the recursion the nesting can
+ * drive.  Both limits are policy violations, not syntax errors, so
+ * they report InvalidArgument where true malformations report
+ * CorruptData.
+ */
+struct JsonLimits
+{
+    /** Deepest permitted object/array nesting (root = depth 0). */
+    int maxDepth = 64;
+    /** Largest accepted input in bytes; 0 = unlimited. */
+    size_t maxBytes = 0;
+};
+
+/**
  * Parse @p text as one JSON document.  Trailing non-whitespace after
  * the document, unterminated strings, bad escapes and malformed
- * numbers are CorruptData errors carrying the byte offset.
+ * numbers are CorruptData errors carrying the byte offset; @p limits
+ * violations (input too large, nesting too deep) are InvalidArgument.
  */
-util::Result<JsonValue> parseJson(const std::string &text);
+util::Result<JsonValue> parseJson(const std::string &text,
+                                  const JsonLimits &limits = JsonLimits());
 
 } // namespace lll::util
 

@@ -18,6 +18,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::IoError:            return "io-error";
       case ErrorCode::DeadlineExceeded:   return "deadline-exceeded";
       case ErrorCode::Internal:           return "internal";
+      case ErrorCode::Unavailable:        return "unavailable";
     }
     return "?";
 }
@@ -39,6 +40,8 @@ exitCodeFor(ErrorCode code)
       case ErrorCode::DeadlineExceeded:
       case ErrorCode::Internal:
         return 4;                       // simulation failure
+      case ErrorCode::Unavailable:
+        return 1;                       // transient overload; retry
     }
     return 1;
 }

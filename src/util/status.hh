@@ -43,6 +43,7 @@ enum class ErrorCode
     IoError,            //!< file could not be read/written
     DeadlineExceeded,   //!< forward-progress watchdog tripped
     Internal,           //!< library bug surfaced as an error
+    Unavailable,        //!< transient overload — retry later
 };
 
 /** Stable lower-case name ("corrupt-data", ...). */

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "service/service.hh"
 #include "util/argparse.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -513,6 +514,86 @@ TEST(JsonParseTest, ErrorsCarryByteOffsets)
                   std::string::npos)
             << doc.status().message();
     }
+}
+
+TEST(JsonParseTest, DepthLimitIsInvalidArgumentNotOverflow)
+{
+    // 2000 levels would recurse the parser off the stack without the
+    // depth gate; with it, the rejection is a structured
+    // InvalidArgument (a policy violation, not a syntax error).
+    const int levels = 2000;
+    std::string deep(size_t(levels), '[');
+    deep.append(size_t(levels), ']');
+    util::Result<util::JsonValue> doc = util::parseJson(deep);
+    ASSERT_FALSE(doc.ok());
+    EXPECT_EQ(doc.status().code(), util::ErrorCode::InvalidArgument);
+    EXPECT_NE(doc.status().message().find("nesting"),
+              std::string::npos)
+        << doc.status().message();
+
+    // The same document passes once the limit allows it.
+    util::JsonLimits deep_ok;
+    deep_ok.maxDepth = levels + 1;
+    EXPECT_TRUE(util::parseJson(deep, deep_ok).ok());
+}
+
+TEST(JsonParseTest, DepthLimitCountsObjectsAndArrays)
+{
+    util::JsonLimits limits;
+    limits.maxDepth = 3;
+    // The root is depth 0, so object > array > object > array ends at
+    // depth 3 — exactly at the limit...
+    EXPECT_TRUE(util::parseJson("{\"a\": [{\"b\": []}]}", limits).ok());
+    // ...one more container level breaks it.
+    util::Result<util::JsonValue> doc =
+        util::parseJson("{\"a\": [{\"b\": [[]]}]}", limits);
+    ASSERT_FALSE(doc.ok());
+    EXPECT_EQ(doc.status().code(), util::ErrorCode::InvalidArgument);
+}
+
+TEST(JsonParseTest, ByteLimitRejectsBeforeParsing)
+{
+    util::JsonLimits limits;
+    limits.maxBytes = 16;
+    // Oversized *and* malformed: the size gate must fire first, so
+    // the code is InvalidArgument, not CorruptData.
+    const std::string big =
+        "{\"a\": \"" + std::string(64, 'x') + ""; // unterminated too
+    util::Result<util::JsonValue> doc = util::parseJson(big, limits);
+    ASSERT_FALSE(doc.ok());
+    EXPECT_EQ(doc.status().code(), util::ErrorCode::InvalidArgument);
+    EXPECT_NE(doc.status().message().find("bytes"), std::string::npos)
+        << doc.status().message();
+
+    // At or under the limit parses normally.
+    EXPECT_TRUE(util::parseJson("{\"a\": 1}", limits).ok());
+
+    // maxBytes 0 keeps the historical unlimited behavior.
+    util::JsonLimits unlimited;
+    EXPECT_TRUE(
+        util::parseJson("{\"a\": \"" + std::string(64, 'x') + "\"}",
+                        unlimited)
+            .ok());
+}
+
+TEST(JsonParseTest, ServiceRequestLimitsAreEnforcedPerLine)
+{
+    // The run service's own limits: a hostile request line fails as a
+    // per-request InvalidArgument instead of taking the batch down.
+    std::string deep = "{\"schema_version\": 1, \"spec\": ";
+    deep.append(64, '[');
+    deep.append(64, ']');
+    deep += "}";
+    util::Result<service::RunRequest> r =
+        service::parseRunRequest(deep, 1);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::ErrorCode::InvalidArgument);
+
+    const std::string big(service::kMaxRequestBytes + 1, ' ');
+    util::Result<service::RunRequest> r2 =
+        service::parseRunRequest("{\"a\": 1}" + big, 2);
+    ASSERT_FALSE(r2.ok());
+    EXPECT_EQ(r2.status().code(), util::ErrorCode::InvalidArgument);
 }
 
 TEST(JsonParseTest, TypedAccessorsNameTheOffendingField)

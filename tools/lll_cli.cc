@@ -17,6 +17,8 @@
  *   lll selftest [--iterations N]         fault-injection harness
  *   lll lint [<wl> <plat> [opts...]]      static analyzer (+ determinism)
  *   lll serve [--batch FILE]              batched JSON-lines run service
+ *   lll serve --listen HOST:PORT          socket front-end (DESIGN §14)
+ *   lll bench-serve --connect HOST:PORT   load generator for --listen
  *   lll profile <cmd> [args...]           self-profile any subcommand
  *   lll bench                             microbenchmark harness + ratchet
  *
@@ -51,6 +53,7 @@
  */
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -68,6 +71,9 @@
 #include "faultinject/faultinject.hh"
 #include "lll/api.hh"
 #include "lll/lll.hh"
+#include "net/listener.hh"
+#include "net/loadgen.hh"
+#include "net/serve_handler.hh"
 #include "obs/profiler.hh"
 #include "obs/timer.hh"
 #include "perf/bench_report.hh"
@@ -113,6 +119,19 @@ usage()
         "        [--spill-budget BYTES] [--json FILE] "
         "[--stats-interval N]\n"
         "        [--request-telemetry]\n"
+        "  serve --listen HOST:PORT | --listen-unix PATH "
+        "[--jobs N]\n"
+        "        [--max-inflight N] [--max-pipelined N] "
+        "[--max-conns N]\n"
+        "        [--max-line-bytes N] [--max-write-buffer BYTES]\n"
+        "        [--idle-timeout-ms MS] [--read-timeout-ms MS]\n"
+        "        [--watchdog-ms MS] [--drain-grace-ms MS] "
+        "[--json FILE]\n"
+        "  bench-serve --connect HOST:PORT | --connect-unix PATH\n"
+        "        [--connections N] [--pipeline N] [--qps RATE] "
+        "[--duration-s S]\n"
+        "        [--requests FILE] [--drain-timeout-ms MS] "
+        "[--json FILE]\n"
         "  profile [--out FILE] [--top N] <command> [args ...]\n"
         "  bench [--trials N] [--warmup-ms MS] [--measure-ms MS] "
         "[--kernel NAME]\n"
@@ -786,6 +805,218 @@ cmdReproduce(int argc, char **argv)
     return 0;
 }
 
+net::Listener *g_serveListener = nullptr;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    // requestShutdown is async-signal-safe (atomic bump + pipe write);
+    // the second signal abandons the drain and exits immediately.
+    if (g_serveListener != nullptr)
+        g_serveListener->requestShutdown();
+}
+
+/** p50/p90/p99 of @p h (nanosecond samples) as "a/b/c" in ms. */
+std::string
+fmtPercentilesMs(const obs::Log2Histogram &h)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f/%.2f/%.2f",
+                  h.percentile(0.50) / 1e6, h.percentile(0.90) / 1e6,
+                  h.percentile(0.99) / 1e6);
+    return buf;
+}
+
+/** The same percentiles as a JSON object (ms). */
+std::string
+percentilesMsJson(const obs::Log2Histogram &h)
+{
+    std::ostringstream out;
+    out << "{\"p50\": " << h.percentile(0.50) / 1e6
+        << ", \"p90\": " << h.percentile(0.90) / 1e6
+        << ", \"p99\": " << h.percentile(0.99) / 1e6
+        << ", \"samples\": " << h.total() << "}";
+    return out.str();
+}
+
+/**
+ * `lll serve --listen`: the socket front-end (DESIGN.md §14).  One
+ * poll() event loop multiplexes persistent TCP/unix connections onto
+ * `--jobs` workers behind a bounded admission gate: at most
+ * `--max-inflight` requests run or queue at once and the excess is
+ * answered immediately with a structured `unavailable` response
+ * instead of being buffered toward collapse.  SIGTERM/SIGINT drain:
+ * admitted work finishes and flushes, then the process exits 0.
+ */
+int
+cmdServeListen(ArgParser &ap, const std::string &listen,
+               const std::string &listen_unix, int jobs,
+               int stats_interval, bool request_telemetry,
+               const std::string &json_path, core::ResultCache &cache)
+{
+    net::ListenerParams lp;
+    if (!listen.empty()) {
+        Status hp = net::parseHostPort(listen, &lp.tcpHost, &lp.tcpPort);
+        if (!hp.ok())
+            return failWith(hp);
+    }
+    lp.unixPath = listen_unix;
+    lp.workers = jobs < 1 ? 1 : jobs;
+    lp.statsIntervalResponses = stats_interval;
+
+    util::Result<int> max_inflight =
+        ap.intFlag("--max-inflight", int(lp.maxInflight));
+    if (!max_inflight.ok())
+        return failWith(max_inflight.status());
+    lp.maxInflight = size_t(*max_inflight < 0 ? 0 : *max_inflight);
+    util::Result<int> max_pipelined =
+        ap.intFlag("--max-pipelined", int(lp.maxPipelined));
+    if (!max_pipelined.ok())
+        return failWith(max_pipelined.status());
+    lp.maxPipelined = size_t(*max_pipelined < 1 ? 1 : *max_pipelined);
+    util::Result<int> max_conns =
+        ap.intFlag("--max-conns", int(lp.maxConns));
+    if (!max_conns.ok())
+        return failWith(max_conns.status());
+    lp.maxConns = size_t(*max_conns < 1 ? 1 : *max_conns);
+    util::Result<uint64_t> max_line =
+        ap.uint64Flag("--max-line-bytes", lp.maxFrameBytes);
+    if (!max_line.ok())
+        return failWith(max_line.status());
+    lp.maxFrameBytes = size_t(*max_line);
+    util::Result<uint64_t> max_write =
+        ap.uint64Flag("--max-write-buffer", lp.maxWriteBuffer);
+    if (!max_write.ok())
+        return failWith(max_write.status());
+    lp.maxWriteBuffer = size_t(*max_write);
+    util::Result<int> idle_ms =
+        ap.intFlag("--idle-timeout-ms", lp.idleTimeoutMs);
+    if (!idle_ms.ok())
+        return failWith(idle_ms.status());
+    lp.idleTimeoutMs = *idle_ms;
+    util::Result<int> read_ms =
+        ap.intFlag("--read-timeout-ms", lp.readTimeoutMs);
+    if (!read_ms.ok())
+        return failWith(read_ms.status());
+    lp.readTimeoutMs = *read_ms;
+    util::Result<int> watchdog_ms =
+        ap.intFlag("--watchdog-ms", lp.watchdogMs);
+    if (!watchdog_ms.ok())
+        return failWith(watchdog_ms.status());
+    lp.watchdogMs = *watchdog_ms;
+    util::Result<int> drain_ms =
+        ap.intFlag("--drain-grace-ms", lp.drainGraceMs);
+    if (!drain_ms.ok())
+        return failWith(drain_ms.status());
+    lp.drainGraceMs = *drain_ms;
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
+
+    net::ServeHandlerParams hp;
+    hp.cache = &cache;
+    hp.requestTelemetry = request_telemetry;
+    lp.handler = net::ServeHandler(hp);
+    obs::MetricRegistry registry;
+    lp.registry = &registry;
+
+    // Warm every platform's X-Mem profile once, up front: worker
+    // threads must never race to measure + write the same profile
+    // file on their first request.
+    for (const platforms::Platform &p : platforms::allPlatforms())
+        (void)profileFor(p);
+
+    const std::string tcp_host = lp.tcpHost;
+    net::Listener listener(std::move(lp));
+    Status started = listener.start();
+    if (!started.ok())
+        return failWith(started);
+
+    g_serveListener = &listener;
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGTERM, serveSignalHandler);
+    std::signal(SIGINT, serveSignalHandler);
+    if (!listen.empty()) {
+        // Parseable by scripts that bind port 0 (the CI smoke does).
+        std::fprintf(stderr, "serve: listening on %s:%d\n",
+                     tcp_host.c_str(), listener.tcpPort());
+    }
+    if (!listen_unix.empty()) {
+        std::fprintf(stderr, "serve: listening on unix:%s\n",
+                     listen_unix.c_str());
+    }
+    std::fflush(stderr);
+
+    Status ran = listener.run();
+    g_serveListener = nullptr;
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+
+    auto count = [&registry](const char *name) {
+        return static_cast<unsigned long long>(
+            registry.counter(name).value());
+    };
+    std::fprintf(
+        stderr,
+        "serve: %llu requests on %llu connections — %llu admitted, "
+        "%llu shed, %llu malformed, %llu failed; request p50/p90/p99 "
+        "%s ms, queue wait %s ms\n",
+        count("net.requests_received_total"),
+        count("net.conns_accepted_total"),
+        count("net.requests_admitted_total"),
+        count("net.requests_shed_total"),
+        count("net.requests_malformed_total"),
+        count("net.requests_failed_total"),
+        fmtPercentilesMs(registry.histogram("net.latency.request_ns"))
+            .c_str(),
+        fmtPercentilesMs(
+            registry.histogram("net.latency.queue_wait_ns"))
+            .c_str());
+
+    const int exit_code = ran.ok() ? 0 : util::exitCodeFor(ran.code());
+    if (!json_path.empty()) {
+        std::ostringstream data;
+        data << "{\n  \"requests\": "
+             << count("net.requests_received_total")
+             << ",\n  \"admitted\": "
+             << count("net.requests_admitted_total")
+             << ",\n  \"shed\": " << count("net.requests_shed_total")
+             << ",\n  \"malformed\": "
+             << count("net.requests_malformed_total")
+             << ",\n  \"failed\": "
+             << count("net.requests_failed_total")
+             << ",\n  \"responses\": " << count("net.responses_total")
+             << ",\n  \"connections\": {\"accepted\": "
+             << count("net.conns_accepted_total") << ", \"rejected\": "
+             << count("net.conns_rejected_total") << ", \"closed\": "
+             << count("net.conns_closed_total") << "}"
+             << ",\n  \"watchdog_trips\": "
+             << count("net.watchdog_trips_total")
+             << ",\n  \"latency_ms\": {\"request\": "
+             << percentilesMsJson(
+                    registry.histogram("net.latency.request_ns"))
+             << ", \"queue_wait\": "
+             << percentilesMsJson(
+                    registry.histogram("net.latency.queue_wait_ns"))
+             << ", \"handler\": "
+             << percentilesMsJson(
+                    registry.histogram("net.latency.handler_ns"))
+             << "}"
+             << ",\n  \"cache\": " << cacheStatsJson(cache.stats())
+             << "\n}";
+        const std::string telemetry =
+            obs::exportJson(registry, &obs::SpanTracker::global());
+        Status s = writeExportChecked(
+            json_path, obs::jsonEnvelope("serve", ran, exit_code,
+                                         data.str(), telemetry));
+        if (!s.ok())
+            return failWith(s);
+    }
+    if (!ran.ok())
+        return failWith(ran);
+    return 0;
+}
+
 int
 cmdServe(int argc, char **argv)
 {
@@ -806,10 +1037,27 @@ cmdServe(int argc, char **argv)
         ap.boolFlag("--request-telemetry");
     if (!request_telemetry.ok())
         return failWith(request_telemetry.status());
+    util::Result<std::string> listen = ap.stringFlag("--listen");
+    if (!listen.ok())
+        return failWith(listen.status());
+    util::Result<std::string> listen_unix =
+        ap.stringFlag("--listen-unix");
+    if (!listen_unix.ok())
+        return failWith(listen_unix.status());
     core::ResultCache &cache = core::ResultCache::global();
     Status cache_flags = applyCacheFlags(ap, cache);
     if (!cache_flags.ok())
         return failWith(cache_flags);
+    if (!listen->empty() || !listen_unix->empty()) {
+        if (!batch->empty()) {
+            return failWith(Status::error(
+                ErrorCode::InvalidArgument,
+                "--batch and --listen are mutually exclusive"));
+        }
+        return cmdServeListen(ap, *listen, *listen_unix, *jobs,
+                              *stats_interval, *request_telemetry,
+                              *json, cache);
+    }
     Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
@@ -920,6 +1168,156 @@ cmdServe(int argc, char **argv)
             return failWith(s);
     }
     return exit_code;
+}
+
+/**
+ * `lll bench-serve`: the load generator for the socket front-end.
+ * Drives `--connections` persistent clients, each keeping up to
+ * `--pipeline` requests in flight, at `--qps` aggregate (0 floods) for
+ * `--duration-s`, then reports achieved throughput and latency
+ * percentiles split by response class — admitted (`ok`) vs shed
+ * (`unavailable`).  Shedding is the server working as designed, so it
+ * never fails the run; request-level failures or connection errors
+ * exit 3.
+ */
+int
+cmdBenchServe(int argc, char **argv)
+{
+    ArgParser ap(argc, argv, 2);
+    net::LoadGenParams lg;
+    util::Result<std::string> connect = ap.stringFlag("--connect");
+    if (!connect.ok())
+        return failWith(connect.status());
+    util::Result<std::string> connect_unix =
+        ap.stringFlag("--connect-unix");
+    if (!connect_unix.ok())
+        return failWith(connect_unix.status());
+    util::Result<int> connections =
+        ap.intFlag("--connections", lg.connections);
+    if (!connections.ok())
+        return failWith(connections.status());
+    util::Result<int> pipeline = ap.intFlag("--pipeline", lg.pipeline);
+    if (!pipeline.ok())
+        return failWith(pipeline.status());
+    util::Result<double> qps = ap.doubleFlag("--qps", lg.qps);
+    if (!qps.ok())
+        return failWith(qps.status());
+    util::Result<double> duration =
+        ap.doubleFlag("--duration-s", lg.durationS);
+    if (!duration.ok())
+        return failWith(duration.status());
+    util::Result<int> drain_ms =
+        ap.intFlag("--drain-timeout-ms", lg.drainTimeoutMs);
+    if (!drain_ms.ok())
+        return failWith(drain_ms.status());
+    util::Result<std::string> requests = ap.stringFlag("--requests");
+    if (!requests.ok())
+        return failWith(requests.status());
+    util::Result<std::string> json = ap.stringFlag("--json");
+    if (!json.ok())
+        return failWith(json.status());
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
+
+    if (connect->empty() && connect_unix->empty()) {
+        return failWith(Status::error(
+            ErrorCode::InvalidArgument,
+            "bench-serve needs --connect HOST:PORT or --connect-unix "
+            "PATH"));
+    }
+    if (!connect->empty()) {
+        Status hp = net::parseHostPort(*connect, &lg.host, &lg.port);
+        if (!hp.ok())
+            return failWith(hp);
+    }
+    lg.unixPath = *connect_unix;
+    lg.connections = *connections;
+    lg.pipeline = *pipeline;
+    lg.qps = *qps;
+    lg.durationS = *duration;
+    lg.drainTimeoutMs = *drain_ms;
+    if (!requests->empty()) {
+        std::ifstream in(*requests);
+        if (!in) {
+            return failWith(Status::error(ErrorCode::IoError,
+                                          "cannot read '%s'",
+                                          requests->c_str()));
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.find_first_not_of(" \t\r") != std::string::npos)
+                lg.requestLines.push_back(line);
+        }
+        if (lg.requestLines.empty()) {
+            return failWith(Status::error(ErrorCode::InvalidArgument,
+                                          "'%s' has no request lines",
+                                          requests->c_str()));
+        }
+    } else {
+        // A small, fast request so the default run exercises the
+        // server rather than one giant simulation.
+        lg.requestLines = {
+            "{\"schema_version\": 1, \"platform\": \"skl\", "
+            "\"workload\": \"isx\", \"cores\": 6, \"warmup_us\": 5, "
+            "\"measure_us\": 10}"};
+    }
+
+    std::signal(SIGPIPE, SIG_IGN);
+    util::Result<net::LoadGenReport> rep = net::runLoadGen(lg);
+    if (!rep.ok())
+        return failWith(rep.status());
+
+    std::printf("bench-serve: %llu sent, %llu received in %.2f s — "
+                "%.1f req/s achieved\n",
+                static_cast<unsigned long long>(rep->sent),
+                static_cast<unsigned long long>(rep->received),
+                rep->wallS, rep->achievedQps);
+    std::printf("  ok          %8llu  p50/p90/p99 %s ms\n",
+                static_cast<unsigned long long>(rep->ok),
+                fmtPercentilesMs(rep->okLatencyNs).c_str());
+    std::printf("  unavailable %8llu  p50/p90/p99 %s ms\n",
+                static_cast<unsigned long long>(rep->unavailable),
+                fmtPercentilesMs(rep->shedLatencyNs).c_str());
+    std::printf("  failed      %8llu\n",
+                static_cast<unsigned long long>(rep->failed));
+    for (const std::string &e : rep->errors)
+        std::fprintf(stderr, "bench-serve: %s\n", e.c_str());
+
+    Status verdict = Status::okStatus();
+    if (rep->failed > 0 || rep->connectionErrors > 0) {
+        verdict = Status::error(
+            ErrorCode::IoError,
+            "%llu failed responses, %llu connection errors",
+            static_cast<unsigned long long>(rep->failed),
+            static_cast<unsigned long long>(rep->connectionErrors));
+    }
+    const int exit_code =
+        verdict.ok() ? 0 : util::exitCodeFor(verdict.code());
+
+    if (!json->empty()) {
+        std::ostringstream data;
+        data << "{\n  \"sent\": " << rep->sent << ",\n  \"received\": "
+             << rep->received << ",\n  \"ok\": " << rep->ok
+             << ",\n  \"unavailable\": " << rep->unavailable
+             << ",\n  \"failed\": " << rep->failed
+             << ",\n  \"connection_errors\": " << rep->connectionErrors
+             << ",\n  \"wall_s\": " << rep->wallS
+             << ",\n  \"achieved_qps\": " << rep->achievedQps
+             << ",\n  \"latency_ms\": {\"all\": "
+             << percentilesMsJson(rep->latencyNs)
+             << ", \"ok\": " << percentilesMsJson(rep->okLatencyNs)
+             << ", \"unavailable\": "
+             << percentilesMsJson(rep->shedLatencyNs) << "}\n}";
+        Status s = writeExportChecked(
+            *json, obs::jsonEnvelope("bench-serve", verdict, exit_code,
+                                     data.str(), "null"));
+        if (!s.ok())
+            return failWith(s);
+    }
+    if (!verdict.ok())
+        return failWith(verdict);
+    return 0;
 }
 
 /**
@@ -1371,6 +1769,8 @@ runCommand(const std::string &cmd, int argc, char **argv)
         return cmdServe(argc, argv);
     if (cmd == "bench")
         return cmdBench(argc, argv);
+    if (cmd == "bench-serve")
+        return cmdBenchServe(argc, argv);
     return -1;
 }
 
