@@ -106,7 +106,7 @@ MetricVector runMetrics(const sim::RunResult &result);
  * variant, watchdog trip); order-divergence is reported in the
  * DeterminismReport, not as a Status.
  */
-util::Result<DeterminismReport>
+[[nodiscard]] util::Result<DeterminismReport>
 checkRunDeterminism(const platforms::Platform &platform,
                     const workloads::Workload &workload,
                     const workloads::OptSet &opts,

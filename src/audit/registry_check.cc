@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Name-registry check: every metric/span-shaped string literal and
+ * every `LLL-XXX-NNN` diagnostic-ID literal in src/ and tools/ must
+ * match util/names.hh exactly (LLL-SRC-110..112).
+ */
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hh"
+#include "util/names.hh"
+
+namespace lll::audit
+{
+
+std::vector<std::string>
+defaultRegisteredNames()
+{
+    std::vector<std::string> out;
+    for (const char *name : util::names::kRegisteredNames)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<util::names::DiagId>
+defaultDiagIds()
+{
+    std::vector<util::names::DiagId> out;
+    for (const util::names::DiagId &d : util::names::kDiagIds)
+        out.push_back(d);
+    return out;
+}
+
+namespace
+{
+
+/** "service.latency.parse_ns" -> "service"; "" when there is no dot. */
+std::string
+firstSegment(const std::string &name)
+{
+    const size_t dot = name.find('.');
+    return dot == std::string::npos ? std::string() : name.substr(0, dot);
+}
+
+/**
+ * A literal is metric-shaped when it is `<ns>.<suffix>` with `<ns>` a
+ * namespace some registered name lives in and `<suffix>` (possibly
+ * empty, for family prefixes) drawn from [a-z0-9_.].  Anchoring on the
+ * registered namespaces keeps prose like "e.g. run.json" out of the
+ * check while still catching every typo'd in-namespace name.
+ */
+bool
+isMetricShaped(const std::string &lit,
+               const std::set<std::string> &namespaces)
+{
+    const std::string ns = firstSegment(lit);
+    if (ns.empty() || namespaces.count(ns) == 0)
+        return false;
+    for (size_t i = ns.size() + 1; i < lit.size(); ++i) {
+        const char c = lit[i];
+        if (!std::islower(static_cast<unsigned char>(c)) &&
+            !std::isdigit(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '.')
+            return false;
+    }
+    return true;
+}
+
+/** Every "LLL-<GROUP>-<NNN>" substring of @p lit. */
+std::vector<std::string>
+extractDiagIds(const std::string &lit)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while ((pos = lit.find("LLL-", pos)) != std::string::npos) {
+        size_t i = pos + 4;
+        size_t letters = 0;
+        while (i < lit.size() &&
+               std::isupper(static_cast<unsigned char>(lit[i]))) {
+            ++i;
+            ++letters;
+        }
+        if (letters < 2 || letters > 6 || i >= lit.size() ||
+            lit[i] != '-') {
+            pos += 4;
+            continue;
+        }
+        ++i;
+        size_t digits = 0;
+        while (i < lit.size() &&
+               std::isdigit(static_cast<unsigned char>(lit[i]))) {
+            ++i;
+            ++digits;
+        }
+        if (digits != 3) {
+            pos += 4;
+            continue;
+        }
+        out.push_back(lit.substr(pos, i - pos));
+        pos = i;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+checkNameRegistry(const std::vector<SourceFile> &files,
+                  const AuditConfig &config, AuditReport &report)
+{
+    // LLL-SRC-112 guards the registry itself: an ID entered twice with
+    // different titles means two checks think they own it.
+    std::map<std::string, std::string> idTitle;
+    for (const util::names::DiagId &d : config.diagIds) {
+        const auto [it, inserted] = idTitle.emplace(d.id, d.title);
+        if (!inserted && it->second != d.title) {
+            report.add({"LLL-SRC-112", util::Severity::Error,
+                        std::string("registry: ") + d.id,
+                        std::string("diagnostic ID registered twice "
+                                    "with conflicting meanings: '") +
+                            it->second + "' vs '" + d.title + "'"},
+                       std::string("allocate a fresh ID for one of the "
+                                   "two meanings of ") +
+                           d.id + " (IDs are never reused)");
+        }
+    }
+
+    std::set<std::string> registered(config.registeredNames.begin(),
+                                     config.registeredNames.end());
+    std::set<std::string> namespaces;
+    for (const std::string &name : config.registeredNames) {
+        const std::string ns = firstSegment(name);
+        if (!ns.empty())
+            namespaces.insert(ns);
+    }
+    const std::set<std::string> skip(config.registrySources.begin(),
+                                     config.registrySources.end());
+
+    for (const SourceFile &f : files) {
+        if (skip.count(f.relPath) != 0)
+            continue;
+        for (const Token &t : f.tokens) {
+            if (t.kind != Token::Kind::String)
+                continue;
+            const std::string subject =
+                f.relPath + ":" + std::to_string(t.line);
+            if (isMetricShaped(t.text, namespaces)) {
+                ++report.stats.nameLiterals;
+                if (registered.count(t.text) == 0) {
+                    report.add(
+                        {"LLL-SRC-110", util::Severity::Error, subject,
+                         "metric/span literal \"" + t.text +
+                             "\" is not in the name registry"},
+                        "reference the name through a util/names.hh "
+                        "constant (register \"" +
+                            t.text + "\" there first if it is new)");
+                }
+            }
+            for (const std::string &id : extractDiagIds(t.text)) {
+                ++report.stats.idLiterals;
+                if (idTitle.count(id) == 0) {
+                    report.add(
+                        {"LLL-SRC-111", util::Severity::Error, subject,
+                         "diagnostic ID literal \"" + id +
+                             "\" is not in the ID registry"},
+                        "register " + id +
+                            " in util/names.hh kDiagIds (or fix the "
+                            "typo to an existing ID)");
+                }
+            }
+        }
+    }
+}
+
+} // namespace lll::audit

@@ -1,0 +1,264 @@
+#include "audit/source_model.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/status.hh"
+
+namespace fs = std::filesystem;
+
+namespace lll::audit
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Count newlines in [begin, end) into @p line. */
+void
+advanceLines(const std::string &s, size_t begin, size_t end, int &line)
+{
+    for (size_t i = begin; i < end && i < s.size(); ++i)
+        if (s[i] == '\n')
+            ++line;
+}
+
+} // namespace
+
+std::vector<Token>
+lexTokens(const std::string &text)
+{
+    std::vector<Token> out;
+    const size_t n = text.size();
+    size_t i = 0;
+    int line = 1;
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            while (i < n && text[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            size_t end = text.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            advanceLines(text, i, end, line);
+            i = end;
+            continue;
+        }
+        // Raw strings: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+            (i == 0 || !isIdentChar(text[i - 1]))) {
+            const size_t open = text.find('(', i + 2);
+            if (open != std::string::npos && open - (i + 2) <= 16) {
+                const std::string delim =
+                    text.substr(i + 2, open - (i + 2));
+                const std::string closer = ")" + delim + "\"";
+                size_t end = text.find(closer, open + 1);
+                const int at = line;
+                std::string value;
+                if (end == std::string::npos) {
+                    value = text.substr(open + 1);
+                    advanceLines(text, i, n, line);
+                    i = n;
+                } else {
+                    value = text.substr(open + 1, end - open - 1);
+                    advanceLines(text, i, end + closer.size(), line);
+                    i = end + closer.size();
+                }
+                out.push_back({Token::Kind::String, value, at});
+                continue;
+            }
+        }
+        // String and char literals (escape-aware).
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            const int at = line;
+            std::string value;
+            ++i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\' && i + 1 < n) {
+                    value.push_back(text[i]);
+                    value.push_back(text[i + 1]);
+                    if (text[i + 1] == '\n')
+                        ++line;
+                    i += 2;
+                    continue;
+                }
+                if (text[i] == '\n') {
+                    // Unterminated literal; stop at the line break so
+                    // the rest of the file still lexes.
+                    break;
+                }
+                value.push_back(text[i]);
+                ++i;
+            }
+            if (i < n && text[i] == quote)
+                ++i;
+            out.push_back({quote == '"' ? Token::Kind::String
+                                        : Token::Kind::Char,
+                           value, at});
+            continue;
+        }
+        // Identifiers / keywords.
+        if (isIdentStart(c)) {
+            const size_t start = i;
+            while (i < n && isIdentChar(text[i]))
+                ++i;
+            out.push_back({Token::Kind::Ident,
+                           text.substr(start, i - start), line});
+            continue;
+        }
+        // pp-numbers (digits, dots, exponents — coarse but total).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            const size_t start = i;
+            while (i < n && (isIdentChar(text[i]) || text[i] == '.'))
+                ++i;
+            out.push_back({Token::Kind::Number,
+                           text.substr(start, i - start), line});
+            continue;
+        }
+        // "::" is load-bearing for qualifier matching; keep it whole.
+        if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+            out.push_back({Token::Kind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        out.push_back({Token::Kind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+std::vector<IncludeDirective>
+scanIncludes(const std::string &text)
+{
+    std::vector<IncludeDirective> out;
+    std::istringstream in(text);
+    std::string raw;
+    int line = 0;
+    while (std::getline(in, raw)) {
+        ++line;
+        size_t i = raw.find_first_not_of(" \t");
+        if (i == std::string::npos || raw[i] != '#')
+            continue;
+        i = raw.find_first_not_of(" \t", i + 1);
+        if (i == std::string::npos || raw.compare(i, 7, "include") != 0)
+            continue;
+        i = raw.find_first_not_of(" \t", i + 7);
+        if (i == std::string::npos)
+            continue;
+        const char open = raw[i];
+        if (open != '"' && open != '<')
+            continue;
+        const char close = open == '"' ? '"' : '>';
+        const size_t end = raw.find(close, i + 1);
+        if (end == std::string::npos)
+            continue;
+        out.push_back(
+            {raw.substr(i + 1, end - i - 1), open == '<', line});
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Collect *.cc / *.hh under @p dir into @p files (module = @p mod, or
+ *  the first path component under @p dir when @p mod is empty). */
+void
+collectTree(const fs::path &root, const char *top, const char *mod,
+            std::vector<SourceFile> &files)
+{
+    const fs::path dir = root / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return;
+    for (fs::recursive_directory_iterator it(dir, ec), end;
+         it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const fs::path &p = it->path();
+        const std::string ext = p.extension().string();
+        if (ext != ".cc" && ext != ".hh")
+            continue;
+        SourceFile f;
+        f.relPath = fs::relative(p, root, ec).generic_string();
+        f.header = ext == ".hh";
+        if (mod != nullptr) {
+            f.module = mod;
+        } else {
+            const fs::path rel = fs::relative(p, dir, ec);
+            f.module = rel.begin() != rel.end()
+                           ? rel.begin()->string()
+                           : std::string(top);
+            if (f.module == p.filename().string())
+                f.module = top; // file directly under src/
+        }
+        files.push_back(std::move(f));
+    }
+}
+
+} // namespace
+
+util::Result<std::vector<SourceFile>>
+loadSourceTree(const std::string &root)
+{
+    std::error_code ec;
+    if (!fs::is_directory(fs::path(root) / "src", ec)) {
+        return util::Status::error(util::ErrorCode::NotFound,
+                                   "no src/ directory under '%s'",
+                                   root.c_str());
+    }
+    std::vector<SourceFile> files;
+    collectTree(root, "src", nullptr, files);
+    collectTree(root, "tools", "cli", files);
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.relPath < b.relPath;
+              });
+    for (SourceFile &f : files) {
+        std::ifstream in(fs::path(root) / f.relPath,
+                         std::ios::binary);
+        if (!in) {
+            return util::Status::error(util::ErrorCode::IoError,
+                                       "cannot read '%s'",
+                                       f.relPath.c_str());
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string text = buf.str();
+        f.tokens = lexTokens(text);
+        f.includes = scanIncludes(text);
+    }
+    return files;
+}
+
+} // namespace lll::audit

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The source auditor's view of a C++ file: a token stream.
+ *
+ * `lll audit` is deliberately dependency-free — no libclang, in the
+ * spirit of the in-tree JSON parser and ArgParser — so its checks are
+ * defined over a *token-level* model: comments are dropped, string and
+ * character literals become single tokens carrying their value, and
+ * everything else becomes identifier / number / punctuation tokens
+ * with 1-based line numbers.  That is exactly enough to check include
+ * edges, name literals, declaration attributes and banned calls
+ * without ever parsing C++ for real.
+ *
+ * The lexer is total: malformed input (an unterminated string, a stray
+ * byte) never fails the scan, it just degrades into punctuation
+ * tokens, because the auditor must keep going to report everything
+ * else about the tree.
+ */
+
+#ifndef LLL_AUDIT_SOURCE_MODEL_HH
+#define LLL_AUDIT_SOURCE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace lll::audit
+{
+
+/** One lexed token. */
+struct Token
+{
+    enum class Kind
+    {
+        Ident,  //!< identifier or keyword
+        Number, //!< numeric literal (pp-number, good enough)
+        String, //!< string literal; text is the *unquoted* value
+        Char,   //!< character literal; text is the unquoted value
+        Punct,  //!< one punctuation char, or "::" as one token
+    };
+
+    Kind kind = Kind::Punct;
+    std::string text;
+    int line = 1;
+
+    bool is(Kind k, const char *t) const
+    {
+        return kind == k && text == t;
+    }
+    bool isIdent(const char *t) const { return is(Kind::Ident, t); }
+    bool isPunct(const char *t) const { return is(Kind::Punct, t); }
+};
+
+/** One `#include` directive. */
+struct IncludeDirective
+{
+    std::string path; //!< between the quotes/brackets
+    bool angled = false; //!< <system> rather than "local"
+    int line = 1;
+};
+
+/** One scanned file: identity plus its lexed content. */
+struct SourceFile
+{
+    std::string relPath; //!< e.g. "src/net/listener.cc"
+    std::string module;  //!< "net" for src/net/..., "cli" for tools/
+    bool header = false; //!< .hh
+    std::vector<Token> tokens;
+    std::vector<IncludeDirective> includes;
+};
+
+/**
+ * Lex @p text (see file comment for the model).  Handles //, C
+ * comments, escapes, raw strings, digraph-free C++ — line numbers stay
+ * exact across multi-line comments and raw strings.
+ */
+std::vector<Token> lexTokens(const std::string &text);
+
+/** Every #include in @p text, in order. */
+std::vector<IncludeDirective> scanIncludes(const std::string &text);
+
+/**
+ * Load and lex every *.cc / *.hh under @p root's `src/` and `tools/`
+ * trees, sorted by relative path so reports are byte-deterministic.
+ * `src/<m>/...` files get module `<m>`; `tools/...` files get module
+ * "cli".  Fails only when @p root has no `src/` directory at all.
+ */
+[[nodiscard]] util::Result<std::vector<SourceFile>>
+loadSourceTree(const std::string &root);
+
+} // namespace lll::audit
+
+#endif // LLL_AUDIT_SOURCE_MODEL_HH

@@ -114,14 +114,14 @@ class Analyzer
      * Check that @p profile can drive an analysis of @p platform: it
      * must be non-empty and measured on the same platform.
      */
-    static util::Status validateInputs(const platforms::Platform &platform,
+    [[nodiscard]] static util::Status validateInputs(const platforms::Platform &platform,
                                        const xmem::LatencyProfile &profile);
 
     /** Checked factory: validateInputs() then construct. */
-    static util::Result<Analyzer>
+    [[nodiscard]] static util::Result<Analyzer>
     create(const platforms::Platform &platform,
            xmem::LatencyProfile profile);
-    static util::Result<Analyzer>
+    [[nodiscard]] static util::Result<Analyzer>
     create(const platforms::Platform &platform, xmem::LatencyProfile profile,
            Params params);
 

@@ -106,11 +106,11 @@ class Experiment
      * a FailedPrecondition Status: the experiment would simulate fine
      * but every Little's-law conclusion drawn from it would be noise.
      */
-    static util::Result<Experiment>
+    [[nodiscard]] static util::Result<Experiment>
     create(const platforms::Platform &platform,
            const workloads::Workload &workload,
            xmem::LatencyProfile profile);
-    static util::Result<Experiment>
+    [[nodiscard]] static util::Result<Experiment>
     create(const platforms::Platform &platform,
            const workloads::Workload &workload, xmem::LatencyProfile profile,
            Params params);

@@ -52,7 +52,7 @@ std::string stageMetricsJson(const StageMetrics &m,
 /** Parse the spill format back; CorruptData on any missing or
  *  malformed field, FailedPrecondition on a version/key mismatch
  *  (@p expect_key empty skips the key check). */
-util::Result<StageMetrics>
+[[nodiscard]] util::Result<StageMetrics>
 parseStageMetricsJson(const std::string &text,
                       const std::string &expect_key);
 
@@ -102,7 +102,7 @@ class ResultCache
      * Persist entries under @p dir (created if missing) and serve
      * lookups from files found there.  Empty disables spilling.
      */
-    util::Status setSpillDir(const std::string &dir);
+    [[nodiscard]] util::Status setSpillDir(const std::string &dir);
     const std::string &spillDir() const { return spillDir_; }
 
     /** Cap the in-memory table at @p cap entries, evicting least-
@@ -239,7 +239,7 @@ class SweepRunner
      * touch profile files concurrently.  Fails with the first failing
      * unit's Status, in unit order.
      */
-    util::Result<std::vector<UnitResult>>
+    [[nodiscard]] util::Result<std::vector<UnitResult>>
     run(const std::vector<SweepUnit> &units);
 
     /**

@@ -27,20 +27,20 @@ class BlockingClient
     BlockingClient(const BlockingClient &) = delete;
     BlockingClient &operator=(const BlockingClient &) = delete;
 
-    static util::Result<BlockingClient> connectTcp(
+    [[nodiscard]] static util::Result<BlockingClient> connectTcp(
         const std::string &host, int port);
-    static util::Result<BlockingClient> connectUnix(
+    [[nodiscard]] static util::Result<BlockingClient> connectUnix(
         const std::string &path);
 
     /** Write all of @p data, retrying partial writes and EINTR. */
-    util::Status sendAll(const std::string &data);
+    [[nodiscard]] util::Status sendAll(const std::string &data);
 
     /**
      * One response line (without its newline).  Blocks up to
      * @p timeout_ms; DeadlineExceeded on timeout, IoError when the
      * server closes first.
      */
-    util::Result<std::string> recvLine(int timeout_ms);
+    [[nodiscard]] util::Result<std::string> recvLine(int timeout_ms);
 
     /** Half-close: no more writes, reads still work (drain tests). */
     void shutdownWrite();

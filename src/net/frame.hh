@@ -65,7 +65,7 @@ class FrameDecoder
     size_t buffered() const { return buf_.size() - off_; }
 
   private:
-    util::Status poison(util::Status s);
+    [[nodiscard]] util::Status poison(util::Status s);
 
     size_t maxFrameBytes_;
     std::string buf_;

@@ -22,6 +22,7 @@
 #include "net/frame.hh"
 #include "obs/timer.hh"
 #include "service/service.hh"
+#include "util/names.hh"
 
 namespace lll::net
 {
@@ -353,9 +354,9 @@ struct Listener::Impl
             return;
         ::close(it->second.fd);
         conns.erase(it);
-        counter("net.conns_closed_total")++;
+        counter(util::names::kNetConnsClosedTotal)++;
         counter(reason_counter)++;
-        reg->setGauge("net.conns_active", double(conns.size()));
+        reg->setGauge(util::names::kNetConnsActive, double(conns.size()));
     }
 
     void acceptFrom(int lfd)
@@ -371,7 +372,7 @@ struct Listener::Impl
                 // Fast, honest rejection beats a backlog the client
                 // cannot observe.
                 ::close(cfd);
-                counter("net.conns_rejected_total")++;
+                counter(util::names::kNetConnsRejectedTotal)++;
                 continue;
             }
             if (!setNonBlocking(cfd).ok()) {
@@ -390,8 +391,8 @@ struct Listener::Impl
             conn.id = id;
             conn.fd = cfd;
             conn.lastActivity = WallClock::now();
-            counter("net.conns_accepted_total")++;
-            reg->setGauge("net.conns_active", double(conns.size()));
+            counter(util::names::kNetConnsAcceptedTotal)++;
+            reg->setGauge(util::names::kNetConnsActive, double(conns.size()));
         }
     }
 
@@ -405,7 +406,7 @@ struct Listener::Impl
             conn.ready.erase(it);
             ++conn.nextSend;
             ++responsesWritten;
-            counter("net.responses_total")++;
+            counter(util::names::kNetResponsesTotal)++;
             maybePrintStats();
             it = conn.ready.find(conn.nextSend);
         }
@@ -428,10 +429,10 @@ struct Listener::Impl
                 if (errno == EAGAIN || errno == EWOULDBLOCK)
                     break; // poll for POLLOUT
                 // EPIPE/ECONNRESET: the client is gone.
-                teardown(conn_id, "net.conns_closed_error_total");
+                teardown(conn_id, util::names::kNetConnsClosedErrorTotal);
                 return true;
             }
-            counter("net.bytes_written_total")
+            counter(util::names::kNetBytesWrittenTotal)
                 .increment(uint64_t(n));
             conn.outoff += size_t(n);
             conn.lastActivity = WallClock::now();
@@ -443,14 +444,14 @@ struct Listener::Impl
         const size_t pending = conn.outbuf.size() - conn.outoff;
         if (pending >= params.maxWriteBuffer) {
             // The client is not reading; its buffer will not shrink.
-            teardown(conn_id, "net.conns_closed_overflow_total");
+            teardown(conn_id, util::names::kNetConnsClosedOverflowTotal);
             return true;
         }
         if ((conn.wantClose || conn.eofSeen) && pending == 0 &&
             conn.outstanding == 0 && conn.ready.empty()) {
             teardown(conn_id, conn.wantClose
-                                  ? "net.conns_closed_protocol_total"
-                                  : "net.conns_closed_eof_total");
+                                  ? util::names::kNetConnsClosedProtocolTotal
+                                  : util::names::kNetConnsClosedEofTotal);
             return true;
         }
         maybeResumeRead(conn);
@@ -476,7 +477,7 @@ struct Listener::Impl
 
     void shed(Conn &conn, uint64_t req_no, const char *why)
     {
-        counter("net.requests_shed_total")++;
+        counter(util::names::kNetRequestsShedTotal)++;
         conn.ready[req_no] = outOfBandResponse(
             req_no,
             Status::error(ErrorCode::Unavailable, "%s — retry later",
@@ -491,8 +492,8 @@ struct Listener::Impl
             lastProgress = now; // arm the watchdog at first admit
         ++inflight;
         ++conn.outstanding;
-        counter("net.requests_admitted_total")++;
-        reg->setGauge("net.inflight", double(inflight));
+        counter(util::names::kNetRequestsAdmittedTotal)++;
+        reg->setGauge(util::names::kNetInflight, double(inflight));
         Task task;
         task.connId = conn.id;
         task.reqNo = req_no;
@@ -523,7 +524,7 @@ struct Listener::Impl
                 // One structured error response, then close: the
                 // stream cannot be re-synchronized after a framing
                 // violation.
-                counter("net.requests_malformed_total")++;
+                counter(util::names::kNetRequestsMalformedTotal)++;
                 conn.ready[conn.nextReq] =
                     outOfBandResponse(conn.nextReq, err);
                 ++conn.nextReq;
@@ -532,7 +533,7 @@ struct Listener::Impl
                 break;
             }
             const uint64_t req_no = conn.nextReq++;
-            counter("net.requests_received_total")++;
+            counter(util::names::kNetRequestsReceivedTotal)++;
             if (draining) {
                 shed(conn, req_no, "server is draining");
             } else if (inflight >= params.maxInflight) {
@@ -572,7 +573,7 @@ struct Listener::Impl
                     continue;
                 if (errno == EAGAIN || errno == EWOULDBLOCK)
                     break;
-                teardown(conn_id, "net.conns_closed_error_total");
+                teardown(conn_id, util::names::kNetConnsClosedErrorTotal);
                 return;
             }
             if (n == 0) {
@@ -583,12 +584,12 @@ struct Listener::Impl
                 conn.readPaused = true;
                 if (conn.outstanding == 0 && conn.ready.empty() &&
                     conn.outbuf.size() == conn.outoff) {
-                    teardown(conn_id, "net.conns_closed_eof_total");
+                    teardown(conn_id, util::names::kNetConnsClosedEofTotal);
                     return;
                 }
                 break;
             }
-            counter("net.bytes_read_total").increment(uint64_t(n));
+            counter(util::names::kNetBytesReadTotal).increment(uint64_t(n));
             conn.lastActivity = WallClock::now();
             conn.decoder.feed(buf, size_t(n));
             // One chunk per loop iteration keeps one firehose client
@@ -611,20 +612,20 @@ struct Listener::Impl
         lastProgress = now;
         for (Completion &c : batch) {
             --inflight;
-            reg->setGauge("net.inflight", double(inflight));
-            reg->histogram("net.latency.queue_wait_ns")
+            reg->setGauge(util::names::kNetInflight, double(inflight));
+            reg->histogram(util::names::kNetLatencyQueueWaitNs)
                 .sample(c.queueWaitNs);
-            reg->histogram("net.latency.handler_ns").sample(c.handlerNs);
-            reg->histogram("net.latency.request_ns")
+            reg->histogram(util::names::kNetLatencyHandlerNs).sample(c.handlerNs);
+            reg->histogram(util::names::kNetLatencyRequestNs)
                 .sample(obs::wallDeltaNs(c.admitted, now));
             if (c.result.failed)
-                counter("net.requests_failed_total")++;
+                counter(util::names::kNetRequestsFailedTotal)++;
             if (c.result.telemetry)
                 reg->mergeFrom(*c.result.telemetry);
             auto cit = conns.find(c.connId);
             if (cit == conns.end()) {
                 // The client disconnected while its request ran.
-                counter("net.responses_orphaned_total")++;
+                counter(util::names::kNetResponsesOrphanedTotal)++;
                 continue;
             }
             Conn &conn = cit->second;
@@ -644,9 +645,9 @@ struct Listener::Impl
                 uint64_t(params.statsIntervalResponses) != 0)
             return;
         const obs::Log2Histogram &req =
-            reg->histogram("net.latency.request_ns");
+            reg->histogram(util::names::kNetLatencyRequestNs);
         const obs::Log2Histogram &queue =
-            reg->histogram("net.latency.queue_wait_ns");
+            reg->histogram(util::names::kNetLatencyQueueWaitNs);
         std::fprintf(
             stderr,
             "serve net stats: %llu responses (%llu admitted, %llu "
@@ -654,9 +655,9 @@ struct Listener::Impl
             "%.2f/%.2f/%.2f ms\n",
             static_cast<unsigned long long>(responsesWritten),
             static_cast<unsigned long long>(
-                counter("net.requests_admitted_total").value()),
+                counter(util::names::kNetRequestsAdmittedTotal).value()),
             static_cast<unsigned long long>(
-                counter("net.requests_shed_total").value()),
+                counter(util::names::kNetRequestsShedTotal).value()),
             req.percentile(0.50) / 1e6, req.percentile(0.90) / 1e6,
             req.percentile(0.99) / 1e6, queue.percentile(0.50) / 1e6,
             queue.percentile(0.90) / 1e6, queue.percentile(0.99) / 1e6);
@@ -664,7 +665,7 @@ struct Listener::Impl
 
     void watchdogSnapshot(WallClock::time_point now)
     {
-        counter("net.watchdog_trips_total")++;
+        counter(util::names::kNetWatchdogTripsTotal)++;
         std::fprintf(
             stderr,
             "serve watchdog: no request completed for %.0f ms with "
@@ -672,9 +673,9 @@ struct Listener::Impl
             "shed, %llu responses\n",
             msSince(lastProgress, now), inflight, conns.size(),
             static_cast<unsigned long long>(
-                counter("net.requests_admitted_total").value()),
+                counter(util::names::kNetRequestsAdmittedTotal).value()),
             static_cast<unsigned long long>(
-                counter("net.requests_shed_total").value()),
+                counter(util::names::kNetRequestsShedTotal).value()),
             static_cast<unsigned long long>(responsesWritten));
         lastProgress = now; // re-arm instead of spamming
     }
@@ -792,7 +793,7 @@ struct Listener::Impl
                 if (cit == conns.end() || cit->second.fd != fds[i].fd)
                     continue; // torn down earlier this iteration
                 if (fds[i].revents & (POLLERR | POLLNVAL)) {
-                    teardown(id, "net.conns_closed_error_total");
+                    teardown(id, util::names::kNetConnsClosedErrorTotal);
                     continue;
                 }
                 if (fds[i].revents & POLLOUT) {
@@ -827,7 +828,7 @@ struct Listener::Impl
             ::close(conn.fd);
         }
         conns.clear();
-        reg->setGauge("net.conns_active", 0.0);
+        reg->setGauge(util::names::kNetConnsActive, 0.0);
         stopWorkers();
         // Workers may have completed work after the loop exited.
         drainCompletions();
@@ -890,9 +891,9 @@ struct Listener::Impl
             }
         }
         for (uint64_t id : lorises)
-            teardown(id, "net.conns_closed_read_timeout_total");
+            teardown(id, util::names::kNetConnsClosedReadTimeoutTotal);
         for (uint64_t id : idlers)
-            teardown(id, "net.conns_closed_idle_total");
+            teardown(id, util::names::kNetConnsClosedIdleTotal);
         if (params.watchdogMs > 0 && inflight > 0 &&
             msSince(lastProgress, now) > double(params.watchdogMs))
             watchdogSnapshot(now);

@@ -139,14 +139,14 @@ class Listener
 
     /** Bind + listen on the configured endpoints and start the worker
      *  pool.  Fails without binding anything on a bad endpoint. */
-    util::Status start();
+    [[nodiscard]] util::Status start();
 
     /**
      * The event loop.  Blocks until requestShutdown() completes a
      * drain (finish admitted work, flush responses).  Returns the
      * first fatal listener error, or OK after a clean drain.
      */
-    util::Status run();
+    [[nodiscard]] util::Status run();
 
     /**
      * Begin drain-and-exit.  Async-signal-safe (one pipe write), so
@@ -169,7 +169,7 @@ class Listener
 };
 
 /** "HOST:PORT" → (host, port); InvalidArgument on anything else. */
-util::Status parseHostPort(const std::string &addr, std::string *host,
+[[nodiscard]] util::Status parseHostPort(const std::string &addr, std::string *host,
                            int *port);
 
 } // namespace lll::net

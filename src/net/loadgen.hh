@@ -83,7 +83,7 @@ struct LoadGenReport
  * only when *no* connection could be established or the parameters
  * are unusable; individual connection failures ride in the report.
  */
-util::Result<LoadGenReport> runLoadGen(const LoadGenParams &params);
+[[nodiscard]] util::Result<LoadGenReport> runLoadGen(const LoadGenParams &params);
 
 } // namespace lll::net
 

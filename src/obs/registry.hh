@@ -25,6 +25,7 @@
 #include <string>
 
 #include "obs/metric.hh"
+#include "util/names.hh"
 
 namespace lll::obs
 {
@@ -37,7 +38,7 @@ namespace lll::obs
  * determinism comparisons must exclude it (like span wall times).
  */
 inline constexpr const char *kSelfOverheadCounter =
-    "obs.self.overhead_ns";
+    util::names::kObsSelfOverheadNs;
 
 struct GaugeOptions
 {

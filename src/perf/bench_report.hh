@@ -40,10 +40,10 @@ struct BenchReport
 std::string benchReportJson(const BenchReport &report);
 
 /** Parse a report from JSON text (bare data object or envelope). */
-util::Result<BenchReport> parseBenchReport(const std::string &text);
+[[nodiscard]] util::Result<BenchReport> parseBenchReport(const std::string &text);
 
 /** Read and parse @p path. */
-util::Result<BenchReport> parseBenchReportFile(const std::string &path);
+[[nodiscard]] util::Result<BenchReport> parseBenchReportFile(const std::string &path);
 
 /**
  * The ratchet verdict for one kernel: current median events/sec

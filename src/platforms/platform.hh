@@ -61,7 +61,7 @@ struct Platform
      * @p threads_per_core SMT ways; FailedPrecondition when either is
      * outside this platform's range.
      */
-    util::Result<sim::SystemParams>
+    [[nodiscard]] util::Result<sim::SystemParams>
     trySysParams(int cores_used, unsigned threads_per_core) const;
 
     /** Legacy convenience wrapper: asserts instead of returning the
@@ -79,7 +79,7 @@ struct Platform
  * sim::validateSystemParams, including cross-consistency between the
  * two layers (line size and peak bandwidth must agree).
  */
-util::Status validatePlatform(const Platform &platform);
+[[nodiscard]] util::Status validatePlatform(const Platform &platform);
 
 /** Intel Xeon Platinum 8160 "Skylake" (paper Table III row 1). */
 Platform skl();
@@ -94,7 +94,7 @@ Platform a64fx();
 std::vector<Platform> allPlatforms();
 
 /** Look up by short id ("skl", "knl", "a64fx"); NotFound if unknown. */
-util::Result<Platform> findPlatform(const std::string &name);
+[[nodiscard]] util::Result<Platform> findPlatform(const std::string &name);
 
 /** Legacy convenience wrapper around findPlatform(); fatal if unknown. */
 [[deprecated("use findPlatform(), which returns a Result instead of "

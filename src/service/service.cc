@@ -10,6 +10,7 @@
 #include "obs/timer.hh"
 #include "platforms/platform.hh"
 #include "util/json.hh"
+#include "util/names.hh"
 #include "workloads/workload.hh"
 
 namespace lll::service
@@ -266,7 +267,7 @@ parseRunRequest(const std::string &line, size_t line_no)
     if (!doc.ok()) {
         return doc.status().withContext("request %zu", line_no);
     }
-    auto fail = [line_no](Status s) -> Status {
+    auto fail = [line_no](const Status &s) -> Status {
         return s.withContext("request %zu", line_no);
     };
     if (!doc->isObject()) {
@@ -627,45 +628,45 @@ RunService::serveLines(const std::vector<std::string> &lines,
 
     if (params_.registry) {
         obs::MetricRegistry &reg = *params_.registry;
-        reg.counter("service.batches_total")++;
-        reg.counter("service.requests_total")
+        reg.counter(util::names::kServiceBatchesTotal)++;
+        reg.counter(util::names::kServiceRequestsTotal)
             .increment(slots.size());
-        reg.counter("service.requests_failed_total").increment(failed);
-        reg.counter("service.units_total").increment(units.size());
+        reg.counter(util::names::kServiceRequestsFailedTotal).increment(failed);
+        reg.counter(util::names::kServiceUnitsTotal).increment(units.size());
         // Requests that resolved to an already-seen unit.
         size_t resolved = 0;
         for (const Slot &slot : slots) {
             if (slot.unit != SIZE_MAX)
                 ++resolved;
         }
-        reg.counter("service.coalesced_requests_total")
+        reg.counter(util::names::kServiceCoalescedRequestsTotal)
             .increment(resolved - units.size());
-        reg.setGauge("service.batch_size", double(slots.size()));
+        reg.setGauge(util::names::kServiceBatchSize, double(slots.size()));
         // Per-request end-to-end latency, one sample per request per
         // stage; percentiles come out via Log2Histogram::percentile.
         for (const RunResponse &resp : responses) {
             const StageTiming &t = resp.timing;
-            reg.histogram("service.latency.parse_ns").sample(t.parseNs);
-            reg.histogram("service.latency.coalesce_ns")
+            reg.histogram(util::names::kServiceLatencyParseNs).sample(t.parseNs);
+            reg.histogram(util::names::kServiceLatencyCoalesceNs)
                 .sample(t.coalesceNs);
-            reg.histogram("service.latency.queue_wait_ns")
+            reg.histogram(util::names::kServiceLatencyQueueWaitNs)
                 .sample(t.queueWaitNs);
-            reg.histogram("service.latency.simulate_ns")
+            reg.histogram(util::names::kServiceLatencySimulateNs)
                 .sample(t.simulateNs);
-            reg.histogram("service.latency.respond_ns")
+            reg.histogram(util::names::kServiceLatencyRespondNs)
                 .sample(t.respondNs);
-            reg.histogram("service.latency.total_ns").sample(t.totalNs);
+            reg.histogram(util::names::kServiceLatencyTotalNs).sample(t.totalNs);
         }
         if (params_.cache) {
             const core::ResultCache::Stats after =
                 params_.cache->stats();
-            reg.counter("service.cache_hits_total")
+            reg.counter(util::names::kServiceCacheHitsTotal)
                 .increment(after.hits - before.hits);
-            reg.counter("service.cache_misses_total")
+            reg.counter(util::names::kServiceCacheMissesTotal)
                 .increment(after.misses - before.misses);
-            reg.counter("service.cache_evictions_total")
+            reg.counter(util::names::kServiceCacheEvictionsTotal)
                 .increment(after.evictions - before.evictions);
-            reg.counter("service.cache_spill_evictions_total")
+            reg.counter(util::names::kServiceCacheSpillEvictionsTotal)
                 .increment(after.spillEvictions -
                            before.spillEvictions);
         }

@@ -88,7 +88,7 @@ struct RunRequest
  * Parse one JSON request line.  @p line_no (1-based) supplies the
  * default id and appears in error context.
  */
-util::Result<RunRequest> parseRunRequest(const std::string &line,
+[[nodiscard]] util::Result<RunRequest> parseRunRequest(const std::string &line,
                                          size_t line_no);
 
 /**

@@ -5,6 +5,7 @@
 
 #include "obs/span.hh"
 #include "util/logging.hh"
+#include "util/names.hh"
 
 namespace lll::sim
 {
@@ -108,31 +109,31 @@ System::attachObservability(obs::MetricRegistry &registry,
     obsRegistry_ = &registry;
     sampler_ = std::make_unique<obs::Sampler>(registry, params);
 
-    mem_->registerMetrics(registry, "sim.memctrl", obsNames_);
+    mem_->registerMetrics(registry, util::names::kSimMemctrlPrefix, obsNames_);
     if (l3_) {
-        l3_->registerMetrics(registry, "sim.cache.l3", obsNames_);
-        l3_->mshrs().registerMetrics(registry, "sim.mshr.l3", obsNames_);
+        l3_->registerMetrics(registry, util::names::kSimCacheL3Prefix, obsNames_);
+        l3_->mshrs().registerMetrics(registry, util::names::kSimMshrL3Prefix, obsNames_);
     }
     for (int c = 0; c < params_.cores; ++c) {
         const std::string ci = std::to_string(c);
-        l1s_[c]->mshrs().registerMetrics(registry, "sim.mshr.l1." + ci,
+        l1s_[c]->mshrs().registerMetrics(registry, util::names::kSimMshrL1Prefix + ci,
                                          obsNames_);
-        l2s_[c]->mshrs().registerMetrics(registry, "sim.mshr.l2." + ci,
+        l2s_[c]->mshrs().registerMetrics(registry, util::names::kSimMshrL2Prefix + ci,
                                          obsNames_);
-        l1s_[c]->registerMetrics(registry, "sim.cache.l1." + ci,
+        l1s_[c]->registerMetrics(registry, util::names::kSimCacheL1Prefix + ci,
                                  obsNames_);
-        l2s_[c]->registerMetrics(registry, "sim.cache.l2." + ci,
+        l2s_[c]->registerMetrics(registry, util::names::kSimCacheL2Prefix + ci,
                                  obsNames_);
-        cores_[c]->registerMetrics(registry, "sim.core." + ci, obsNames_);
+        cores_[c]->registerMetrics(registry, util::names::kSimCorePrefix + ci, obsNames_);
     }
 
     obs::MetricRegistry::GaugeOptions rate;
     rate.sampled = true;
     registry.registerGauge(
-        "sim.eventq.events_per_ns",
+        util::names::kSimEventqEventsPerNs,
         [this] { return static_cast<double>(eq_.processed()); },
         obs::GaugeMode::Rate, rate);
-    obsNames_.push_back("sim.eventq.events_per_ns");
+    obsNames_.push_back(util::names::kSimEventqEventsPerNs);
 
     scheduleSample();
 }
@@ -172,7 +173,7 @@ System::scheduleWatchdog()
             wdDiagnostic_ = diagnosticSnapshot();
             if (obsRegistry_) {
                 ++obsRegistry_->counter("sim_errors_total");
-                obsRegistry_->annotate("sim.watchdog.stall",
+                obsRegistry_->annotate(util::names::kSimWatchdogStall,
                                        wdDiagnostic_);
             }
             eq_.requestStop();
@@ -261,7 +262,7 @@ System::runChecked(double warmup_us, double measure_us)
     const Tick measure_ticks = nsToTicks(measure_us * 1000.0);
 
     if (warmup_ticks > 0) {
-        LLL_SPAN("sim.warmup");
+        LLL_SPAN(util::names::kSimWarmupSpan);
         eq_.runUntil(eq_.now() + warmup_ticks);
     }
     if (wdTripped_) {
@@ -276,7 +277,7 @@ System::runChecked(double warmup_us, double measure_us)
     const Tick t0 = eq_.now();
     const uint64_t events0 = eq_.processed();
     {
-        LLL_SPAN("sim.measure");
+        LLL_SPAN(util::names::kSimMeasureSpan);
         eq_.runUntil(t0 + measure_ticks);
     }
     if (wdTripped_) {

@@ -163,7 +163,7 @@ class System
      * watchdog declares the event queue wedged; `sim_errors_total` is
      * incremented on the attached registry, if any.
      */
-    util::Result<RunResult> runChecked(double warmup_us,
+    [[nodiscard]] util::Result<RunResult> runChecked(double warmup_us,
                                        double measure_us);
 
     /** Legacy convenience wrapper: fatal when runChecked() errors. */

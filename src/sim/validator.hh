@@ -51,10 +51,10 @@ util::DiagnosticList lintKernelSpec(const KernelSpec &spec);
 
 /** Status views of the lints above: OK, or FailedPrecondition carrying
  *  the first error's "LLL-…-0xx: message" text. */
-util::Status validateCacheParams(const Cache::Params &params,
+[[nodiscard]] util::Status validateCacheParams(const Cache::Params &params,
                                  const char *what, bool mshrs_required);
-util::Status validateSystemParams(const SystemParams &params);
-util::Status validateKernelSpec(const KernelSpec &spec);
+[[nodiscard]] util::Status validateSystemParams(const SystemParams &params);
+[[nodiscard]] util::Status validateKernelSpec(const KernelSpec &spec);
 
 } // namespace lll::sim
 

@@ -50,30 +50,30 @@ class ArgParser
      * Extract `FLAG VALUE`; empty string when the flag is absent.
      * Errors on a missing value or a repeated flag.
      */
-    util::Result<std::string> stringFlag(const std::string &flag);
+    [[nodiscard]] util::Result<std::string> stringFlag(const std::string &flag);
 
     /**
      * Extract `FLAG N` as a strictly positive integer; @p fallback
      * when absent ("--jobs", "--cores", "--iterations"...).
      */
-    util::Result<int> intFlag(const std::string &flag, int fallback);
+    [[nodiscard]] util::Result<int> intFlag(const std::string &flag, int fallback);
 
     /**
      * Extract `FLAG N` as an unsigned 64-bit value; @p fallback when
      * absent ("--seed").
      */
-    util::Result<uint64_t> uint64Flag(const std::string &flag,
+    [[nodiscard]] util::Result<uint64_t> uint64Flag(const std::string &flag,
                                       uint64_t fallback);
 
     /**
      * Extract `FLAG X` as a finite non-negative double; @p fallback
      * when absent ("--tolerance", "--measure-ms").
      */
-    util::Result<double> doubleFlag(const std::string &flag,
+    [[nodiscard]] util::Result<double> doubleFlag(const std::string &flag,
                                     double fallback);
 
     /** Extract a bare `FLAG`; false when absent, error on repeats. */
-    util::Result<bool> boolFlag(const std::string &flag);
+    [[nodiscard]] util::Result<bool> boolFlag(const std::string &flag);
 
     /** Positional operands left after flag extraction. */
     const std::vector<std::string> &rest() const { return args_; }
@@ -83,13 +83,13 @@ class ArgParser
      * dash-prefixed leftovers, "unexpected argument 'x'" otherwise.
      * Call after all flags *and* positionals have been claimed.
      */
-    util::Status finish() const;
+    [[nodiscard]] util::Status finish() const;
 
     /** Drop the first @p n positional operands (claimed by caller). */
     void consumePositional(size_t n);
 
   private:
-    util::Result<size_t> findOnce(const std::string &flag) const;
+    [[nodiscard]] util::Result<size_t> findOnce(const std::string &flag) const;
 
     std::vector<std::string> args_;
 };

@@ -92,7 +92,7 @@ class DiagnosticList
      * format the pre-lint validators reported).  Warnings and notes do
      * not surface here — they are a lint-only concept.
      */
-    Status
+    [[nodiscard]] Status
     toStatus(ErrorCode code = ErrorCode::FailedPrecondition) const;
 
     /** One finding per line, `Diagnostic::toString()` format. */

@@ -67,13 +67,13 @@ class JsonValue
     // Typed member accessors: the field as Result, with the offending
     // key in the error message.  *Or variants return @p fallback when
     // the key is absent (but still fail on a type mismatch).
-    util::Result<std::string> getString(const std::string &key) const;
-    util::Result<std::string> getStringOr(const std::string &key,
+    [[nodiscard]] util::Result<std::string> getString(const std::string &key) const;
+    [[nodiscard]] util::Result<std::string> getStringOr(const std::string &key,
                                           std::string fallback) const;
-    util::Result<double> getNumber(const std::string &key) const;
-    util::Result<double> getNumberOr(const std::string &key,
+    [[nodiscard]] util::Result<double> getNumber(const std::string &key) const;
+    [[nodiscard]] util::Result<double> getNumberOr(const std::string &key,
                                      double fallback) const;
-    util::Result<bool> getBoolOr(const std::string &key,
+    [[nodiscard]] util::Result<bool> getBoolOr(const std::string &key,
                                  bool fallback) const;
 };
 
@@ -100,7 +100,7 @@ struct JsonLimits
  * numbers are CorruptData errors carrying the byte offset; @p limits
  * violations (input too large, nesting too deep) are InvalidArgument.
  */
-util::Result<JsonValue> parseJson(const std::string &text,
+[[nodiscard]] util::Result<JsonValue> parseJson(const std::string &text,
                                   const JsonLimits &limits = JsonLimits());
 
 } // namespace lll::util

@@ -70,10 +70,10 @@ class Status
     {
     }
 
-    static Status okStatus() { return Status(); }
+    [[nodiscard]] static Status okStatus() { return Status(); }
 
     /** printf-style constructor for error statuses. */
-    static Status error(ErrorCode code, const char *fmt, ...)
+    [[nodiscard]] static Status error(ErrorCode code, const char *fmt, ...)
         __attribute__((format(printf, 2, 3)));
 
     bool ok() const { return code_ == ErrorCode::Ok; }
@@ -85,7 +85,7 @@ class Status
      * turns "malformed point" into "loading 'x': malformed point".
      * No-op on an OK status.
      */
-    Status withContext(const char *fmt, ...) const
+    [[nodiscard]] Status withContext(const char *fmt, ...) const
         __attribute__((format(printf, 2, 3)));
 
     /** "corrupt-data: loading 'x': malformed point" (or "ok"). */

@@ -102,7 +102,7 @@ std::vector<WorkloadPtr> allWorkloads();
 std::vector<WorkloadPtr> allWorkloadsAndExtensions();
 
 /** Look up by short id; NotFound (listing valid ids) if unknown. */
-util::Result<WorkloadPtr> findWorkload(const std::string &name);
+[[nodiscard]] util::Result<WorkloadPtr> findWorkload(const std::string &name);
 
 /** Legacy convenience wrapper around findWorkload(); fatal if unknown. */
 [[deprecated("use findWorkload(), which returns a Result instead of "

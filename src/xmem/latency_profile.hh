@@ -85,10 +85,10 @@ class LatencyProfile
      * CorruptData error with the offending line in the message — never
      * an empty or partially filled profile.
      */
-    static util::Result<LatencyProfile> parse(const std::string &text);
+    [[nodiscard]] static util::Result<LatencyProfile> parse(const std::string &text);
 
     /** Write to @p path; IoError when the file cannot be written. */
-    util::Status save(const std::string &path) const;
+    [[nodiscard]] util::Status save(const std::string &path) const;
 
     /**
      * Read from @p path.  A missing file is NotFound (the "no cache
@@ -97,7 +97,7 @@ class LatencyProfile
      * profile must never silently become latency 0 and a nonsense
      * n_avg.
      */
-    static util::Result<LatencyProfile> load(const std::string &path);
+    [[nodiscard]] static util::Result<LatencyProfile> load(const std::string &path);
 
   private:
     std::string platformName_;

@@ -68,7 +68,7 @@ class XMemHarness
      * profile store is damaged.  A cached profile for a different
      * platform is remeasured with a warning (the legacy behaviour).
      */
-    util::Result<LatencyProfile>
+    [[nodiscard]] util::Result<LatencyProfile>
     measureCachedChecked(const platforms::Platform &platform,
                          const std::string &cache_path) const;
 

@@ -1,0 +1,41 @@
+# CLI contract for `lll audit`: exit 0 on the actual (clean) repo,
+# exit 3 with LLL-SRC findings on the seeded-bad fixture tree, and the
+# standard JSON envelope either way.
+# Run via: cmake -DLLL_BIN=... -DREPO_ROOT=... -DGOLDEN_DIR=...
+#                -DWORK_DIR=... -P audit_cli.cmake
+
+execute_process(COMMAND ${LLL_BIN} audit --root ${REPO_ROOT}
+                RESULT_VARIABLE clean_exit
+                OUTPUT_VARIABLE clean_text
+                ERROR_QUIET)
+if(NOT clean_exit EQUAL 0)
+    message(FATAL_ERROR "lll audit on the repo: expected exit 0, got "
+                        "${clean_exit}:\n${clean_text}")
+endif()
+if(NOT clean_text MATCHES "0 errors")
+    message(FATAL_ERROR "lll audit on the repo: summary line missing "
+                        "from:\n${clean_text}")
+endif()
+
+set(json "${WORK_DIR}/audit_cli_bad.json")
+execute_process(COMMAND ${LLL_BIN} audit
+                        --root ${GOLDEN_DIR}/audit_tree --json ${json}
+                RESULT_VARIABLE bad_exit
+                OUTPUT_VARIABLE bad_text
+                ERROR_QUIET)
+if(NOT bad_exit EQUAL 3)
+    message(FATAL_ERROR "lll audit on the fixture tree: expected exit "
+                        "3 (bad input), got ${bad_exit}:\n${bad_text}")
+endif()
+if(NOT bad_text MATCHES "LLL-SRC-1")
+    message(FATAL_ERROR "lll audit on the fixture tree: no LLL-SRC "
+                        "finding in:\n${bad_text}")
+endif()
+
+file(READ ${json} envelope)
+foreach(needle "\"command\": \"audit\"" "\"exit\": 3" "\"clean\": false")
+    if(NOT envelope MATCHES "${needle}")
+        message(FATAL_ERROR "audit JSON envelope missing ${needle}:\n"
+                            "${envelope}")
+    endif()
+endforeach()

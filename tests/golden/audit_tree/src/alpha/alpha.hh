@@ -1,0 +1,25 @@
+// Seeded-bad fixture for test_audit.cc: every finding in this tree is
+// deliberate and pinned by tests/golden/audit_tree.txt.
+#ifndef DEMO_ALPHA_HH
+#define DEMO_ALPHA_HH
+
+#include <random>
+
+namespace demo
+{
+
+struct Status
+{
+    bool ok = true;
+};
+
+// Missing [[nodiscard]] (LLL-SRC-120).
+Status doThing();
+
+[[nodiscard]] Status goodThing();
+
+[[deprecated("use goodThing")]] void oldThing();
+
+} // namespace demo
+
+#endif // DEMO_ALPHA_HH

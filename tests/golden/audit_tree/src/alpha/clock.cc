@@ -1,0 +1,13 @@
+#include "alpha/alpha.hh"
+
+namespace demo
+{
+
+long
+ticks()
+{
+    // Raw clock outside src/obs/timer.hh (LLL-SRC-121).
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace demo

@@ -88,7 +88,8 @@ TEST_F(XmemTest, MeasureCachedRoundTrip)
 TEST_F(XmemTest, WrongPlatformCacheIsRemeasured)
 {
     std::string path = ::testing::TempDir() + "/wrong.profile";
-    LatencyProfile("otherbox", 10.0, {{1.0, 50.0}}).save(path);
+    ASSERT_TRUE(
+        LatencyProfile("otherbox", 10.0, {{1.0, 50.0}}).save(path).ok());
     LatencyProfile prof =
         XMemHarness(fastParams()).measureCached(plat_, path);
     EXPECT_EQ(prof.platformName(), plat_.name);

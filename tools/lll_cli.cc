@@ -16,6 +16,7 @@
  *   lll vendors                           counter visibility (Table I)
  *   lll selftest [--iterations N]         fault-injection harness
  *   lll lint [<wl> <plat> [opts...]]      static analyzer (+ determinism)
+ *   lll audit [--fix-plan]                source auditor (layering, names)
  *   lll serve [--batch FILE]              batched JSON-lines run service
  *   lll serve --listen HOST:PORT          socket front-end (DESIGN §14)
  *   lll bench-serve --connect HOST:PORT   load generator for --listen
@@ -67,6 +68,7 @@
 
 #include "analysis/determinism.hh"
 #include "analysis/spec_lint.hh"
+#include "audit/audit.hh"
 #include "counters/vendor_matrix.hh"
 #include "faultinject/faultinject.hh"
 #include "lll/api.hh"
@@ -80,6 +82,7 @@
 #include "perf/microbench.hh"
 #include "util/argparse.hh"
 #include "util/diagnostic.hh"
+#include "util/names.hh"
 #include "util/status.hh"
 
 using namespace lll;
@@ -114,6 +117,7 @@ usage()
         "  lint [<workload> <platform> [opts ...]] [--json FILE] "
         "[--determinism]\n"
         "  lint --profile FILE [--json FILE]\n"
+        "  audit [--root DIR] [--json FILE] [--fix-plan]\n"
         "  serve [--batch FILE] [--jobs N] [--cache-dir DIR] "
         "[--max-entries N]\n"
         "        [--spill-budget BYTES] [--json FILE] "
@@ -276,7 +280,7 @@ cmdCharacterize(int argc, char **argv)
     for (const platforms::Platform &p : plats) {
         std::string path = xmem::defaultProfilePath(p);
         if (*fresh)
-            std::remove(path.c_str());
+            (void)std::remove(path.c_str()); // absent file is fine
         util::Result<xmem::LatencyProfile> prof =
             xmem::XMemHarness().measureCachedChecked(p, path);
         if (!prof.ok())
@@ -961,46 +965,46 @@ cmdServeListen(ArgParser &ap, const std::string &listen,
         "serve: %llu requests on %llu connections — %llu admitted, "
         "%llu shed, %llu malformed, %llu failed; request p50/p90/p99 "
         "%s ms, queue wait %s ms\n",
-        count("net.requests_received_total"),
-        count("net.conns_accepted_total"),
-        count("net.requests_admitted_total"),
-        count("net.requests_shed_total"),
-        count("net.requests_malformed_total"),
-        count("net.requests_failed_total"),
-        fmtPercentilesMs(registry.histogram("net.latency.request_ns"))
+        count(util::names::kNetRequestsReceivedTotal),
+        count(util::names::kNetConnsAcceptedTotal),
+        count(util::names::kNetRequestsAdmittedTotal),
+        count(util::names::kNetRequestsShedTotal),
+        count(util::names::kNetRequestsMalformedTotal),
+        count(util::names::kNetRequestsFailedTotal),
+        fmtPercentilesMs(registry.histogram(util::names::kNetLatencyRequestNs))
             .c_str(),
         fmtPercentilesMs(
-            registry.histogram("net.latency.queue_wait_ns"))
+            registry.histogram(util::names::kNetLatencyQueueWaitNs))
             .c_str());
 
     const int exit_code = ran.ok() ? 0 : util::exitCodeFor(ran.code());
     if (!json_path.empty()) {
         std::ostringstream data;
         data << "{\n  \"requests\": "
-             << count("net.requests_received_total")
+             << count(util::names::kNetRequestsReceivedTotal)
              << ",\n  \"admitted\": "
-             << count("net.requests_admitted_total")
-             << ",\n  \"shed\": " << count("net.requests_shed_total")
+             << count(util::names::kNetRequestsAdmittedTotal)
+             << ",\n  \"shed\": " << count(util::names::kNetRequestsShedTotal)
              << ",\n  \"malformed\": "
-             << count("net.requests_malformed_total")
+             << count(util::names::kNetRequestsMalformedTotal)
              << ",\n  \"failed\": "
-             << count("net.requests_failed_total")
-             << ",\n  \"responses\": " << count("net.responses_total")
+             << count(util::names::kNetRequestsFailedTotal)
+             << ",\n  \"responses\": " << count(util::names::kNetResponsesTotal)
              << ",\n  \"connections\": {\"accepted\": "
-             << count("net.conns_accepted_total") << ", \"rejected\": "
-             << count("net.conns_rejected_total") << ", \"closed\": "
-             << count("net.conns_closed_total") << "}"
+             << count(util::names::kNetConnsAcceptedTotal) << ", \"rejected\": "
+             << count(util::names::kNetConnsRejectedTotal) << ", \"closed\": "
+             << count(util::names::kNetConnsClosedTotal) << "}"
              << ",\n  \"watchdog_trips\": "
-             << count("net.watchdog_trips_total")
+             << count(util::names::kNetWatchdogTripsTotal)
              << ",\n  \"latency_ms\": {\"request\": "
              << percentilesMsJson(
-                    registry.histogram("net.latency.request_ns"))
+                    registry.histogram(util::names::kNetLatencyRequestNs))
              << ", \"queue_wait\": "
              << percentilesMsJson(
-                    registry.histogram("net.latency.queue_wait_ns"))
+                    registry.histogram(util::names::kNetLatencyQueueWaitNs))
              << ", \"handler\": "
              << percentilesMsJson(
-                    registry.histogram("net.latency.handler_ns"))
+                    registry.histogram(util::names::kNetLatencyHandlerNs))
              << "}"
              << ",\n  \"cache\": " << cacheStatsJson(cache.stats())
              << "\n}";
@@ -1128,9 +1132,9 @@ cmdServe(int argc, char **argv)
     }
 
     const uint64_t units =
-        registry.counter("service.units_total").value();
+        registry.counter(util::names::kServiceUnitsTotal).value();
     const uint64_t coalesced =
-        registry.counter("service.coalesced_requests_total").value();
+        registry.counter(util::names::kServiceCoalescedRequestsTotal).value();
     const core::ResultCache::Stats cs = cache.stats();
     std::fprintf(stderr,
                  "serve: %zu requests (%zu failed), %llu units "
@@ -1398,14 +1402,14 @@ cmdBench(int argc, char **argv)
                  "median ev/s", "min ev/s", "IQR ev/s", "p50 ns",
                  "p90 ns", "p99 ns");
     for (const perf::KernelInfo *k : selected) {
-        obs::ScopedSpan span("bench." + k->name);
+        obs::ScopedSpan span(util::names::kBenchSpanPrefix + k->name);
         perf::KernelStats stats = perf::runKernel(*k, tp);
         std::fprintf(rep,
                      "%-12s %12.4g %12.4g %12.4g %8.1f %8.1f %8.1f\n",
                      stats.name.c_str(), stats.medianEps, stats.minEps,
                      stats.iqrEps, stats.p50ItemNs, stats.p90ItemNs,
                      stats.p99ItemNs);
-        registry.histogram("perf." + k->name + ".item_ns")
+        registry.histogram(util::names::kPerfKernelPrefix + k->name + ".item_ns")
             .merge(stats.itemNs);
         report.kernels.push_back(std::move(stats));
     }
@@ -1732,6 +1736,69 @@ cmdLint(int argc, char **argv)
 }
 
 /**
+ * `lll audit [--root DIR] [--json FILE] [--fix-plan]`: run the in-tree
+ * source auditor (src/audit, DESIGN.md §15) over the repo's src/ and
+ * tools/ trees.  Without --root the repo root is found by walking up
+ * from the working directory, so the command works from a build tree.
+ * Exit 0 on a clean tree, 3 (bad input: the *source* is the input)
+ * when any LLL-SRC-1xx error fires — the same verdict shape as lint.
+ */
+int
+cmdAudit(int argc, char **argv)
+{
+    ArgParser ap(argc, argv, 2);
+    util::Result<std::string> json = ap.stringFlag("--json");
+    if (!json.ok())
+        return failWith(json.status());
+    util::Result<std::string> root = ap.stringFlag("--root");
+    if (!root.ok())
+        return failWith(root.status());
+    util::Result<bool> fix_plan = ap.boolFlag("--fix-plan");
+    if (!fix_plan.ok())
+        return failWith(fix_plan.status());
+    Status extra = ap.finish();
+    if (!extra.ok())
+        return failWith(extra);
+
+    audit::AuditConfig config;
+    if (root->empty()) {
+        util::Result<std::string> found = audit::findRepoRoot(".");
+        if (!found.ok())
+            return failWith(found.status());
+        config.root = found.take();
+    } else {
+        config.root = *root;
+    }
+
+    util::Result<audit::AuditReport> report = audit::runAudit(config);
+    if (!report.ok())
+        return failWith(report.status());
+
+    FILE *rep = *json == "-" ? stderr : stdout;
+    std::fputs(report->renderText().c_str(), rep);
+    if (*fix_plan)
+        std::fputs(report->renderFixPlan().c_str(), rep);
+
+    Status verdict = Status::okStatus();
+    if (report->diagnostics.errorCount()) {
+        verdict = Status::error(ErrorCode::FailedPrecondition,
+                                "%zu audit error(s)",
+                                report->diagnostics.errorCount());
+    }
+    const int exit_code =
+        verdict.ok() ? 0 : util::exitCodeFor(verdict.code());
+    if (!json->empty()) {
+        Status s = writeExportChecked(
+            *json,
+            obs::jsonEnvelope("audit", verdict, exit_code,
+                              report->renderJson(), std::string()));
+        if (!s.ok())
+            return failWith(s);
+    }
+    return exit_code;
+}
+
+/**
  * Dispatch @p cmd with argv[1] == cmd.  Factored out of main() so
  * cmdProfile can run any subcommand under a root span; -1 means the
  * command is unknown (main turns that into usage()).
@@ -1765,6 +1832,8 @@ runCommand(const std::string &cmd, int argc, char **argv)
         return cmdSelftest(argc, argv);
     if (cmd == "lint")
         return cmdLint(argc, argv);
+    if (cmd == "audit")
+        return cmdAudit(argc, argv);
     if (cmd == "serve")
         return cmdServe(argc, argv);
     if (cmd == "bench")
@@ -1838,7 +1907,7 @@ cmdProfile(int argc, char **argv)
     obs::WallTimer wall;
     int inner_exit;
     {
-        obs::ScopedSpan root("cmd." + inner);
+        obs::ScopedSpan root(util::names::kCmdSpanPrefix + inner);
         inner_exit = runCommand(inner,
                                 static_cast<int>(inner_argv.size()),
                                 inner_argv.data());
