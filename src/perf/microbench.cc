@@ -40,6 +40,35 @@ class EventQueueKernel : public KernelInstance
     uint64_t fired_ = 0;
 };
 
+class EventDispatchKernel : public KernelInstance
+{
+  public:
+    /**
+     * Same-tick batches: eight ticks each carrying eight events across
+     * the scheduling bands, so this times the bucket sort + batched
+     * class dispatch rather than schedule/fire of lone events.
+     */
+    uint64_t
+    runBatch() override
+    {
+        for (int t = 0; t < 8; ++t) {
+            const Tick when = eq_.now() + static_cast<Tick>(t * 13 + 1);
+            for (uint64_t k = 0; k < 8; ++k) {
+                eq_.schedule(when,
+                             sim::schedPrio(sim::SchedBand::Thread, k / 2),
+                             [this] { ++fired_; });
+            }
+        }
+        eq_.runUntil(eq_.now() + 120);
+        g_sink = fired_;
+        return 64;
+    }
+
+  private:
+    sim::EventQueue eq_;
+    uint64_t fired_ = 0;
+};
+
 class MshrKernel : public KernelInstance
 {
   public:
@@ -205,6 +234,8 @@ kernels()
     static const std::vector<KernelInfo> registry = {
         {"event_queue", "event queue schedule/fire throughput",
          make<EventQueueKernel>},
+        {"event_dispatch", "same-tick batch dispatch across bands",
+         make<EventDispatchKernel>},
         {"mshr", "MSHR allocate/lookup/deallocate cycle",
          make<MshrKernel>},
         {"op_stream", "stateless op generation (random + sequential)",

@@ -337,7 +337,7 @@ Cache::handleFill(MemRequest *fillReq)
 }
 
 void
-Cache::addRetryWaiter(std::function<void()> cb)
+Cache::addRetryWaiter(EventFn cb)
 {
     retryWaiters_.push_back(std::move(cb));
 }
@@ -347,7 +347,7 @@ Cache::notifyRetryWaiters()
 {
     if (retryWaiters_.empty())
         return;
-    std::vector<std::function<void()>> waiters;
+    std::vector<EventFn> waiters;
     waiters.swap(retryWaiters_);
     for (auto &cb : waiters)
         cb();

@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -109,7 +108,7 @@ class Cache : public MemLevel
 
     // MemLevel interface
     bool tryAccess(MemRequest *req) override;
-    void addRetryWaiter(std::function<void()> cb) override;
+    void addRetryWaiter(EventFn cb) override;
 
     /**
      * Non-blocking prefetch insertion (software or hardware).  Under MSHR
@@ -202,7 +201,7 @@ class Cache : public MemLevel
 
     std::deque<PendingPrefetch> deferredPf_;
 
-    std::vector<std::function<void()>> retryWaiters_;
+    std::vector<EventFn> retryWaiters_;
 };
 
 /**

@@ -31,8 +31,7 @@ CoreModel::CoreModel(const Params &params, EventQueue &eq)
 }
 
 void
-CoreModel::compute(unsigned thread, double cycles,
-                   std::function<void()> done)
+CoreModel::compute(unsigned thread, double cycles, EventFn done)
 {
     lll_assert(thread < threadGate_.size(), "bad thread id %u", thread);
     const Tick now = eq_.now();

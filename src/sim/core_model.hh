@@ -17,7 +17,6 @@
 #define LLL_SIM_CORE_MODEL_HH
 
 #include <array>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -49,6 +48,10 @@ class CoreModel
         /** Hardware threads on this core. */
         unsigned threads = 1;
     };
+    static_assert(std::tuple_size_v<decltype(Params::smtCapacity)> ==
+                      kMaxSmtWays + 1,
+                  "smtCapacity indexes 1..kMaxSmtWays: keep it in sync "
+                  "with the schedThreadKey packing ceiling");
 
     CoreModel(const Params &params, EventQueue &eq);
 
@@ -57,8 +60,7 @@ class CoreModel
      * then invoke @p done.  Requests from one thread must be issued
      * sequentially (the thread model guarantees program order).
      */
-    void compute(unsigned thread, double cycles,
-                 std::function<void()> done);
+    void compute(unsigned thread, double cycles, EventFn done);
 
     /** Duration of one core cycle in ticks. */
     Tick period() const { return period_; }

@@ -118,7 +118,7 @@ MemCtrl::tryAccess(MemRequest *req)
 }
 
 void
-MemCtrl::addRetryWaiter(std::function<void()> cb)
+MemCtrl::addRetryWaiter(EventFn cb)
 {
     // The controller never refuses, so a retry can fire immediately; this
     // path is only reachable through misuse.

@@ -65,7 +65,7 @@ class MemCtrl : public MemLevel
 
     // MemLevel interface.  The controller never refuses a request.
     bool tryAccess(MemRequest *req) override;
-    void addRetryWaiter(std::function<void()> cb) override;
+    void addRetryWaiter(EventFn cb) override;
 
     /** Attach an optional request tracer (null to detach). */
     void setTracer(RequestTracer *tracer) { tracer_ = tracer; }

@@ -7,8 +7,7 @@
 #ifndef LLL_SIM_MEM_LEVEL_HH
 #define LLL_SIM_MEM_LEVEL_HH
 
-#include <functional>
-
+#include "sim/event_queue.hh"
 #include "sim/request.hh"
 
 namespace lll::sim
@@ -40,7 +39,7 @@ class MemLevel
      * Register a one-shot callback invoked the next time refused capacity
      * frees up.  Callers re-register if they are refused again.
      */
-    virtual void addRetryWaiter(std::function<void()> cb) = 0;
+    virtual void addRetryWaiter(EventFn cb) = 0;
 };
 
 } // namespace lll::sim

@@ -11,7 +11,6 @@
 #define LLL_SIM_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "util/stats.hh"

@@ -178,6 +178,120 @@ TEST(EventQueueTest, TieBreakSeedPermutesOnlyEqualPriorityTies)
     EXPECT_TRUE(permuted) << "seeds failed to perturb equal-prio ties";
 }
 
+TEST(EventQueueTest, FarFutureEventsKeepTimeOrder)
+{
+    // Events beyond the near-future window ride the overflow heap and
+    // must interleave with bucketed ones exactly by (tick, prio, seq).
+    EventQueue eq;
+    std::vector<Tick> times;
+    const Tick far = 3 * EventQueue::kWheelTicks;
+    eq.schedule(far + 5, [&] { times.push_back(eq.now()); });
+    eq.schedule(7, [&] { times.push_back(eq.now()); });
+    eq.schedule(far + 1, [&] { times.push_back(eq.now()); });
+    eq.schedule(EventQueue::kWheelTicks + 3,
+                [&] { times.push_back(eq.now()); });
+    eq.runUntil(far + 100);
+    EXPECT_EQ(times, (std::vector<Tick>{7, EventQueue::kWheelTicks + 3,
+                                        far + 1, far + 5}));
+}
+
+TEST(EventQueueTest, FarFutureTiesKeepInsertionOrder)
+{
+    // The window refill must carry tie keys along: equal-(tick, prio)
+    // events scheduled beyond the window still pop in insertion order.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick when = 5 * EventQueue::kWheelTicks + 11;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(when, [&order, i] { order.push_back(i); });
+    eq.runUntil(when);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, IdleGapsCostNothingPerTick)
+{
+    // A sparse schedule across many empty windows must still fire
+    // every event (the window jumps, it never walks idle ticks).
+    EventQueue eq;
+    int fired = 0;
+    for (Tick i = 0; i < 10; ++i)
+        eq.schedule(i * 40 * EventQueue::kWheelTicks + 1, [&] { ++fired; });
+    EXPECT_FALSE(eq.runUntil(400 * EventQueue::kWheelTicks));
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueueTest, StopDuringCallbackReturnsEarly)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.requestStop();
+    });
+    eq.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(eq.runUntil(100));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    // The stop is consumed: the next run picks up where it left off.
+    EXPECT_FALSE(eq.runUntil(100));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, StopLatchesBetweenRuns)
+{
+    // Regression: a stop issued while no run was in flight used to be
+    // discarded by runUntil's entry reset; it must latch instead.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.requestStop();
+    EXPECT_TRUE(eq.runUntil(100));
+    EXPECT_EQ(fired, 0) << "latched stop must win before any dispatch";
+    EXPECT_EQ(eq.pending(), 1u);
+    // Consumed: the following run proceeds normally.
+    EXPECT_FALSE(eq.runUntil(100));
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, StopMidTickPreservesRemainingEvents)
+{
+    // A stop in the middle of a same-tick batch may not drop the
+    // uninvoked remainder, and the resumed order must be unchanged.
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 6; ++i) {
+        eq.schedule(42, [&, i] {
+            order.push_back(i);
+            if (i == 2)
+                eq.requestStop();
+        });
+    }
+    EXPECT_TRUE(eq.runUntil(100));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_EQ(eq.now(), 42u);
+    EXPECT_FALSE(eq.runUntil(100));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueueTest, SameTickBandsProgressDuringDispatch)
+{
+    // A fill-band handler may queue same-tick work in a later band;
+    // it must run within the same tick, after the earlier bands.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(42, schedPrio(SchedBand::Fill), [&] {
+        order.push_back(1);
+        eq.scheduleIn(0, schedPrio(SchedBand::Thread, 3),
+                      [&] { order.push_back(3); });
+    });
+    eq.schedule(42, schedPrio(SchedBand::Send), [&] { order.push_back(2); });
+    eq.schedule(42, schedPrio(SchedBand::Housekeeping),
+                [&] { order.push_back(4); });
+    eq.runUntil(42);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
 TEST(EventQueueDeathTest, SeedAfterFirstEventPanics)
 {
     EventQueue eq;
@@ -193,6 +307,18 @@ TEST(EventQueueDeathTest, SchedulingInThePastPanics)
     EXPECT_DEATH(eq.schedule(10, [] {}), "past");
 }
 
+TEST(EventQueueDeathTest, ThreadKeyBeyondSmtCeilingPanics)
+{
+    // thread == kMaxSmtWays would land in the next core's stride-8 run
+    // (slot 0 is the agent, 1..kMaxSmtWays the hw threads); the packing
+    // bound must trip, not silently collide.
+    EXPECT_EQ(schedThreadKey(0, kMaxSmtWays - 1),
+              8 + static_cast<uint64_t>(kMaxSmtWays));
+    EXPECT_DEATH(schedThreadKey(0, kMaxSmtWays), "collide");
+    EXPECT_DEATH(schedThreadKey(0, -2), "outside");
+    EXPECT_DEATH(schedThreadKey(-2, 0), "below -1");
+}
+
 // --- request pool -------------------------------------------------------
 
 TEST(RequestPoolTest, AllocGivesZeroedRequest)
@@ -205,6 +331,34 @@ TEST(RequestPoolTest, AllocGivesZeroedRequest)
     MemRequest *b = pool.alloc();
     EXPECT_EQ(b->lineAddr, 0u);
     EXPECT_EQ(b->core, -1);
+    pool.free(b);
+}
+
+TEST(RequestPoolTest, ReallocatedRequestIsFullyRezeroed)
+{
+    // Regression: a freed request with stale routing pointers and a
+    // dirty issue tick must come back indistinguishable from fresh —
+    // a leaked origin would route a fill into a dead cache.
+    RequestPool pool;
+    MemRequest *a = pool.alloc();
+    a->lineAddr = 0xdeadbeef;
+    a->type = ReqType::Writeback;
+    a->core = 7;
+    a->thread = 3;
+    a->issued = 123456789;
+    a->origin = reinterpret_cast<Cache *>(0x1);
+    a->requester = reinterpret_cast<ThreadContext *>(0x2);
+    pool.free(a);
+
+    MemRequest *b = pool.alloc();
+    ASSERT_EQ(a, b) << "free list should hand the same storage back";
+    EXPECT_EQ(b->lineAddr, 0u);
+    EXPECT_EQ(b->type, ReqType::DemandLoad);
+    EXPECT_EQ(b->core, -1);
+    EXPECT_EQ(b->thread, -1);
+    EXPECT_EQ(b->issued, 0u);
+    EXPECT_EQ(b->origin, nullptr);
+    EXPECT_EQ(b->requester, nullptr);
     pool.free(b);
 }
 

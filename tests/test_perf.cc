@@ -59,12 +59,13 @@ readFile(const std::string &path)
 TEST(Microbench, RegistryHasTheSimMicroKernels)
 {
     const std::vector<perf::KernelInfo> &ks = perf::kernels();
-    ASSERT_EQ(ks.size(), 5u);
+    ASSERT_EQ(ks.size(), 6u);
     EXPECT_EQ(ks[0].name, "event_queue");
-    EXPECT_EQ(ks[1].name, "mshr");
-    EXPECT_EQ(ks[2].name, "op_stream");
-    EXPECT_EQ(ks[3].name, "cache_hit");
-    EXPECT_EQ(ks[4].name, "system_step");
+    EXPECT_EQ(ks[1].name, "event_dispatch");
+    EXPECT_EQ(ks[2].name, "mshr");
+    EXPECT_EQ(ks[3].name, "op_stream");
+    EXPECT_EQ(ks[4].name, "cache_hit");
+    EXPECT_EQ(ks[5].name, "system_step");
     EXPECT_NE(perf::findKernel("mshr"), nullptr);
     EXPECT_EQ(perf::findKernel("nope"), nullptr);
 }

@@ -195,6 +195,31 @@ TEST(SystemTest, NoRequestLeakAccumulation)
     EXPECT_LE(sys.pool().outstanding(), after_one + 200);
 }
 
+TEST(SystemTest, MicrostepWindowsDoNotLeakRequests)
+{
+    // The system_step bench shape: the skl 4-core system driven by many
+    // tiny measurement windows.  Windows can cut a request's lifetime
+    // anywhere, so the checked-out population must stay pinned to
+    // in-flight capacity (MSHRs + thread windows), never creep with the
+    // number of windows.
+    KernelSpec spec;
+    StreamDesc s;
+    s.kind = StreamDesc::Kind::Random;
+    s.footprintLines = 1 << 18;
+    spec.streams.push_back(s);
+    spec.window = 8;
+    spec.computeCyclesPerOp = 4.0;
+
+    System sys(platforms::skl().sysParams(4, 1), spec);
+    sys.run(2.0, 2.0); // warm start
+    const int64_t after_warm = sys.pool().outstanding();
+    EXPECT_GE(after_warm, 0);
+    for (int i = 0; i < 50; ++i)
+        sys.run(0.0001, 1.0);
+    EXPECT_GE(sys.pool().outstanding(), 0);
+    EXPECT_LE(sys.pool().outstanding(), after_warm + 200);
+}
+
 TEST(SystemTest, ThroughputScalesWithWorkPerOp)
 {
     KernelSpec k1 = test::randomKernel(8, 4.0);

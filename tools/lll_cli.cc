@@ -28,7 +28,8 @@
  * cores), `--json FILE` (machine-readable report, "-" for stdout) and
  * `--metrics FILE` (sampled time series as CSV).
  * lint accepts `--json FILE` and `--determinism` (event-order race
- * check); without a workload/platform it scans the whole registry;
+ * check; `--seeds A,B,...` picks the nonzero tie-break seeds to sweep);
+ * without a workload/platform it scans the whole registry;
  * `--profile FILE` lints a cached X-Mem latency profile instead.
  * table/sweep/reproduce run through the parallel SweepRunner: `--jobs N`
  * fans units out to N workers (output is byte-identical for any N) and
@@ -54,6 +55,7 @@
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -116,6 +118,7 @@ usage()
         "  selftest [--iterations N] [--seed S] [--verbose]\n"
         "  lint [<workload> <platform> [opts ...]] [--json FILE] "
         "[--determinism]\n"
+        "       [--seeds A,B,...]\n"
         "  lint --profile FILE [--json FILE]\n"
         "  audit [--root DIR] [--json FILE] [--fix-plan]\n"
         "  serve [--batch FILE] [--jobs N] [--cache-dir DIR] "
@@ -1420,6 +1423,24 @@ cmdBench(int argc, char **argv)
             perf::parseBenchReportFile(*compare);
         if (!baseline.ok())
             return failWith(baseline.status());
+        if (!kernel->empty()) {
+            // A single-kernel run gates only that kernel: drop the
+            // other baseline entries so they do not read as lost
+            // coverage (CI uses this for a dedicated tighter ratchet
+            // on the event-queue kernel).
+            std::vector<perf::KernelStats> &ks = baseline->kernels;
+            ks.erase(std::remove_if(ks.begin(), ks.end(),
+                                    [&](const perf::KernelStats &s) {
+                                        return s.name != *kernel;
+                                    }),
+                     ks.end());
+            if (ks.empty()) {
+                return failWith(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "baseline %s has no entry for kernel '%s'",
+                    compare->c_str(), kernel->c_str()));
+            }
+        }
         perf::BenchComparison cmp = perf::compareBenchReports(
             *baseline, report, *tolerance);
         std::fputs(cmp.render().c_str(), rep);
@@ -1572,6 +1593,48 @@ cmdLint(int argc, char **argv)
     if (!determinism.ok())
         return failWith(determinism.status());
 
+    // `--seeds A,B,...` overrides the alternate tie-break seeds the
+    // determinism check runs against.  The baseline (seed 0, insertion
+    // order) is always prepended; the listed seeds must be nonzero so
+    // every comparison is baseline-vs-permuted.
+    util::Result<std::string> seeds_flag = ap.stringFlag("--seeds");
+    if (!seeds_flag.ok())
+        return failWith(seeds_flag.status());
+    analysis::DeterminismOptions det_opts;
+    if (!seeds_flag->empty()) {
+        if (!*determinism) {
+            return failWith(Status::error(
+                ErrorCode::InvalidArgument,
+                "--seeds requires --determinism"));
+        }
+        det_opts.seeds.assign(1, 0);
+        std::stringstream ss(*seeds_flag);
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            char *end = nullptr;
+            errno = 0;
+            const uint64_t seed = std::strtoull(tok.c_str(), &end, 0);
+            if (tok.empty() || end == nullptr || *end != '\0' ||
+                errno == ERANGE) {
+                return failWith(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "--seeds: '%s' is not a valid seed", tok.c_str()));
+            }
+            if (seed == 0) {
+                return failWith(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "--seeds: seed 0 is the implicit baseline; list "
+                    "only nonzero tie-break seeds"));
+            }
+            det_opts.seeds.push_back(seed);
+        }
+        if (det_opts.seeds.size() < 2) {
+            return failWith(Status::error(
+                ErrorCode::InvalidArgument,
+                "--seeds: expected at least one nonzero seed"));
+        }
+    }
+
     // Operands: none (scan the whole registry) or workload platform
     // [opts...].  Unlike analyze/trace, an *infeasible* variant is a
     // valid lint request — that is the point of linting — so opts are
@@ -1666,7 +1729,8 @@ cmdLint(int argc, char **argv)
             }
             util::Result<analysis::DeterminismReport> r =
                 analysis::checkRunDeterminism(job.platform,
-                                              *job.workload, job.opts);
+                                              *job.workload, job.opts,
+                                              det_opts);
             if (!r.ok())
                 return failWith(r.status());
             const std::string subject =
