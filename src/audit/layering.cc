@@ -35,8 +35,13 @@ defaultLayers()
           "xmem"}},
         {"analysis",
          {"util", "sim", "platforms", "workloads", "xmem", "core"}},
-        {"service",
+        // The autotuner composes core's bounds/sweep machinery over
+        // platform spaces; only service and the CLI may depend on it.
+        {"search",
          {"util", "obs", "sim", "platforms", "workloads", "core"}},
+        {"service",
+         {"util", "obs", "sim", "platforms", "workloads", "core",
+          "search"}},
         {"net", {"util", "obs", "core", "service"}},
         {"faultinject",
          {"util", "obs", "sim", "platforms", "counters", "workloads",
@@ -44,12 +49,12 @@ defaultLayers()
         {"audit", {"util"}},
         {"lll",
          {"util", "obs", "sim", "platforms", "counters", "workloads",
-          "xmem", "core", "analysis", "service"}},
+          "xmem", "core", "analysis", "search", "service"}},
         // The CLI (tools/) is the top of the stack and may see it all.
         {"cli",
          {"util", "obs", "sim", "platforms", "counters", "workloads",
-          "xmem", "perf", "core", "analysis", "service", "net",
-          "faultinject", "audit", "lll"}},
+          "xmem", "perf", "core", "analysis", "search", "service",
+          "net", "faultinject", "audit", "lll"}},
     };
 }
 

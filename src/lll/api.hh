@@ -8,7 +8,11 @@
  *
  *   - service::RunRequest / RunResponse / RunService — the versioned
  *     batched-analysis API (`lll serve`), the schema every later
- *     transport (sockets, multi-backend) will reuse;
+ *     transport (sockets, multi-backend) will reuse; schema_version 2
+ *     adds the "kind" discriminator (kind:"search" submits a
+ *     design-space search over the same connection);
+ *   - search::SearchSpec / Searcher / SearchResult — the bounds-pruned
+ *     design-space autotuner behind `lll search` and kind:"search";
  *   - core::Analyzer / Analysis — Little's-law analysis (paper Eq. 2);
  *   - core::Recipe / RecipeDecision — the optimization guidance loop
  *     (paper Fig. 1);
@@ -22,11 +26,15 @@
  * service::kServiceSchemaVersion, and `--json` CLI output by
  * obs::kJsonEnvelopeVersion.
  *
+ * Version 2: the search subsystem joined the stable surface, the
+ * service request/response pair grew schemaVersion/kind, and the
+ * legacy fatal wrappers (platforms::byName, workloads::workloadByName,
+ * xmem::XMemHarness::measureCached) — deprecated since version 1 —
+ * were removed in favor of the Result<T>-returning variants
+ * re-exported here.
+ *
  * Everything reachable only through lll.hh remains usable but carries
- * no stability promise, and the legacy fatal wrappers
- * (platforms::byName, workloads::workloadByName,
- * xmem::XMemHarness::measureCached) are [[deprecated]] in favor of the
- * Result<T>-returning variants re-exported here.
+ * no stability promise.
  */
 
 #ifndef LLL_LLL_API_HH
@@ -34,10 +42,11 @@
 
 /** Stable-surface version: bumped on incompatible changes to any type
  *  exported by this header. */
-#define LLL_API_VERSION 1
+#define LLL_API_VERSION 2
 
 #include "core/analyzer.hh"
 #include "core/recipe.hh"
+#include "search/search.hh"
 #include "service/service.hh"
 #include "util/diagnostic.hh"
 #include "util/status.hh"

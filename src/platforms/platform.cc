@@ -322,13 +322,4 @@ findPlatform(const std::string &name)
         "unknown platform '%s' (expected skl, knl or a64fx)", name.c_str());
 }
 
-Platform
-byName(const std::string &name)
-{
-    util::Result<Platform> p = findPlatform(name);
-    if (!p.ok())
-        lll_fatal("%s", p.status().toString().c_str());
-    return p.take();
-}
-
 } // namespace lll::platforms

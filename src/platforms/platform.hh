@@ -71,6 +71,14 @@ struct Platform
 
     /** Default core count for loaded runs (paper: all usable cores). */
     int defaultCores() const { return totalCores; }
+
+    /**
+     * Calibration id: @ref name up to the first '~'.  Design-space
+     * candidates derived from a stock platform are named
+     * "<base>~<assignment>" (search::applyAssignment); workload tuning
+     * keys on the base platform the candidate was derived from.
+     */
+    std::string baseName() const { return name.substr(0, name.find('~')); }
 };
 
 /**
@@ -95,11 +103,6 @@ std::vector<Platform> allPlatforms();
 
 /** Look up by short id ("skl", "knl", "a64fx"); NotFound if unknown. */
 [[nodiscard]] util::Result<Platform> findPlatform(const std::string &name);
-
-/** Legacy convenience wrapper around findPlatform(); fatal if unknown. */
-[[deprecated("use findPlatform(), which returns a Result instead of "
-             "aborting on unknown names")]]
-Platform byName(const std::string &name);
 
 } // namespace lll::platforms
 

@@ -1,0 +1,43 @@
+#include "search/pareto.hh"
+
+#include <algorithm>
+
+namespace lll::search
+{
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    return a.cost <= b.cost && a.perfGBs >= b.perfGBs &&
+           (a.cost < b.cost || a.perfGBs > b.perfGBs);
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  if (a.cost != b.cost)
+                      return a.cost < b.cost;
+                  if (a.perfGBs != b.perfGBs)
+                      return a.perfGBs > b.perfGBs;
+                  return a.index < b.index;
+              });
+    // One cost-ascending skyline sweep: a point survives iff it
+    // strictly improves on the best performance seen at any cheaper or
+    // equal cost.  Equal (cost, perf) pairs: the sort put the lowest
+    // index first, and the second fails the strict improvement test.
+    std::vector<ParetoPoint> frontier;
+    double best = 0.0;
+    bool any = false;
+    for (ParetoPoint &p : points) {
+        if (any && !(p.perfGBs > best))
+            continue;
+        best = p.perfGBs;
+        any = true;
+        frontier.push_back(std::move(p));
+    }
+    return frontier;
+}
+
+} // namespace lll::search

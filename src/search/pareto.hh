@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Pareto-frontier extraction for `lll search` (DESIGN.md §17).
+ *
+ * Two objectives: maximize performance (bandwidth), minimize cost
+ * (the MSHR+bank model).  A point is dominated when another point is
+ * no worse on both objectives and strictly better on at least one.
+ * Ordering and tie-breaking are deterministic: the frontier comes back
+ * cost-ascending, and of points tied on both objectives only the
+ * first by (enumeration index) survives — so permuting the input
+ * changes nothing once candidates carry their canonical indices.
+ */
+
+#ifndef LLL_SEARCH_PARETO_HH
+#define LLL_SEARCH_PARETO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lll::search
+{
+
+/** One candidate's two objectives plus its identity. */
+struct ParetoPoint
+{
+    std::string label;
+    double cost = 0.0;
+    double perfGBs = 0.0;
+    size_t index = 0; //!< enumeration index (the deterministic tie-break)
+};
+
+/**
+ * The non-dominated subset of @p points, sorted by (cost asc, perf
+ * desc, index asc).  Input order does not matter; duplicate
+ * (cost, perf) pairs keep only the lowest-index point.
+ */
+std::vector<ParetoPoint> paretoFrontier(std::vector<ParetoPoint> points);
+
+/** True when a dominates b (>= on both objectives, > on at least one;
+ *  cost is minimized, perf maximized). */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+} // namespace lll::search
+
+#endif // LLL_SEARCH_PARETO_HH

@@ -1,0 +1,331 @@
+#include "search/search.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/export.hh"
+#include "util/names.hh"
+#include "workloads/spec_workload.hh"
+
+namespace lll::search
+{
+
+using util::ErrorCode;
+using util::Status;
+
+namespace
+{
+
+std::string
+fmtG17(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtFixed(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+pad(const std::string &s, size_t width)
+{
+    std::string out = s;
+    while (out.size() < width)
+        out += ' ';
+    return out;
+}
+
+} // namespace
+
+util::Result<SearchResult>
+Searcher::run(const SearchSpec &spec)
+{
+    // Resolve the base platform and the workload.
+    platforms::Platform base;
+    if (spec.hasBasePlatform) {
+        base = spec.basePlatform;
+    } else {
+        util::Result<platforms::Platform> p =
+            platforms::findPlatform(spec.platformName);
+        if (!p.ok())
+            return p.status();
+        base = p.take();
+    }
+    workloads::WorkloadPtr workload;
+    if (spec.hasSpec) {
+        workload = workloads::inlineSpecWorkload(spec.spec,
+                                                 spec.randomDominated);
+    } else {
+        util::Result<workloads::WorkloadPtr> w =
+            workloads::findWorkload(spec.workloadName);
+        if (!w.ok())
+            return w.status();
+        workload = w.take();
+    }
+
+    util::Result<std::vector<Candidate>> enumerated =
+        enumerateSpace(spec, base, *workload);
+    if (!enumerated.ok())
+        return enumerated.status();
+    std::vector<Candidate> candidates = enumerated.take();
+
+    SearchResult result;
+    result.platform = base.name;
+    result.workload = workload->name();
+    result.optsLabel = spec.opts.label();
+    result.bankWeight = spec.bankWeight;
+    {
+        std::vector<std::string> names;
+        for (const Axis &axis : spec.axes)
+            names.push_back(axis.name);
+        std::sort(names.begin(), names.end());
+        result.axisNames = std::move(names);
+    }
+    result.enumerated = candidates.size();
+    result.rows.resize(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        SearchRow &row = result.rows[i];
+        row.index = i;
+        row.label = candidates[i].label;
+        row.cost = candidates[i].cost;
+        row.ceilingGBs = candidates[i].ceilingGBs;
+        if (!candidates[i].feasible) {
+            row.fate = CandidateFate::Infeasible;
+            row.status = candidates[i].infeasibleWhy;
+            ++result.prunedInfeasible;
+        }
+    }
+
+    // Cost classes, cheapest first.  Within a class candidates keep
+    // enumeration order; across classes the analytic prune compares
+    // against *strictly* cheaper simulated performance only, so equal
+    // cost can never prune equal cost and the result is independent
+    // of intra-class completion order.
+    std::map<double, std::vector<size_t>> classes;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].feasible)
+            classes[candidates[i].cost].push_back(i);
+    }
+
+    const double warmup = spec.warmupUs > 0.0 ? spec.warmupUs
+                                              : workload->warmupUs();
+    const double measure = spec.measureUs > 0.0 ? spec.measureUs
+                                                : workload->measureUs();
+
+    core::SweepRunner::Params rp;
+    rp.jobs = params_.jobs;
+    rp.cache = params_.cache;
+    rp.registry = params_.registry;
+    core::SweepRunner runner(rp);
+
+    // Both ceiling terms (DESIGN.md §17.2) cap the *sustained* rate,
+    // but a finite measurement window can overshoot them by a fraction
+    // of a percent (requests in flight at the window edges are
+    // attributed whole).  Pruning therefore demands this much headroom
+    // above the ceiling before calling a candidate dominated, so a
+    // config that could tie its ceiling is never retired by a lucky
+    // window.
+    constexpr double kCeilingSlack = 0.02;
+
+    double best_perf = 0.0;
+    bool best_any = false;
+    for (const auto &[cost, members] : classes) {
+        (void)cost;
+        std::vector<size_t> to_run;
+        for (size_t i : members) {
+            if (!spec.disablePruning && best_any &&
+                best_perf >=
+                    candidates[i].ceilingGBs * (1.0 + kCeilingSlack)) {
+                // A strictly cheaper config already achieved at least
+                // everything this one's ceiling allows: dominated.
+                result.rows[i].fate = CandidateFate::PrunedAnalytic;
+                ++result.prunedAnalytic;
+            } else {
+                to_run.push_back(i);
+            }
+        }
+        if (to_run.empty())
+            continue;
+        ++result.waves;
+        std::vector<core::SweepRunner::StageUnit> units;
+        units.reserve(to_run.size());
+        for (size_t i : to_run) {
+            units.push_back({candidates[i].platform, workload.get(),
+                             spec.opts, warmup, measure, spec.cores,
+                             spec.seed});
+        }
+        const std::vector<core::SweepRunner::StageOutcome> outcomes =
+            runner.runStages(units);
+        double class_best = 0.0;
+        bool class_any = false;
+        for (size_t u = 0; u < to_run.size(); ++u) {
+            SearchRow &row = result.rows[to_run[u]];
+            row.fate = CandidateFate::Simulated;
+            ++result.simulated;
+            const core::SweepRunner::StageOutcome &out = outcomes[u];
+            row.status = out.status;
+            if (!out.status.ok())
+                continue;
+            const core::Analysis &a = out.metrics.analysis;
+            row.bwGBs = a.bwGBs;
+            row.pctPeak = a.pctPeak;
+            row.latencyNs = a.latencyNs;
+            row.nAvg = a.nAvg;
+            row.throughput = out.metrics.throughput;
+            if (!class_any || row.bwGBs > class_best) {
+                class_best = row.bwGBs;
+                class_any = true;
+            }
+        }
+        // Merge after the whole class so equal-cost members never see
+        // each other's results.
+        if (class_any && (!best_any || class_best > best_perf)) {
+            best_perf = class_best;
+            best_any = true;
+        }
+    }
+
+    // Frontier over successful simulations only.
+    std::vector<ParetoPoint> points;
+    for (const SearchRow &row : result.rows) {
+        if (row.fate == CandidateFate::Simulated && row.status.ok()) {
+            points.push_back({row.label, row.cost, row.bwGBs,
+                              row.index});
+        }
+    }
+    for (const ParetoPoint &p : paretoFrontier(std::move(points))) {
+        result.rows[p.index].onFrontier = true;
+        result.frontier.push_back(p.index);
+    }
+
+    if (params_.registry) {
+        obs::MetricRegistry &reg = *params_.registry;
+        reg.counter(util::names::kSearchEnumeratedTotal)
+            .increment(result.enumerated);
+        reg.counter(util::names::kSearchPrunedAnalyticTotal)
+            .increment(result.prunedAnalytic);
+        reg.counter(util::names::kSearchPrunedInfeasibleTotal)
+            .increment(result.prunedInfeasible);
+        reg.counter(util::names::kSearchSimulatedTotal)
+            .increment(result.simulated);
+        reg.counter(util::names::kSearchWavesTotal)
+            .increment(result.waves);
+        reg.setGauge(util::names::kSearchFrontierSize,
+                     static_cast<double>(result.frontier.size()));
+    }
+    return result;
+}
+
+std::string
+searchDataJson(const SearchResult &r, bool include_rows)
+{
+    std::ostringstream out;
+    out << "{\"platform\": \"" << obs::jsonEscape(r.platform)
+        << "\", \"workload\": \"" << obs::jsonEscape(r.workload)
+        << "\", \"opts\": \"" << obs::jsonEscape(r.optsLabel)
+        << "\", \"axes\": [";
+    for (size_t i = 0; i < r.axisNames.size(); ++i) {
+        out << (i ? ", " : "") << "\"" << obs::jsonEscape(r.axisNames[i])
+            << "\"";
+    }
+    out << "], \"bank_weight\": " << fmtG17(r.bankWeight)
+        << ", \"enumerated\": " << r.enumerated
+        << ", \"pruned_analytic\": " << r.prunedAnalytic
+        << ", \"pruned_infeasible\": " << r.prunedInfeasible
+        << ", \"simulated\": " << r.simulated
+        << ", \"waves\": " << r.waves << ", \"frontier\": [";
+    auto emitPoint = [&out, &r](size_t index, bool first) {
+        const SearchRow &row = r.rows[index];
+        out << (first ? "" : ", ") << "{\"config\": \""
+            << obs::jsonEscape(row.label)
+            << "\", \"cost\": " << fmtG17(row.cost)
+            << ", \"bw_gbs\": " << fmtG17(row.bwGBs)
+            << ", \"pct_peak\": " << fmtG17(row.pctPeak)
+            << ", \"latency_ns\": " << fmtG17(row.latencyNs)
+            << ", \"n_avg\": " << fmtG17(row.nAvg)
+            << ", \"ceiling_gbs\": " << fmtG17(row.ceilingGBs) << "}";
+    };
+    for (size_t i = 0; i < r.frontier.size(); ++i)
+        emitPoint(r.frontier[i], i == 0);
+    out << "]";
+    if (include_rows) {
+        out << ", \"rows\": [";
+        for (size_t i = 0; i < r.rows.size(); ++i) {
+            const SearchRow &row = r.rows[i];
+            out << (i ? ", " : "") << "{\"config\": \""
+                << obs::jsonEscape(row.label)
+                << "\", \"cost\": " << fmtG17(row.cost)
+                << ", \"ceiling_gbs\": " << fmtG17(row.ceilingGBs)
+                << ", \"fate\": \"" << candidateFateName(row.fate)
+                << "\", \"status\": {\"code\": \""
+                << util::errorCodeName(row.status.code())
+                << "\", \"message\": \""
+                << obs::jsonEscape(row.status.message())
+                << "\"}, \"bw_gbs\": " << fmtG17(row.bwGBs)
+                << ", \"n_avg\": " << fmtG17(row.nAvg)
+                << ", \"on_frontier\": "
+                << (row.onFrontier ? "true" : "false") << "}";
+        }
+        out << "]";
+    }
+    out << "}";
+    return out.str();
+}
+
+std::string
+renderSearchText(const SearchResult &r, bool all_rows)
+{
+    std::ostringstream out;
+    out << "search: " << r.workload << " on " << r.platform << " (opts "
+        << r.optsLabel << ")\n";
+    out << "candidates: " << r.enumerated << " enumerated = "
+        << r.simulated << " simulated + " << r.prunedAnalytic
+        << " pruned (analytic) + " << r.prunedInfeasible
+        << " infeasible; " << r.waves << " waves\n";
+    out << "cost model: L1 MSHRs + L2 MSHRs + "
+        << fmtFixed(r.bankWeight, 2) << " x banks\n\n";
+
+    auto emitRow = [&out](const SearchRow &row) {
+        out << "  " << pad(fmtFixed(row.cost, 1), 9)
+            << pad(fmtFixed(row.bwGBs, 2), 12)
+            << pad(fmtFixed(row.pctPeak * 100.0, 1), 8)
+            << pad(fmtFixed(row.latencyNs, 0), 9)
+            << pad(fmtFixed(row.nAvg, 2), 8)
+            << pad(fmtFixed(row.ceilingGBs, 2), 10) << row.label
+            << "\n";
+    };
+    const std::string header =
+        "  " + pad("cost", 9) + pad("BW GB/s", 12) + pad("%peak", 8) +
+        pad("lat ns", 9) + pad("n_avg", 8) + pad("ceiling", 10) +
+        "config\n";
+    out << "Pareto frontier (" << r.frontier.size() << " of "
+        << r.simulated << " simulated):\n" << header;
+    for (size_t index : r.frontier)
+        emitRow(r.rows[index]);
+    if (all_rows) {
+        out << "\nall candidates:\n" << header;
+        for (const SearchRow &row : r.rows) {
+            if (row.fate == CandidateFate::Simulated &&
+                row.status.ok()) {
+                emitRow(row);
+                continue;
+            }
+            out << "  " << pad(fmtFixed(row.cost, 1), 9)
+                << pad(std::string("[") +
+                           candidateFateName(row.fate) + "]",
+                       47)
+                << row.label << "\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace lll::search

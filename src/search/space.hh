@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Search-space specification and candidate enumeration (DESIGN.md §17).
+ *
+ * A SearchSpec names the base platform and workload, the axes whose
+ * cross product spans the space, optional explicit points, and the
+ * cost-model weights.  enumerateSpace() expands it into concrete
+ * candidates, each a self-contained Platform with a canonical label,
+ * its static cost, and its analytic Little's-law bandwidth ceiling —
+ * everything the pruner compares before anything simulates.
+ */
+
+#ifndef LLL_SEARCH_SPACE_HH
+#define LLL_SEARCH_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/bounds.hh"
+#include "platforms/platform.hh"
+#include "search/axes.hh"
+#include "sim/kernel_spec.hh"
+#include "util/status.hh"
+#include "workloads/optimization.hh"
+#include "workloads/workload.hh"
+
+namespace lll::search
+{
+
+/** Everything `lll search` / a `kind:"search"` request needs. */
+struct SearchSpec
+{
+    std::string platformName;
+
+    /** Exactly one of workloadName / (hasSpec, spec) is set. */
+    std::string workloadName;
+    bool hasSpec = false;
+    sim::KernelSpec spec;
+    bool randomDominated = false;
+
+    /** Tests inject a custom base platform here (hasBasePlatform);
+     *  the CLI and the service always resolve platformName. */
+    bool hasBasePlatform = false;
+    platforms::Platform basePlatform;
+
+    std::vector<Axis> axes;          //!< cross product
+    std::vector<Assignment> points;  //!< explicit extra points
+
+    workloads::OptSet opts;
+    int cores = 0;       //!< 0 = all of the platform's cores
+    uint64_t seed = 7;
+    double warmupUs = 0.0;  //!< 0 = the workload's default window
+    double measureUs = 0.0; //!< 0 = the workload's default window
+
+    /** Cost model: cost = l1_mshrs + l2_mshrs + bankWeight * banks
+     *  (per core MSHRs; banks as built by the memory controller). */
+    double bankWeight = 0.5;
+
+    /** Refuse spaces larger than this before any work happens. */
+    size_t maxCandidates = 4096;
+
+    /** Simulate everything (tests compare against this brute force;
+     *  `--no-prune` exposes it on the CLI). */
+    bool disablePruning = false;
+};
+
+/** How one candidate left the pipeline. */
+enum class CandidateFate
+{
+    Simulated,      //!< fanned through SweepRunner::runStages
+    PrunedAnalytic, //!< ceiling proves it dominated by a cheaper point
+    Infeasible,     //!< cannot build/analyze (bad combo or vacuous)
+};
+
+const char *candidateFateName(CandidateFate fate);
+
+/** One enumerated point of the space, pre-simulation. */
+struct Candidate
+{
+    Assignment assign;
+    std::string label;             //!< canonical "axis=value,..." form
+    platforms::Platform platform;  //!< base + assignment, renamed
+    double cost = 0.0;
+    /** min(in-flight-line capacity, bank-serialization capacity): a
+     *  proven upper bound on any bandwidth this candidate can simulate
+     *  to.  Every line to memory holds an L2 MSHR for at least the
+     *  idle memory round trip (Little's law; load only lengthens the
+     *  hold), and every line serializes on one bank. */
+    double ceilingGBs = 0.0;
+    core::SpecBounds bounds;
+    bool feasible = false;
+    util::Status infeasibleWhy; //!< set when !feasible
+};
+
+/**
+ * Expand the cross product of @p spec's axes plus its explicit points
+ * into candidates (canonical order: label-lexicographic within the
+ * name-sorted cross product; duplicates collapse to their first
+ * occurrence).  Computes each candidate's cost and analytic ceiling
+ * against @p workload's kernel under @p spec's opts.
+ *
+ * Fails only on structural problems (empty space, too many
+ * candidates); per-candidate build failures come back as infeasible
+ * candidates, not errors.
+ */
+[[nodiscard]] util::Result<std::vector<Candidate>>
+enumerateSpace(const SearchSpec &spec, const platforms::Platform &base,
+               const workloads::Workload &workload);
+
+/** The cost model above, from a candidate's built system parameters. */
+double candidateCost(const sim::SystemParams &sys, double bank_weight);
+
+} // namespace lll::search
+
+#endif // LLL_SEARCH_SPACE_HH

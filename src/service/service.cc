@@ -9,8 +9,10 @@
 #include "obs/span.hh"
 #include "obs/timer.hh"
 #include "platforms/platform.hh"
+#include "search/axes.hh"
 #include "util/json.hh"
 #include "util/names.hh"
+#include "workloads/spec_workload.hh"
 #include "workloads/workload.hh"
 
 namespace lll::service
@@ -207,47 +209,6 @@ parseSpec(const JsonValue &v)
     return spec;
 }
 
-/**
- * Adapter presenting an inline request spec as a Workload, so
- * SweepRunner::runStages / Experiment run it unchanged.  Opts are
- * rejected at parse time for inline-spec requests (the fixed spec
- * cannot model their transformations), so spec() ignores them.
- */
-class SpecWorkload : public workloads::Workload
-{
-  public:
-    SpecWorkload(sim::KernelSpec spec, bool random_dominated)
-        : spec_(std::move(spec)), randomDominated_(random_dominated)
-    {
-    }
-
-    std::string name() const override { return spec_.name; }
-    std::string description() const override
-    {
-        return "inline kernel spec";
-    }
-    std::string problemSize() const override { return "-"; }
-    std::string routine() const override { return spec_.name; }
-
-    sim::KernelSpec spec(const platforms::Platform &,
-                         const OptSet &) const override
-    {
-        return spec_;
-    }
-
-    std::vector<workloads::ExperimentRow>
-    paperRows(const platforms::Platform &) const override
-    {
-        return {};
-    }
-
-    bool randomDominated() const override { return randomDominated_; }
-
-  private:
-    sim::KernelSpec spec_;
-    bool randomDominated_;
-};
-
 } // namespace
 
 util::JsonLimits
@@ -275,26 +236,63 @@ parseRunRequest(const std::string &line, size_t line_no)
                                   "request must be a JSON object, "
                                   "got %s", doc->typeName()));
     }
-    Status known = rejectUnknownFields(
-        *doc,
-        {"schema_version", "id", "platform", "workload", "spec",
-         "random_dominated", "opts", "cores", "seed", "warmup_us",
-         "measure_us"},
-        "request");
-    if (!known.ok())
-        return fail(known);
-
     util::Result<double> version = doc->getNumber("schema_version");
     if (!version.ok())
         return fail(version.status());
-    if (*version != kServiceSchemaVersion) {
+    if (*version != kServiceSchemaVersionV1 &&
+        *version != kServiceSchemaVersion) {
         return fail(Status::error(
             ErrorCode::InvalidArgument,
-            "unsupported schema_version %g (this build speaks %d)",
+            "unsupported schema_version %g (this build speaks 1-%d)",
             *version, kServiceSchemaVersion));
     }
+    const bool v2 = *version == kServiceSchemaVersion;
+
+    // Per-version field lists: a v1 line must behave exactly as it did
+    // on a v1-only build, so the v2-only fields stay unknown to it.
+    std::vector<std::string> known_fields = {
+        "schema_version", "id",   "platform",  "workload",
+        "spec",           "random_dominated", "opts", "cores",
+        "seed",           "warmup_us",        "measure_us"};
+    if (v2) {
+        known_fields.insert(known_fields.end(),
+                            {"kind", "axes", "points", "bank_weight",
+                             "max_candidates", "no_prune"});
+    }
+    Status known = rejectUnknownFields(*doc, known_fields, "request");
+    if (!known.ok())
+        return fail(known);
 
     RunRequest req;
+    req.schemaVersion = int(*version);
+
+    std::string kind = "run";
+    if (v2) {
+        util::Result<std::string> k = doc->getStringOr("kind", "run");
+        if (!k.ok())
+            return fail(k.status());
+        kind = k.take();
+        if (kind != "run" && kind != "search") {
+            return fail(Status::error(
+                ErrorCode::InvalidArgument,
+                "unknown request kind \"%s\" (this build speaks "
+                "\"run\" and \"search\")",
+                kind.c_str()));
+        }
+    }
+    req.isSearch = kind == "search";
+    if (!req.isSearch) {
+        for (const char *f :
+             {"axes", "points", "bank_weight", "max_candidates",
+              "no_prune"}) {
+            if (doc->find(f)) {
+                return fail(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "field \"%s\" is only valid on kind \"search\"",
+                    f));
+            }
+        }
+    }
     char default_id[32];
     std::snprintf(default_id, sizeof(default_id), "#%zu", line_no);
     util::Result<std::string> id = doc->getStringOr("id", default_id);
@@ -394,6 +392,98 @@ parseRunRequest(const std::string &line, size_t line_no)
     }
     req.warmupUs = *warmup;
     req.measureUs = *measure;
+
+    if (req.isSearch) {
+        search::SearchSpec &space = req.search;
+        const JsonValue *axes = doc->find("axes");
+        if (axes) {
+            if (!axes->isArray()) {
+                return fail(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "field \"axes\" must be an array, got %s",
+                    axes->typeName()));
+            }
+            for (const JsonValue &a : axes->array) {
+                if (!a.isString()) {
+                    return fail(Status::error(
+                        ErrorCode::InvalidArgument,
+                        "\"axes\" entries must be \"name=spec\" "
+                        "strings, got %s",
+                        a.typeName()));
+                }
+                util::Result<search::Axis> axis =
+                    search::parseAxis(a.string);
+                if (!axis.ok())
+                    return fail(axis.status());
+                space.axes.push_back(axis.take());
+            }
+        }
+        const JsonValue *points = doc->find("points");
+        if (points) {
+            if (!points->isArray()) {
+                return fail(Status::error(
+                    ErrorCode::InvalidArgument,
+                    "field \"points\" must be an array, got %s",
+                    points->typeName()));
+            }
+            for (const JsonValue &p : points->array) {
+                if (!p.isString()) {
+                    return fail(Status::error(
+                        ErrorCode::InvalidArgument,
+                        "\"points\" entries must be "
+                        "\"name=value,...\" strings, got %s",
+                        p.typeName()));
+                }
+                util::Result<search::Assignment> point =
+                    search::parsePoint(p.string);
+                if (!point.ok())
+                    return fail(point.status());
+                space.points.push_back(point.take());
+            }
+        }
+        if (space.axes.empty() && space.points.empty()) {
+            return fail(Status::error(
+                ErrorCode::InvalidArgument,
+                "search request needs a non-empty \"axes\" array "
+                "(or explicit \"points\")"));
+        }
+        util::Result<double> weight =
+            doc->getNumberOr("bank_weight", space.bankWeight);
+        if (!weight.ok())
+            return fail(weight.status());
+        if (!(*weight >= 0.0) || *weight > 1e9) {
+            return fail(Status::error(
+                ErrorCode::InvalidArgument,
+                "field \"bank_weight\" must be in [0, 1e9]"));
+        }
+        space.bankWeight = *weight;
+        util::Result<uint64_t> max_cand =
+            getCount(*doc, "max_candidates", space.maxCandidates);
+        if (!max_cand.ok())
+            return fail(max_cand.status());
+        if (*max_cand == 0) {
+            return fail(Status::error(
+                ErrorCode::InvalidArgument,
+                "field \"max_candidates\" must be >= 1"));
+        }
+        space.maxCandidates = *max_cand;
+        util::Result<bool> no_prune = doc->getBoolOr("no_prune", false);
+        if (!no_prune.ok())
+            return fail(no_prune.status());
+        space.disablePruning = *no_prune;
+
+        // Mirror the shared fields so the searcher sees one object.
+        space.platformName = req.platformName;
+        space.workloadName = req.workloadName;
+        space.hasSpec = req.hasSpec;
+        space.spec = req.spec;
+        space.randomDominated = req.randomDominated;
+        space.opts = req.opts;
+        space.cores = req.cores;
+        space.seed = req.seed;
+        space.warmupUs = req.warmupUs;
+        space.measureUs = req.measureUs;
+    }
     return req;
 }
 
@@ -401,7 +491,7 @@ std::string
 renderRunResponse(const RunResponse &r, bool include_timing)
 {
     std::ostringstream out;
-    out << "{\"schema_version\": " << kServiceSchemaVersion
+    out << "{\"schema_version\": " << r.schemaVersion
         << ", \"id\": \"" << obs::jsonEscape(r.id)
         << "\", \"status\": {\"code\": \""
         << util::errorCodeName(r.status.code())
@@ -420,6 +510,10 @@ renderRunResponse(const RunResponse &r, bool include_timing)
     out << "\"data\": ";
     if (!r.status.ok()) {
         out << "null}";
+        return out.str();
+    }
+    if (r.isSearch) {
+        out << search::searchDataJson(r.search, false) << "}";
         return out.str();
     }
     out << stageDataJson(r.metrics, r.platform, r.workload, r.optsLabel)
@@ -470,6 +564,7 @@ RunService::serveLines(const std::vector<std::string> &lines,
         Status status;       //!< first error on the request's path
         size_t unit = SIZE_MAX; //!< index into the coalesced units
         StageTiming timing;  //!< host wall time per stage
+        search::SearchResult search; //!< kind:"search" outcome
     };
     std::vector<Slot> slots;
 
@@ -524,6 +619,10 @@ RunService::serveLines(const std::vector<std::string> &lines,
         for (Slot &slot : slots) {
             if (!slot.status.ok())
                 continue;
+            // Search requests resolve their own names inside the
+            // searcher and never share a stage unit.
+            if (slot.req.isSearch)
+                continue;
             obs::WallTimer coalesce_timer;
             CoalesceDone record_coalesce{slot, coalesce_timer};
             RunRequest &req = slot.req;
@@ -535,8 +634,8 @@ RunService::serveLines(const std::vector<std::string> &lines,
             }
             workloads::WorkloadPtr wl;
             if (req.hasSpec) {
-                wl = std::make_unique<SpecWorkload>(
-                    req.spec, req.randomDominated);
+                wl = workloads::inlineSpecWorkload(req.spec,
+                                                   req.randomDominated);
             } else {
                 util::Result<workloads::WorkloadPtr> found =
                     workloads::findWorkload(req.workloadName);
@@ -588,6 +687,25 @@ RunService::serveLines(const std::vector<std::string> &lines,
         rp.registry = params_.registry;
         core::SweepRunner runner(rp);
         outcomes = runner.runStages(units);
+
+        // Search requests run after the stage units, in request order,
+        // each through its own bounds-pruned wave pipeline (the
+        // searcher shares this service's jobs/cache/registry, so warm
+        // neighborhoods still coalesce through the stage memo).
+        for (Slot &slot : slots) {
+            if (!slot.status.ok() || !slot.req.isSearch)
+                continue;
+            obs::WallTimer search_timer;
+            search::Searcher searcher(
+                {params_.jobs, params_.cache, params_.registry});
+            util::Result<search::SearchResult> result =
+                searcher.run(slot.req.search);
+            slot.timing.simulateNs = search_timer.elapsedNs();
+            if (result.ok())
+                slot.search = result.take();
+            else
+                slot.status = result.status();
+        }
     }
 
     std::vector<RunResponse> responses;
@@ -598,9 +716,13 @@ RunService::serveLines(const std::vector<std::string> &lines,
         for (Slot &slot : slots) {
             obs::WallTimer respond_timer;
             RunResponse resp;
+            resp.schemaVersion = slot.req.schemaVersion;
             resp.id = slot.req.id;
             if (!slot.status.ok()) {
                 resp.status = slot.status;
+            } else if (slot.req.isSearch) {
+                resp.isSearch = true;
+                resp.search = std::move(slot.search);
             } else {
                 const core::SweepRunner::StageOutcome &out =
                     outcomes[slot.unit];
@@ -613,9 +735,15 @@ RunService::serveLines(const std::vector<std::string> &lines,
                 slot.timing.simulateNs = out.simulateNs;
             }
             if (resp.status.ok()) {
-                resp.platform = units[slot.unit].platform.name;
-                resp.workload = units[slot.unit].workload->name();
-                resp.optsLabel = slot.req.opts.label();
+                if (resp.isSearch) {
+                    resp.platform = resp.search.platform;
+                    resp.workload = resp.search.workload;
+                    resp.optsLabel = resp.search.optsLabel;
+                } else {
+                    resp.platform = units[slot.unit].platform.name;
+                    resp.workload = units[slot.unit].workload->name();
+                    resp.optsLabel = slot.req.opts.label();
+                }
             } else {
                 ++failed;
             }

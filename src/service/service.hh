@@ -11,8 +11,12 @@
  * from the shared outcome; with the process-wide ResultCache engaged a
  * warm batch is served entirely from memo.
  *
- * Request schema (schema_version 1); exactly one of "workload" /
- * "spec" must be present:
+ * Request schema.  The service speaks two versions; a response echoes
+ * the version of the request it answers, so v1 clients on a v2 server
+ * see byte-identical lines.
+ *
+ * schema_version 1 — exactly one of "workload" / "spec" must be
+ * present:
  *
  *   {"schema_version": 1, "id": "r1", "platform": "bdx",
  *    "workload": "isx", "opts": ["vect", "2-ht"], "cores": 4,
@@ -22,12 +26,31 @@
  *    "spec": {"name": "mykernel", "window": 12, "streams": [
  *      {"kind": "random", "footprint_lines": 4000000}]}}
  *
+ * schema_version 2 adds a "kind" discriminator.  kind "run" (the
+ * default) is the v1 request unchanged; kind "search" carries a
+ * design-space spec (DESIGN.md §17) and answers with the Pareto
+ * frontier instead of one stage's metrics:
+ *
+ *   {"schema_version": 2, "kind": "search", "id": "s1",
+ *    "platform": "skl", "workload": "isx", "cores": 6,
+ *    "axes": ["l2_mshrs=8:64:*2", "banks=4:20:+4"],
+ *    "points": ["l2_mshrs=48,banks=10"], "bank_weight": 0.5,
+ *    "max_candidates": 4096, "no_prune": false}
+ *
+ * An unknown v2 kind fails that request alone (per-request
+ * invalid-argument status), never the batch.
+ *
  * Response lines reuse the CLI's JSON envelope status shape:
  *
  *   {"schema_version": 1, "id": "r1",
  *    "status": {"code": "ok", "exit": 0, "message": ""},
  *    "data": {"platform": ..., "workload": ..., "opts": ...,
  *             "throughput": ..., "bw_gbs": ..., "n_avg": ...}}
+ *
+ * A search response's "data" is search::searchDataJson — accounting
+ * plus the frontier rows.  Lines that fail before a version is known
+ * (malformed JSON, missing schema_version) are answered with the v1
+ * envelope, which every client must accept.
  */
 
 #ifndef LLL_SERVICE_SERVICE_HH
@@ -39,6 +62,7 @@
 
 #include "core/sweep.hh"
 #include "obs/registry.hh"
+#include "search/search.hh"
 #include "sim/kernel_spec.hh"
 #include "util/json.hh"
 #include "util/status.hh"
@@ -47,8 +71,13 @@
 namespace lll::service
 {
 
-/** Version of the request/response line schema. */
-constexpr int kServiceSchemaVersion = 1;
+/** Newest request/response line schema this build speaks.  Every
+ *  version down to 1 stays accepted; responses echo the request's
+ *  version (the serve byte-compat contract). */
+constexpr int kServiceSchemaVersion = 2;
+
+/** The original run-only schema (no "kind" field). */
+constexpr int kServiceSchemaVersionV1 = 1;
 
 /**
  * Resource bounds on one request line.  A request is a small, shallow
@@ -66,11 +95,15 @@ constexpr int kMaxRequestDepth = 16;
 util::JsonLimits requestJsonLimits();
 
 /**
- * One normalized analysis request.  Exactly one of workloadName /
- * spec is set (hasSpec discriminates).
+ * One normalized request.  Exactly one of workloadName / spec is set
+ * (hasSpec discriminates).  isSearch (v2 kind "search") carries the
+ * fully-resolved design-space spec; the shared fields (platform,
+ * workload/spec, opts, cores, seed, windows) are mirrored into it at
+ * parse time so the searcher sees one coherent object.
  */
 struct RunRequest
 {
+    int schemaVersion = kServiceSchemaVersionV1; //!< echoed back
     std::string id;           //!< echoes back; defaults to "#<line>"
     std::string platformName;
     std::string workloadName; //!< empty for inline-spec requests
@@ -82,6 +115,9 @@ struct RunRequest
     uint64_t seed = 7;
     double warmupUs = 0.0;  //!< 0 = the workload's default window
     double measureUs = 0.0; //!< 0 = the workload's default window
+
+    bool isSearch = false;    //!< v2 kind "search"
+    search::SearchSpec search; //!< meaningful only when isSearch
 };
 
 /**
@@ -113,10 +149,11 @@ struct StageTiming
     }
 };
 
-/** One response line: per-request status plus (on success) the
- *  analysis payload of the stage the request resolved to. */
+/** One response line: per-request status plus (on success) either the
+ *  stage's analysis payload or, for search requests, the frontier. */
 struct RunResponse
 {
+    int schemaVersion = kServiceSchemaVersionV1; //!< request's version
     std::string id;
     util::Status status;
     core::StageMetrics metrics; //!< meaningful only when status.ok()
@@ -124,6 +161,9 @@ struct RunResponse
     std::string workload;
     std::string optsLabel;
     StageTiming timing; //!< always populated by serveLines()
+
+    bool isSearch = false;       //!< response to a kind:"search"
+    search::SearchResult search; //!< meaningful when isSearch && ok
 };
 
 /**

@@ -1,9 +1,33 @@
 #include "util/argparse.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <sstream>
 
 namespace lll::util
 {
+
+void ArgParser::stripHelp()
+{
+    for (size_t i = 0; i < args_.size();) {
+        if (args_[i] == "--help" || args_[i] == "-h") {
+            helpRequested_ = true;
+            args_.erase(args_.begin() + static_cast<long>(i));
+        } else {
+            ++i;
+        }
+    }
+}
+
+void ArgParser::record(const std::string &flag, const char *metavar,
+                       const char *help, bool repeatable)
+{
+    for (const FlagInfo &f : flags_) {
+        if (f.flag == flag)
+            return; // shared helpers may re-register; keep the first
+    }
+    flags_.push_back({flag, metavar, help, repeatable});
+}
 
 util::Result<size_t> ArgParser::findOnce(const std::string &flag) const
 {
@@ -20,7 +44,7 @@ util::Result<size_t> ArgParser::findOnce(const std::string &flag) const
     return found;
 }
 
-util::Result<std::string> ArgParser::stringFlag(const std::string &flag)
+util::Result<std::string> ArgParser::extractValue(const std::string &flag)
 {
     util::Result<size_t> at = findOnce(flag);
     if (!at.ok())
@@ -37,9 +61,45 @@ util::Result<std::string> ArgParser::stringFlag(const std::string &flag)
     return value;
 }
 
-util::Result<int> ArgParser::intFlag(const std::string &flag, int fallback)
+util::Result<std::string> ArgParser::stringFlag(const std::string &flag,
+                                                const char *help)
 {
-    util::Result<std::string> raw = stringFlag(flag);
+    record(flag, "S", help, false);
+    if (helpRequested_)
+        return std::string();
+    return extractValue(flag);
+}
+
+util::Result<std::vector<std::string>>
+ArgParser::stringList(const std::string &flag, const char *help)
+{
+    record(flag, "S", help, true);
+    std::vector<std::string> values;
+    if (helpRequested_)
+        return values;
+    for (size_t i = 0; i < args_.size();) {
+        if (args_[i] != flag) {
+            ++i;
+            continue;
+        }
+        if (i + 1 >= args_.size()) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "%s needs an argument", flag.c_str());
+        }
+        values.push_back(args_[i + 1]);
+        args_.erase(args_.begin() + static_cast<long>(i),
+                    args_.begin() + static_cast<long>(i) + 2);
+    }
+    return values;
+}
+
+util::Result<int> ArgParser::intFlag(const std::string &flag, int fallback,
+                                     const char *help)
+{
+    record(flag, "N", help, false);
+    if (helpRequested_)
+        return fallback;
+    util::Result<std::string> raw = extractValue(flag);
     if (!raw.ok())
         return raw.status();
     if (raw->empty())
@@ -55,9 +115,13 @@ util::Result<int> ArgParser::intFlag(const std::string &flag, int fallback)
 }
 
 util::Result<uint64_t> ArgParser::uint64Flag(const std::string &flag,
-                                             uint64_t fallback)
+                                             uint64_t fallback,
+                                             const char *help)
 {
-    util::Result<std::string> raw = stringFlag(flag);
+    record(flag, "N", help, false);
+    if (helpRequested_)
+        return fallback;
+    util::Result<std::string> raw = extractValue(flag);
     if (!raw.ok())
         return raw.status();
     if (raw->empty())
@@ -73,9 +137,13 @@ util::Result<uint64_t> ArgParser::uint64Flag(const std::string &flag,
 }
 
 util::Result<double> ArgParser::doubleFlag(const std::string &flag,
-                                           double fallback)
+                                           double fallback,
+                                           const char *help)
 {
-    util::Result<std::string> raw = stringFlag(flag);
+    record(flag, "X", help, false);
+    if (helpRequested_)
+        return fallback;
+    util::Result<std::string> raw = extractValue(flag);
     if (!raw.ok())
         return raw.status();
     if (raw->empty())
@@ -90,8 +158,12 @@ util::Result<double> ArgParser::doubleFlag(const std::string &flag,
     return v;
 }
 
-util::Result<bool> ArgParser::boolFlag(const std::string &flag)
+util::Result<bool> ArgParser::boolFlag(const std::string &flag,
+                                       const char *help)
 {
+    record(flag, nullptr, help, false);
+    if (helpRequested_)
+        return false;
     util::Result<size_t> at = findOnce(flag);
     if (!at.ok())
         return at.status();
@@ -103,7 +175,7 @@ util::Result<bool> ArgParser::boolFlag(const std::string &flag)
 
 util::Status ArgParser::finish() const
 {
-    if (args_.empty())
+    if (helpRequested_ || args_.empty())
         return Status::okStatus();
     const std::string &arg = args_.front();
     return Status::error(ErrorCode::InvalidArgument,
@@ -118,6 +190,43 @@ void ArgParser::consumePositional(size_t n)
     if (n > args_.size())
         n = args_.size();
     args_.erase(args_.begin(), args_.begin() + static_cast<long>(n));
+}
+
+std::string ArgParser::helpText(const std::string &usage_tail,
+                                const std::string &summary) const
+{
+    std::ostringstream out;
+    out << "usage: lll " << usage_tail << "\n";
+    if (!summary.empty())
+        out << "\n" << summary << "\n";
+    if (flags_.empty())
+        return out.str();
+    out << "\nflags:\n";
+    size_t width = 0;
+    auto head = [](const FlagInfo &f) {
+        std::string h = f.flag;
+        if (f.metavar) {
+            h += " ";
+            h += f.metavar;
+        }
+        return h;
+    };
+    for (const FlagInfo &f : flags_)
+        width = std::max(width, head(f).size());
+    for (const FlagInfo &f : flags_) {
+        std::string h = head(f);
+        out << "  " << h;
+        const bool note = (f.help && *f.help) || f.repeatable;
+        if (note)
+            out << std::string(width - h.size() + 2, ' ');
+        if (f.help && *f.help)
+            out << f.help;
+        if (f.repeatable)
+            out << ((f.help && *f.help) ? " (repeatable)"
+                                        : "(repeatable)");
+        out << "\n";
+    }
+    return out.str();
 }
 
 } // namespace lll::util

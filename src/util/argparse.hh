@@ -19,6 +19,15 @@
  * All failures are InvalidArgument, which util::exitCodeFor maps to
  * the CLI's usage exit code (2) — so `--jobs`, `--cache-dir`,
  * `--json`, `--cores` behave identically across every subcommand.
+ *
+ * The parser is also the single source of `--help` truth: the
+ * constructor strips `--help` / `-h`, every accessor registers its
+ * flag (name, value shape, one-line help), and helpText() renders the
+ * one usage format every subcommand shares.  In help mode accessors
+ * return their fallbacks without validating anything — the command
+ * checks helpRequested() once its flags are registered, prints, and
+ * exits 0 — so `lll <cmd> --help` never fails on the arguments around
+ * it.
  */
 
 #ifndef LLL_UTIL_ARGPARSE_HH
@@ -32,48 +41,72 @@
 namespace lll::util
 {
 
+/** One flag as a subcommand registered it, for the help renderer. */
+struct FlagInfo
+{
+    std::string flag;
+    const char *metavar;    //!< nullptr for bare (boolean) flags
+    const char *help;       //!< optional one-liner (may be nullptr)
+    bool repeatable = false;
+};
+
 class ArgParser
 {
   public:
-    /** Parse over @p args (typically argv[first..argc)). */
+    /** Parse over @p args (typically argv[first..argc)).  `--help` /
+     *  `-h` anywhere in the list is stripped and latched. */
     explicit ArgParser(std::vector<std::string> args)
         : args_(std::move(args))
     {
+        stripHelp();
     }
 
     ArgParser(int argc, char **argv, int first)
         : args_(argv + (first < argc ? first : argc), argv + argc)
     {
+        stripHelp();
     }
 
     /**
      * Extract `FLAG VALUE`; empty string when the flag is absent.
      * Errors on a missing value or a repeated flag.
      */
-    [[nodiscard]] util::Result<std::string> stringFlag(const std::string &flag);
+    [[nodiscard]] util::Result<std::string> stringFlag(const std::string &flag,
+                                         const char *help = nullptr);
+
+    /**
+     * Extract every `FLAG VALUE` occurrence, in argument order
+     * (repeatable flags: "--axis a=1,2 --axis b=3,4").
+     */
+    [[nodiscard]] util::Result<std::vector<std::string>>
+    stringList(const std::string &flag, const char *help = nullptr);
 
     /**
      * Extract `FLAG N` as a strictly positive integer; @p fallback
      * when absent ("--jobs", "--cores", "--iterations"...).
      */
-    [[nodiscard]] util::Result<int> intFlag(const std::string &flag, int fallback);
+    [[nodiscard]] util::Result<int> intFlag(const std::string &flag, int fallback,
+                              const char *help = nullptr);
 
     /**
      * Extract `FLAG N` as an unsigned 64-bit value; @p fallback when
      * absent ("--seed").
      */
     [[nodiscard]] util::Result<uint64_t> uint64Flag(const std::string &flag,
-                                      uint64_t fallback);
+                                      uint64_t fallback,
+                                      const char *help = nullptr);
 
     /**
      * Extract `FLAG X` as a finite non-negative double; @p fallback
      * when absent ("--tolerance", "--measure-ms").
      */
     [[nodiscard]] util::Result<double> doubleFlag(const std::string &flag,
-                                    double fallback);
+                                    double fallback,
+                                    const char *help = nullptr);
 
     /** Extract a bare `FLAG`; false when absent, error on repeats. */
-    [[nodiscard]] util::Result<bool> boolFlag(const std::string &flag);
+    [[nodiscard]] util::Result<bool> boolFlag(const std::string &flag,
+                                const char *help = nullptr);
 
     /** Positional operands left after flag extraction. */
     const std::vector<std::string> &rest() const { return args_; }
@@ -82,16 +115,38 @@ class ArgParser
      * Reject anything still unconsumed: "unknown flag '-x'" for
      * dash-prefixed leftovers, "unexpected argument 'x'" otherwise.
      * Call after all flags *and* positionals have been claimed.
+     * Always ok in help mode.
      */
     [[nodiscard]] util::Status finish() const;
 
     /** Drop the first @p n positional operands (claimed by caller). */
     void consumePositional(size_t n);
 
+    /** `--help` / `-h` was present.  Check once every flag accessor
+     *  has run (registration is what fills the help text). */
+    bool helpRequested() const { return helpRequested_; }
+
+    /** Every flag registered so far, in registration order. */
+    const std::vector<FlagInfo> &flags() const { return flags_; }
+
+    /**
+     * The one shared help format: "usage: lll <usage_tail>" plus one
+     * line per registered flag.  @p summary is the subcommand's
+     * one-line description (omitted when empty).
+     */
+    std::string helpText(const std::string &usage_tail,
+                         const std::string &summary = "") const;
+
   private:
     [[nodiscard]] util::Result<size_t> findOnce(const std::string &flag) const;
+    [[nodiscard]] util::Result<std::string> extractValue(const std::string &flag);
+    void stripHelp();
+    void record(const std::string &flag, const char *metavar,
+                const char *help, bool repeatable);
 
     std::vector<std::string> args_;
+    std::vector<FlagInfo> flags_;
+    bool helpRequested_ = false;
 };
 
 } // namespace lll::util

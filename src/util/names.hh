@@ -91,6 +91,21 @@ inline constexpr char kServiceLatencyTotalNs[] =
     "service.latency.total_ns";
 
 // ---------------------------------------------------------------------
+// search: the design-space autotuner (DESIGN.md §17).
+// ---------------------------------------------------------------------
+
+inline constexpr char kSearchEnumeratedTotal[] =
+    "search.enumerated_total";
+inline constexpr char kSearchPrunedAnalyticTotal[] =
+    "search.pruned_analytic_total";
+inline constexpr char kSearchPrunedInfeasibleTotal[] =
+    "search.pruned_infeasible_total";
+inline constexpr char kSearchSimulatedTotal[] =
+    "search.simulated_total";
+inline constexpr char kSearchWavesTotal[] = "search.waves_total";
+inline constexpr char kSearchFrontierSize[] = "search.frontier_size";
+
+// ---------------------------------------------------------------------
 // net: the socket front-end (DESIGN.md §14).
 // ---------------------------------------------------------------------
 
@@ -179,6 +194,12 @@ inline constexpr const char *kRegisteredNames[] = {
     kServiceLatencySimulateNs,
     kServiceLatencyRespondNs,
     kServiceLatencyTotalNs,
+    kSearchEnumeratedTotal,
+    kSearchPrunedAnalyticTotal,
+    kSearchPrunedInfeasibleTotal,
+    kSearchSimulatedTotal,
+    kSearchWavesTotal,
+    kSearchFrontierSize,
     kNetBytesReadTotal,
     kNetBytesWrittenTotal,
     kNetConnsAcceptedTotal,

@@ -100,7 +100,7 @@ class Comd : public Workload
         using O = Opt;
         OptSet base;
         OptSet vect = base.with(O::Vectorize);
-        if (p.name == "skl") {
+        if (p.baseName() == "skl") {
             OptSet v2 = vect.with(O::Smt2);
             return {
                 {base, vect, "Vect", 1.4},
@@ -108,7 +108,7 @@ class Comd : public Workload
                 {v2, std::nullopt, "-", 0.0},
             };
         }
-        if (p.name == "knl") {
+        if (p.baseName() == "knl") {
             OptSet v2 = vect.with(O::Smt2);
             OptSet v4 = vect.with(O::Smt4);
             return {

@@ -98,13 +98,13 @@ class Hpcg : public Workload
         using O = Opt;
         OptSet base;
         OptSet vect = base.with(O::Vectorize);
-        if (p.name == "skl") {
+        if (p.baseName() == "skl") {
             return {
                 {base, vect, "Vect", 1.0},
                 {vect, vect.with(O::Smt2), "2-way HT", 0.98},
             };
         }
-        if (p.name == "knl") {
+        if (p.baseName() == "knl") {
             OptSet v2 = vect.with(O::Smt2);
             return {
                 {base, vect, "Vect", 1.15},

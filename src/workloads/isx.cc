@@ -105,14 +105,14 @@ class Isx : public Workload
     {
         using O = Opt;
         OptSet base;
-        if (p.name == "skl") {
+        if (p.baseName() == "skl") {
             OptSet vect = base.with(O::Vectorize);
             return {
                 {base, vect, "Vect", 1.0},
                 {vect, vect.with(O::Smt2), "2-way HT", 1.0},
             };
         }
-        if (p.name == "knl") {
+        if (p.baseName() == "knl") {
             OptSet vect = base.with(O::Vectorize);
             OptSet v2 = vect.with(O::Smt2);
             OptSet v2p = v2.with(O::SwPrefetchL2);

@@ -106,13 +106,13 @@ class Minighost : public Workload
         using O = Opt;
         OptSet base;
         OptSet tiled = base.with(O::Tiling);
-        if (p.name == "skl") {
+        if (p.baseName() == "skl") {
             return {
                 {base, tiled, "Tiling", 1.14},
                 {tiled, tiled.with(O::Smt2), "2-way HT", 1.02},
             };
         }
-        if (p.name == "knl") {
+        if (p.baseName() == "knl") {
             OptSet t2 = tiled.with(O::Smt2);
             return {
                 {base, tiled, "Tiling", 1.47},

@@ -101,7 +101,7 @@ class Pennant : public Workload
         using O = Opt;
         OptSet base;
         OptSet vect = base.with(O::Vectorize);
-        if (p.name == "skl") {
+        if (p.baseName() == "skl") {
             OptSet v2 = vect.with(O::Smt2);
             return {
                 {base, vect, "Vect", 2.0},
@@ -109,7 +109,7 @@ class Pennant : public Workload
                 {v2, std::nullopt, "-", 0.0},
             };
         }
-        if (p.name == "knl") {
+        if (p.baseName() == "knl") {
             OptSet v2 = vect.with(O::Smt2);
             return {
                 {base, vect, "Vect", 5.76},

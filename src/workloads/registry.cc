@@ -45,13 +45,4 @@ findWorkload(const std::string &name)
                                name.c_str(), known.c_str());
 }
 
-WorkloadPtr
-workloadByName(const std::string &name)
-{
-    util::Result<WorkloadPtr> w = findWorkload(name);
-    if (!w.ok())
-        lll_fatal("%s", w.status().toString().c_str());
-    return w.take();
-}
-
 } // namespace lll::workloads

@@ -90,7 +90,7 @@ class Snap : public Workload
 
         // A64FX base suffers the automatic-loop-fusion store-to-load
         // hazard the paper describes; distributing the loops removes it.
-        if (p.name == "a64fx" && !opts.has(Opt::Distribution))
+        if (p.baseName() == "a64fx" && !opts.has(Opt::Distribution))
             k.computeCyclesPerOp *= 1.25;
 
         // Hyperthreads of a sweep share flux temporaries and thrash the
@@ -117,13 +117,13 @@ class Snap : public Workload
         using O = Opt;
         OptSet base;
         OptSet pref = base.with(O::SwPrefetchL2);
-        if (p.name == "skl") {
+        if (p.baseName() == "skl") {
             return {
                 {base, pref, "Pref", 1.01},
                 {pref, pref.with(O::Smt2), "2-way HT", 1.03},
             };
         }
-        if (p.name == "knl") {
+        if (p.baseName() == "knl") {
             OptSet p2 = pref.with(O::Smt2);
             return {
                 {base, pref, "Pref", 1.08},

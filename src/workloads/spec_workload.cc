@@ -1,0 +1,55 @@
+#include "workloads/spec_workload.hh"
+
+#include <utility>
+
+namespace lll::workloads
+{
+
+namespace
+{
+
+class SpecWorkload : public Workload
+{
+  public:
+    SpecWorkload(sim::KernelSpec spec, bool random_dominated)
+        : spec_(std::move(spec)), randomDominated_(random_dominated)
+    {
+    }
+
+    std::string name() const override { return spec_.name; }
+    std::string description() const override
+    {
+        return "inline kernel spec";
+    }
+    std::string problemSize() const override { return "-"; }
+    std::string routine() const override { return spec_.name; }
+
+    sim::KernelSpec spec(const platforms::Platform &,
+                         const OptSet &) const override
+    {
+        return spec_;
+    }
+
+    std::vector<ExperimentRow>
+    paperRows(const platforms::Platform &) const override
+    {
+        return {};
+    }
+
+    bool randomDominated() const override { return randomDominated_; }
+
+  private:
+    sim::KernelSpec spec_;
+    bool randomDominated_;
+};
+
+} // namespace
+
+WorkloadPtr
+inlineSpecWorkload(sim::KernelSpec spec, bool random_dominated)
+{
+    return std::make_unique<SpecWorkload>(std::move(spec),
+                                          random_dominated);
+}
+
+} // namespace lll::workloads

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Adapter presenting a fixed sim::KernelSpec as a Workload, so the
+ * experiment/sweep machinery runs user-supplied inline kernels (the
+ * service's `"spec"` requests, `lll search` over an inline spec)
+ * unchanged.  The spec is taken as-is: optimizations are not modelled
+ * on top of it, so callers reject opts at their own parse layer.
+ */
+
+#ifndef LLL_WORKLOADS_SPEC_WORKLOAD_HH
+#define LLL_WORKLOADS_SPEC_WORKLOAD_HH
+
+#include "sim/kernel_spec.hh"
+#include "workloads/workload.hh"
+
+namespace lll::workloads
+{
+
+/**
+ * Wrap @p spec as a Workload named after the spec.  @p random_dominated
+ * declares the analyzer class (paper: whether L1 or L2 MSHRs limit).
+ */
+WorkloadPtr inlineSpecWorkload(sim::KernelSpec spec,
+                               bool random_dominated);
+
+} // namespace lll::workloads
+
+#endif // LLL_WORKLOADS_SPEC_WORKLOAD_HH

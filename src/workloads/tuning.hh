@@ -20,11 +20,12 @@ template <typename T>
 T
 pick(const platforms::Platform &p, T skl, T knl, T a64fx)
 {
-    if (p.name == "skl")
+    const std::string base = p.baseName();
+    if (base == "skl")
         return skl;
-    if (p.name == "knl")
+    if (base == "knl")
         return knl;
-    if (p.name == "a64fx")
+    if (base == "a64fx")
         return a64fx;
     lll_fatal("workload has no tuning for platform '%s'", p.name.c_str());
 }

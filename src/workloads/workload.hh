@@ -104,11 +104,6 @@ std::vector<WorkloadPtr> allWorkloadsAndExtensions();
 /** Look up by short id; NotFound (listing valid ids) if unknown. */
 [[nodiscard]] util::Result<WorkloadPtr> findWorkload(const std::string &name);
 
-/** Legacy convenience wrapper around findWorkload(); fatal if unknown. */
-[[deprecated("use findWorkload(), which returns a Result instead of "
-             "aborting on unknown names")]]
-WorkloadPtr workloadByName(const std::string &name);
-
 } // namespace lll::workloads
 
 #endif // LLL_WORKLOADS_WORKLOAD_HH

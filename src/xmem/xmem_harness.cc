@@ -116,22 +116,16 @@ XMemHarness::measureCachedChecked(const platforms::Platform &platform,
     return fresh;
 }
 
-LatencyProfile
-XMemHarness::measureCached(const platforms::Platform &platform,
-                           const std::string &cache_path) const
-{
-    util::Result<LatencyProfile> r =
-        measureCachedChecked(platform, cache_path);
-    if (!r.ok())
-        lll_fatal("%s", r.status().toString().c_str());
-    return r.take();
-}
-
 std::string
 defaultProfilePath(const platforms::Platform &platform)
 {
     const char *dir = std::getenv("LLL_PROFILE_DIR");
     std::string base = dir ? dir : "data/profiles";
+    // Design-space candidates ("skl~banks=8,...") are cache artifacts,
+    // not stock-platform truth: keep them in their own subdirectory so
+    // the committed profiles stay alone in the top level.
+    if (platform.name.find('~') != std::string::npos)
+        base += "/candidates";
     return base + "/" + platform.name + ".profile";
 }
 

@@ -72,14 +72,6 @@ class XMemHarness
     measureCachedChecked(const platforms::Platform &platform,
                          const std::string &cache_path) const;
 
-    /** Legacy convenience wrapper: fatal on any measureCachedChecked
-     *  error (quick scripts / examples; the CLI uses the checked
-     *  variant). */
-    [[deprecated("use measureCachedChecked(), which returns a Result "
-                 "instead of aborting on profile errors")]]
-    LatencyProfile measureCached(const platforms::Platform &platform,
-                                 const std::string &cache_path) const;
-
   private:
     Params params_;
 };

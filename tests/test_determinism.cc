@@ -125,7 +125,7 @@ TEST(DeterminismCheckerTest, RealSimulatorIsOrderRobust)
     // interaction with scheduling priorities (see SchedBand), so the
     // full RunResult must be bit-identical under permuted ties.
     platforms::Platform skl = platforms::skl();
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    workloads::WorkloadPtr isx = workloads::findWorkload("isx").take();
     DeterminismOptions opt;
     opt.warmupUs = 1.0;
     opt.measureUs = 3.0;
@@ -141,7 +141,7 @@ TEST(DeterminismCheckerTest, RealSimulatorIsOrderRobust)
 TEST(DeterminismCheckerTest, RealSimulatorRejectsInfeasibleVariant)
 {
     platforms::Platform skl = platforms::skl();
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    workloads::WorkloadPtr isx = workloads::findWorkload("isx").take();
     workloads::OptSet opts{workloads::Opt::Smt4};
     util::Result<DeterminismReport> rep =
         checkRunDeterminism(skl, *isx, opts);

@@ -19,8 +19,8 @@ class ExperimentTest : public ::testing::Test
 {
   protected:
     ExperimentTest()
-        : plat_(platforms::byName("skl")),
-          isx_(workloads::workloadByName("isx"))
+        : plat_(platforms::findPlatform("skl").take()),
+          isx_(workloads::findWorkload("isx").take())
     {
         params_.coresUsed = 6;
         params_.warmupUs = 5.0;
@@ -104,8 +104,8 @@ TEST_F(ExperimentTest, CreateRefusesVacuousConfig)
     // the MLP ceiling under 5% of peak (LLL-LINT-102), so every
     // Little's-law conclusion would be noise.  create() must refuse
     // instead of simulating.
-    platforms::Platform knl = platforms::byName("knl");
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    platforms::Platform knl = platforms::findPlatform("knl").take();
+    workloads::WorkloadPtr isx = workloads::findWorkload("isx").take();
     Experiment::Params params;
     params.coresUsed = 1;
     params.warmupUs = 5.0;

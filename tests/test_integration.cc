@@ -51,8 +51,8 @@ fast()
 
 TEST(IntegrationTest, IsxSklPinnedAtL1Mshrs)
 {
-    platforms::Platform skl = platforms::byName("skl");
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    platforms::Platform skl = platforms::findPlatform("skl").take();
+    workloads::WorkloadPtr isx = workloads::findWorkload("isx").take();
     Experiment exp(skl, *isx, profileFor(skl), fast());
     const StageMetrics &m = exp.stage({});
     // Paper Table IV row 1: ~84% of peak, n_avg ~ 10 (the L1 MSHRs).
@@ -66,8 +66,8 @@ TEST(IntegrationTest, IsxSklPinnedAtL1Mshrs)
 
 TEST(IntegrationTest, IsxKnlPrefetchBreaksL1Ceiling)
 {
-    platforms::Platform knl = platforms::byName("knl");
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    platforms::Platform knl = platforms::findPlatform("knl").take();
+    workloads::WorkloadPtr isx = workloads::findWorkload("isx").take();
     Experiment exp(knl, *isx, profileFor(knl), fast());
     OptSet v2 = OptSet{Opt::Vectorize, Opt::Smt2};
     OptSet v2p = v2.with(Opt::SwPrefetchL2);
@@ -79,8 +79,8 @@ TEST(IntegrationTest, IsxKnlPrefetchBreaksL1Ceiling)
 
 TEST(IntegrationTest, HpcgSklIsBandwidthWall)
 {
-    platforms::Platform skl = platforms::byName("skl");
-    workloads::WorkloadPtr hpcg = workloads::workloadByName("hpcg");
+    platforms::Platform skl = platforms::findPlatform("skl").take();
+    workloads::WorkloadPtr hpcg = workloads::findWorkload("hpcg").take();
     Experiment exp(skl, *hpcg, profileFor(skl), fast());
     const StageMetrics &m = exp.stage({});
     EXPECT_GT(m.analysis.pctPeak, 0.8);
@@ -90,8 +90,8 @@ TEST(IntegrationTest, HpcgSklIsBandwidthWall)
 
 TEST(IntegrationTest, HpcgA64fxVectorizationPays)
 {
-    platforms::Platform a = platforms::byName("a64fx");
-    workloads::WorkloadPtr hpcg = workloads::workloadByName("hpcg");
+    platforms::Platform a = platforms::findPlatform("a64fx").take();
+    workloads::WorkloadPtr hpcg = workloads::findWorkload("hpcg").take();
     Experiment exp(a, *hpcg, profileFor(a), fast());
     double s = exp.speedup({}, OptSet{Opt::Vectorize});
     EXPECT_GT(s, 1.4);   // paper: 1.7x
@@ -99,8 +99,8 @@ TEST(IntegrationTest, HpcgA64fxVectorizationPays)
 
 TEST(IntegrationTest, ComdSmtLadderOnKnl)
 {
-    platforms::Platform knl = platforms::byName("knl");
-    workloads::WorkloadPtr comd = workloads::workloadByName("comd");
+    platforms::Platform knl = platforms::findPlatform("knl").take();
+    workloads::WorkloadPtr comd = workloads::findWorkload("comd").take();
     Experiment exp(knl, *comd, profileFor(knl), fast());
     OptSet v = OptSet{Opt::Vectorize};
     double s2 = exp.speedup(v, v.with(Opt::Smt2));
@@ -112,8 +112,8 @@ TEST(IntegrationTest, ComdSmtLadderOnKnl)
 
 TEST(IntegrationTest, MinighostTilingReducesTrafficPerWork)
 {
-    platforms::Platform a = platforms::byName("a64fx");
-    workloads::WorkloadPtr mg = workloads::workloadByName("minighost");
+    platforms::Platform a = platforms::findPlatform("a64fx").take();
+    workloads::WorkloadPtr mg = workloads::findWorkload("minighost").take();
     Experiment exp(a, *mg, profileFor(a), fast());
     const StageMetrics &base = exp.stage({});
     const StageMetrics &tiled = exp.stage(OptSet{Opt::Tiling});
@@ -125,8 +125,8 @@ TEST(IntegrationTest, MinighostTilingReducesTrafficPerWork)
 
 TEST(IntegrationTest, RecipeEndorsesThePaperWalkForIsxKnl)
 {
-    platforms::Platform knl = platforms::byName("knl");
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    platforms::Platform knl = platforms::findPlatform("knl").take();
+    workloads::WorkloadPtr isx = workloads::findWorkload("isx").take();
     Experiment exp(knl, *isx, profileFor(knl), fast());
     Recipe recipe(knl);
     // At the 2-way-HT stage the L1 queue is effectively full and the
@@ -145,9 +145,9 @@ TEST(IntegrationTest, DerivedMlpTracksTrueOutstandingAcrossWorkloads)
     // outstanding-to-memory level (profile lookup adds error on top of
     // Little's law itself, mostly because one curve serves all access
     // patterns — a limitation the paper shares).
-    platforms::Platform skl = platforms::byName("skl");
+    platforms::Platform skl = platforms::findPlatform("skl").take();
     for (const char *name : {"isx", "hpcg", "minighost", "snap"}) {
-        workloads::WorkloadPtr w = workloads::workloadByName(name);
+        workloads::WorkloadPtr w = workloads::findWorkload(name).take();
         Experiment exp(skl, *w, profileFor(skl), fast());
         const StageMetrics &m = exp.stage({});
         double truth = m.run.avgMemOutstanding / exp.coresUsed();
@@ -158,8 +158,8 @@ TEST(IntegrationTest, DerivedMlpTracksTrueOutstandingAcrossWorkloads)
 
 TEST(IntegrationTest, SnapA64fxDistributionBeatsFusion)
 {
-    platforms::Platform a = platforms::byName("a64fx");
-    workloads::WorkloadPtr snap = workloads::workloadByName("snap");
+    platforms::Platform a = platforms::findPlatform("a64fx").take();
+    workloads::WorkloadPtr snap = workloads::findWorkload("snap").take();
     Experiment exp(a, *snap, profileFor(a), fast());
     OptSet pref = OptSet{Opt::SwPrefetchL2};
     double s = exp.speedup(pref, pref.with(Opt::Distribution));

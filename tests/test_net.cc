@@ -251,6 +251,51 @@ TEST(Listener, ServesOneRequest)
     EXPECT_NE(line->find("\"code\": \"ok\""), std::string::npos);
 }
 
+TEST(Listener, V2SearchRequestMatchesTheBatchPathByteForByte)
+{
+    warmProfileCache();
+
+    const std::string search_line =
+        "{\"schema_version\": 2, \"kind\": \"search\", \"id\": "
+        "\"s1\", \"platform\": \"skl\", \"workload\": \"isx\", "
+        "\"cores\": 6, \"warmup_us\": 5, \"measure_us\": 10, "
+        "\"axes\": [\"l2_mshrs=8,16\"]}";
+
+    // Warm the candidate-profile cache (a fresh measurement and its
+    // disk round-trip differ in the last ulp), then take the batch
+    // path's rendering as the byte-exact expectation.
+    std::string expected;
+    {
+        core::ResultCache warm_cache;
+        service::RunService::Params sp;
+        sp.cache = &warm_cache;
+        service::RunService svc(sp);
+        ASSERT_FALSE(svc.serveLines({search_line}).empty());
+    }
+    {
+        core::ResultCache batch_cache;
+        service::RunService::Params sp;
+        sp.cache = &batch_cache;
+        service::RunService svc(sp);
+        std::vector<service::RunResponse> rs =
+            svc.serveLines({search_line});
+        ASSERT_EQ(rs.size(), 1u);
+        ASSERT_TRUE(rs[0].status.ok()) << rs[0].status.toString();
+        expected = service::renderRunResponse(rs[0]);
+    }
+
+    TestServer server(ListenerParams{});
+    util::Result<BlockingClient> client =
+        BlockingClient::connectTcp("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().toString();
+    ASSERT_TRUE(client->sendAll(search_line + "\n").ok());
+    util::Result<std::string> line = client->recvLine(60000);
+    ASSERT_TRUE(line.ok()) << line.status().toString();
+    EXPECT_EQ(*line, expected);
+    EXPECT_NE(line->find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(line->find("\"frontier\": ["), std::string::npos);
+}
+
 TEST(Listener, ConcurrentClientsMatchTheBatchPathByteForByte)
 {
     warmProfileCache();

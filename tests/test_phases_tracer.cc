@@ -194,15 +194,15 @@ TEST(DgemmTest, RegisteredAsExtension)
     for (const WorkloadPtr &w : all)
         EXPECT_NE(w->name(), "dgemm");
     // ...but reachable by name.
-    WorkloadPtr d = workloadByName("dgemm");
+    WorkloadPtr d = findWorkload("dgemm").take();
     EXPECT_EQ(d->routine(), "dgemm_kernel");
     EXPECT_FALSE(d->randomDominated());
 }
 
 TEST(DgemmTest, TilingCollapsesTraffic)
 {
-    WorkloadPtr d = workloadByName("dgemm");
-    platforms::Platform skl = platforms::byName("skl");
+    WorkloadPtr d = findWorkload("dgemm").take();
+    platforms::Platform skl = platforms::findPlatform("skl").take();
     sim::KernelSpec base = d->spec(skl, {});
     sim::KernelSpec tiled = d->spec(skl, OptSet{Opt::Tiling});
     // The B panel shrinks to a resident block.
@@ -213,8 +213,8 @@ TEST(DgemmTest, TilingCollapsesTraffic)
 
 TEST(DgemmTest, UnrollJamAndVectCompose)
 {
-    WorkloadPtr d = workloadByName("dgemm");
-    platforms::Platform knl = platforms::byName("knl");
+    WorkloadPtr d = findWorkload("dgemm").take();
+    platforms::Platform knl = platforms::findPlatform("knl").take();
     OptSet t{Opt::Tiling};
     OptSet tj = t.with(Opt::UnrollJam);
     OptSet tjv = tj.with(Opt::Vectorize);
@@ -229,8 +229,8 @@ TEST(DgemmTest, WalkEndsComputeBound)
 {
     // The §IV-G check on the tiny platform: after the full walk the
     // MSHRQ is far from full at modest bandwidth.
-    WorkloadPtr d = workloadByName("dgemm");
-    platforms::Platform p = platforms::byName("skl");
+    WorkloadPtr d = findWorkload("dgemm").take();
+    platforms::Platform p = platforms::findPlatform("skl").take();
     core::Experiment::Params ep;
     ep.coresUsed = 6;
     ep.warmupUs = 20.0;

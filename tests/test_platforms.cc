@@ -61,16 +61,19 @@ TEST(PlatformTest, AllPlatformsInPaperOrder)
     EXPECT_EQ(all[2].name, "a64fx");
 }
 
-TEST(PlatformTest, ByNameFindsEach)
+TEST(PlatformTest, FindPlatformFindsEach)
 {
-    EXPECT_EQ(byName("skl").totalCores, 24);
-    EXPECT_EQ(byName("knl").totalCores, 64);
-    EXPECT_EQ(byName("a64fx").totalCores, 48);
+    EXPECT_EQ(findPlatform("skl").take().totalCores, 24);
+    EXPECT_EQ(findPlatform("knl").take().totalCores, 64);
+    EXPECT_EQ(findPlatform("a64fx").take().totalCores, 48);
 }
 
-TEST(PlatformDeathTest, ByNameUnknownIsFatal)
+TEST(PlatformTest, FindPlatformUnknownIsNotFound)
 {
-    EXPECT_EXIT(byName("epyc"), ::testing::ExitedWithCode(1), "unknown");
+    util::Result<Platform> r = findPlatform("epyc");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::ErrorCode::NotFound);
+    EXPECT_NE(r.status().message().find("unknown"), std::string::npos);
 }
 
 TEST(PlatformTest, SysParamsAppliesCoresAndSmt)

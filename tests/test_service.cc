@@ -13,6 +13,7 @@
 
 #include "obs/registry.hh"
 #include "obs/span.hh"
+#include "search/search.hh"
 #include "service/service.hh"
 #include "util/status.hh"
 #include "xmem/xmem_harness.hh"
@@ -176,6 +177,119 @@ TEST(ParseRunRequest, ParsesInlineSpec)
     EXPECT_EQ(r->spec.streams[0].footprintLines, 1000000u);
     EXPECT_EQ(r->spec.streams[1].kind, sim::StreamDesc::Kind::Strided);
     EXPECT_EQ(r->spec.streams[1].strideLines, 4);
+}
+
+TEST(ParseRunRequest, ParsesTheDocumentedV2SearchShape)
+{
+    util::Result<RunRequest> r = parseRunRequest(
+        "{\"schema_version\": 2, \"kind\": \"search\", \"id\": "
+        "\"s1\", \"platform\": \"skl\", \"workload\": \"isx\", "
+        "\"cores\": 6, \"axes\": [\"l2_mshrs=8:64:*2\", "
+        "\"banks=4:20:+4\"], \"points\": [\"l2_mshrs=48,banks=10\"], "
+        "\"bank_weight\": 0.25, \"max_candidates\": 512, "
+        "\"no_prune\": true}",
+        1);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->schemaVersion, 2);
+    EXPECT_TRUE(r->isSearch);
+    EXPECT_EQ(r->id, "s1");
+
+    // The shared fields are mirrored into the search spec so the
+    // searcher sees one coherent object.
+    const search::SearchSpec &s = r->search;
+    EXPECT_EQ(s.platformName, "skl");
+    EXPECT_EQ(s.workloadName, "isx");
+    EXPECT_EQ(s.cores, 6);
+    ASSERT_EQ(s.axes.size(), 2u);
+    EXPECT_EQ(s.axes[0].name, "l2_mshrs");
+    EXPECT_EQ(s.axes[0].values, (std::vector<double>{8, 16, 32, 64}));
+    EXPECT_EQ(s.axes[1].name, "banks");
+    EXPECT_EQ(s.axes[1].values,
+              (std::vector<double>{4, 8, 12, 16, 20}));
+    ASSERT_EQ(s.points.size(), 1u);
+    EXPECT_EQ(s.points[0].label(), "banks=10,l2_mshrs=48");
+    EXPECT_DOUBLE_EQ(s.bankWeight, 0.25);
+    EXPECT_EQ(s.maxCandidates, 512u);
+    EXPECT_TRUE(s.disablePruning);
+}
+
+TEST(ParseRunRequest, V2KindRunIsTheV1RequestUnchanged)
+{
+    util::Result<RunRequest> r = parseRunRequest(
+        "{\"schema_version\": 2, \"kind\": \"run\", \"id\": \"r\", "
+        "\"platform\": \"bdx\", \"workload\": \"isx\", \"cores\": 4}",
+        1);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r->schemaVersion, 2);
+    EXPECT_FALSE(r->isSearch);
+    EXPECT_EQ(r->platformName, "bdx");
+    EXPECT_EQ(r->cores, 4);
+
+    // kind defaults to "run" when absent.
+    util::Result<RunRequest> d = parseRunRequest(
+        "{\"schema_version\": 2, \"platform\": \"bdx\", "
+        "\"workload\": \"isx\"}",
+        1);
+    ASSERT_TRUE(d.ok()) << d.status().toString();
+    EXPECT_FALSE(d->isSearch);
+}
+
+TEST(ParseRunRequest, RejectsV2Abuses)
+{
+    struct Case
+    {
+        const char *line;
+        const char *needle;
+    };
+    const Case cases[] = {
+        // Unknown kind names itself and the kinds this build speaks.
+        {"{\"schema_version\": 2, \"kind\": \"frobnicate\", "
+         "\"platform\": \"skl\", \"workload\": \"isx\"}",
+         "unknown request kind \"frobnicate\""},
+        // Search-only fields on kind "run" are a shape error, not
+        // silently ignored.
+        {"{\"schema_version\": 2, \"kind\": \"run\", \"platform\": "
+         "\"skl\", \"workload\": \"isx\", \"axes\": "
+         "[\"l2_mshrs=8,16\"]}",
+         "only valid on kind \"search\""},
+        // A search needs a non-empty space.
+        {"{\"schema_version\": 2, \"kind\": \"search\", "
+         "\"platform\": \"skl\", \"workload\": \"isx\"}",
+         "non-empty \"axes\""},
+        // Axis entries go through the real grammar.
+        {"{\"schema_version\": 2, \"kind\": \"search\", "
+         "\"platform\": \"skl\", \"workload\": \"isx\", "
+         "\"axes\": [\"warp_factor=1,2\"]}",
+         "warp_factor"},
+    };
+    for (const Case &c : cases) {
+        util::Result<RunRequest> r = parseRunRequest(c.line, 5);
+        ASSERT_FALSE(r.ok()) << c.line;
+        EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument)
+            << c.line;
+        EXPECT_NE(r.status().toString().find(c.needle),
+                  std::string::npos)
+            << r.status().toString();
+    }
+}
+
+TEST(ParseRunRequest, V1LinesDoNotSpeakV2Fields)
+{
+    // A v1 line must behave exactly as on a v1-only build: the v2
+    // vocabulary is an unknown field to it, not a silent no-op.
+    for (const char *line :
+         {"{\"schema_version\": 1, \"kind\": \"run\", \"platform\": "
+          "\"skl\", \"workload\": \"isx\"}",
+          "{\"schema_version\": 1, \"platform\": \"skl\", "
+          "\"workload\": \"isx\", \"axes\": [\"l2_mshrs=8,16\"]}"}) {
+        util::Result<RunRequest> r = parseRunRequest(line, 2);
+        ASSERT_FALSE(r.ok()) << line;
+        EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument)
+            << line;
+        EXPECT_NE(r.status().toString().find("unknown request field"),
+                  std::string::npos)
+            << r.status().toString();
+    }
 }
 
 TEST(RunService, ResponsesComeBackInRequestOrder)
@@ -369,6 +483,92 @@ TEST(RunService, StageTimingsArePresentAndMonotonic)
     EXPECT_LE(total.percentile(0.50), total.percentile(0.99));
     EXPECT_LE(hists.at("service.latency.queue_wait_ns").percentile(0.99),
               total.max());
+}
+
+TEST(RunService, V2SearchRidesTheBatchWithoutDisturbingV1)
+{
+    warmProfileCache();
+
+    // Warm the candidate-profile cache first: a fresh measurement and
+    // its disk round-trip differ in the last ulp, and this test
+    // compares rendered bytes across runs.
+    search::SearchSpec spec;
+    spec.platformName = "skl";
+    spec.workloadName = "isx";
+    spec.axes.push_back(search::parseAxis("l2_mshrs=8,16").take());
+    spec.cores = 6;
+    spec.warmupUs = 5;
+    spec.measureUs = 10;
+    {
+        core::ResultCache warm_cache;
+        ASSERT_TRUE(search::Searcher({1, &warm_cache, nullptr})
+                        .run(spec)
+                        .ok());
+    }
+
+    core::ResultCache cache;
+    RunService::Params params;
+    params.cache = &cache;
+    RunService svc(params);
+
+    const std::string search_line =
+        "{\"schema_version\": 2, \"kind\": \"search\", \"id\": "
+        "\"s\", \"platform\": \"skl\", \"workload\": \"isx\", "
+        "\"cores\": 6, \"warmup_us\": 5, \"measure_us\": 10, "
+        "\"axes\": [\"l2_mshrs=8,16\"]}";
+    const std::string bad_kind_line =
+        "{\"schema_version\": 2, \"kind\": \"teleport\", \"id\": "
+        "\"t\", \"platform\": \"skl\", \"workload\": \"isx\"}";
+    const std::string v2_run_line =
+        "{\"schema_version\": 2, \"kind\": \"run\", \"id\": \"a\", "
+        "\"platform\": \"skl\", \"workload\": \"isx\", \"cores\": 6, "
+        "\"warmup_us\": 5, \"measure_us\": 10}";
+
+    std::vector<RunResponse> rs = svc.serveLines({
+        quickRequest("a", "isx"),
+        search_line,
+        bad_kind_line,
+        v2_run_line,
+    });
+    ASSERT_EQ(rs.size(), 4u);
+
+    // The bad kind failed alone; everything around it is fine.
+    EXPECT_TRUE(rs[0].status.ok()) << rs[0].status.toString();
+    EXPECT_TRUE(rs[1].status.ok()) << rs[1].status.toString();
+    EXPECT_EQ(rs[2].status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(rs[2].status.toString().find("unknown request kind"),
+              std::string::npos);
+    EXPECT_TRUE(rs[3].status.ok()) << rs[3].status.toString();
+
+    // Responses echo the version their request spoke, and a v2
+    // kind:"run" answer is the v1 answer modulo that echo.
+    const std::string v1_line = renderRunResponse(rs[0]);
+    const std::string v2_line = renderRunResponse(rs[3]);
+    EXPECT_EQ(v1_line.find("{\"schema_version\": 1, \"id\": \"a\""),
+              0u)
+        << v1_line;
+    EXPECT_EQ(v2_line.find("{\"schema_version\": 2, \"id\": \"a\""),
+              0u)
+        << v2_line;
+    EXPECT_EQ(v1_line.substr(v1_line.find("\"status\"")),
+              v2_line.substr(v2_line.find("\"status\"")));
+
+    // The search answer's data is the same frontier a direct Searcher
+    // run of the identical spec produces.
+    ASSERT_TRUE(rs[1].isSearch);
+    core::ResultCache direct_cache;
+    util::Result<search::SearchResult> direct =
+        search::Searcher({1, &direct_cache, nullptr}).run(spec);
+    ASSERT_TRUE(direct.ok()) << direct.status().toString();
+    EXPECT_EQ(search::searchDataJson(rs[1].search, false),
+              search::searchDataJson(*direct, false));
+    const std::string rendered = renderRunResponse(rs[1]);
+    EXPECT_NE(rendered.find("\"frontier\": ["), std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find("\"pruned_analytic\": "),
+              std::string::npos)
+        << rendered;
+    EXPECT_EQ(rendered.find('\n'), std::string::npos) << rendered;
 }
 
 TEST(RenderRunResponse, TimingRenderedOnlyOnRequest)

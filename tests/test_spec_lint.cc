@@ -158,7 +158,7 @@ TEST(SpecLintTest, AllRegistryPairsAreFeasible)
 TEST(SpecLintTest, InfeasibleVariantIsAnErrorWithStableId)
 {
     platforms::Platform skl = platforms::skl();
-    workloads::WorkloadPtr isx = workloads::workloadByName("isx");
+    workloads::WorkloadPtr isx = workloads::findWorkload("isx").take();
     ConfigLint lint =
         lintConfig(skl, *isx, workloads::OptSet{workloads::Opt::Smt4});
     EXPECT_FALSE(lint.feasible());

@@ -49,8 +49,8 @@ std::vector<workloads::WorkloadPtr>
 twoWorkloads()
 {
     std::vector<workloads::WorkloadPtr> wls;
-    wls.push_back(workloads::workloadByName("isx"));
-    wls.push_back(workloads::workloadByName("hpcg"));
+    wls.push_back(workloads::findWorkload("isx").take());
+    wls.push_back(workloads::findWorkload("hpcg").take());
     return wls;
 }
 

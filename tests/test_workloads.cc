@@ -24,8 +24,9 @@ struct Combo
 class WorkloadSpecTest : public ::testing::TestWithParam<Combo>
 {
   protected:
-    WorkloadPtr w_ = workloadByName(GetParam().workload);
-    platforms::Platform p_ = platforms::byName(GetParam().platform);
+    WorkloadPtr w_ = findWorkload(GetParam().workload).take();
+    platforms::Platform p_ =
+        platforms::findPlatform(GetParam().platform).take();
 };
 
 TEST_P(WorkloadSpecTest, BaseSpecWellFormed)
@@ -133,35 +134,38 @@ TEST(WorkloadRegistryTest, AllSixInPaperOrder)
 
 TEST(WorkloadRegistryTest, RoutinesMatchTableII)
 {
-    EXPECT_EQ(workloadByName("isx")->routine(), "count_local_keys");
-    EXPECT_EQ(workloadByName("hpcg")->routine(), "ComputeSPMV_ref");
-    EXPECT_EQ(workloadByName("pennant")->routine(), "setCornerDiv");
-    EXPECT_EQ(workloadByName("comd")->routine(), "eamForce");
-    EXPECT_EQ(workloadByName("minighost")->routine(),
+    EXPECT_EQ(findWorkload("isx").take()->routine(), "count_local_keys");
+    EXPECT_EQ(findWorkload("hpcg").take()->routine(), "ComputeSPMV_ref");
+    EXPECT_EQ(findWorkload("pennant").take()->routine(), "setCornerDiv");
+    EXPECT_EQ(findWorkload("comd").take()->routine(), "eamForce");
+    EXPECT_EQ(findWorkload("minighost").take()->routine(),
               "mg_stencil_3d27pt");
-    EXPECT_EQ(workloadByName("snap")->routine(), "dim3_sweep");
+    EXPECT_EQ(findWorkload("snap").take()->routine(), "dim3_sweep");
 }
 
 TEST(WorkloadRegistryTest, AccessClassesMatchPaper)
 {
-    EXPECT_TRUE(workloadByName("isx")->randomDominated());
-    EXPECT_TRUE(workloadByName("pennant")->randomDominated());
-    EXPECT_TRUE(workloadByName("comd")->randomDominated());
-    EXPECT_FALSE(workloadByName("hpcg")->randomDominated());
-    EXPECT_FALSE(workloadByName("minighost")->randomDominated());
-    EXPECT_FALSE(workloadByName("snap")->randomDominated());
+    EXPECT_TRUE(findWorkload("isx").take()->randomDominated());
+    EXPECT_TRUE(findWorkload("pennant").take()->randomDominated());
+    EXPECT_TRUE(findWorkload("comd").take()->randomDominated());
+    EXPECT_FALSE(findWorkload("hpcg").take()->randomDominated());
+    EXPECT_FALSE(findWorkload("minighost").take()->randomDominated());
+    EXPECT_FALSE(findWorkload("snap").take()->randomDominated());
 }
 
-TEST(WorkloadRegistryDeathTest, UnknownNameIsFatal)
+TEST(WorkloadRegistryTest, UnknownNameIsNotFound)
 {
-    EXPECT_EXIT(workloadByName("lulesh"), ::testing::ExitedWithCode(1),
-                "unknown workload");
+    util::Result<WorkloadPtr> r = findWorkload("lulesh");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::ErrorCode::NotFound);
+    EXPECT_NE(r.status().message().find("unknown workload"),
+              std::string::npos);
 }
 
 TEST(WorkloadEffectTest, IsxVectorizationWidensWindow)
 {
-    WorkloadPtr w = workloadByName("isx");
-    platforms::Platform skl = platforms::byName("skl");
+    WorkloadPtr w = findWorkload("isx").take();
+    platforms::Platform skl = platforms::findPlatform("skl").take();
     sim::KernelSpec base = w->spec(skl, OptSet{});
     sim::KernelSpec vect = w->spec(skl, OptSet{Opt::Vectorize});
     EXPECT_GT(vect.window, base.window);
@@ -170,8 +174,8 @@ TEST(WorkloadEffectTest, IsxVectorizationWidensWindow)
 
 TEST(WorkloadEffectTest, IsxPrefetchTargetsRandomStream)
 {
-    WorkloadPtr w = workloadByName("isx");
-    platforms::Platform knl = platforms::byName("knl");
+    WorkloadPtr w = findWorkload("isx").take();
+    platforms::Platform knl = platforms::findPlatform("knl").take();
     sim::KernelSpec pref = w->spec(knl, OptSet{Opt::SwPrefetchL2});
     EXPECT_TRUE(pref.swPrefetchL2);
     bool random_flagged = false;
@@ -184,7 +188,7 @@ TEST(WorkloadEffectTest, IsxPrefetchTargetsRandomStream)
 
 TEST(WorkloadEffectTest, MinighostTilingRaisesWorkPerOp)
 {
-    WorkloadPtr w = workloadByName("minighost");
+    WorkloadPtr w = findWorkload("minighost").take();
     for (const platforms::Platform &p : platforms::allPlatforms()) {
         sim::KernelSpec base = w->spec(p, OptSet{});
         sim::KernelSpec tiled = w->spec(p, OptSet{Opt::Tiling});
@@ -195,8 +199,8 @@ TEST(WorkloadEffectTest, MinighostTilingRaisesWorkPerOp)
 
 TEST(WorkloadEffectTest, PennantVectorizationUnlocksMlpAndCoalesces)
 {
-    WorkloadPtr w = workloadByName("pennant");
-    platforms::Platform knl = platforms::byName("knl");
+    WorkloadPtr w = findWorkload("pennant").take();
+    platforms::Platform knl = platforms::findPlatform("knl").take();
     sim::KernelSpec base = w->spec(knl, OptSet{});
     sim::KernelSpec vect = w->spec(knl, OptSet{Opt::Vectorize});
     EXPECT_GE(vect.window, base.window * 2);
@@ -205,13 +209,13 @@ TEST(WorkloadEffectTest, PennantVectorizationUnlocksMlpAndCoalesces)
 
 TEST(WorkloadEffectTest, SnapDistributionOnlyHelpsA64fx)
 {
-    WorkloadPtr w = workloadByName("snap");
-    platforms::Platform a = platforms::byName("a64fx");
+    WorkloadPtr w = findWorkload("snap").take();
+    platforms::Platform a = platforms::findPlatform("a64fx").take();
     sim::KernelSpec fused = w->spec(a, OptSet{});
     sim::KernelSpec distr = w->spec(a, OptSet{Opt::Distribution});
     EXPECT_LT(distr.computeCyclesPerOp, fused.computeCyclesPerOp);
 
-    platforms::Platform skl = platforms::byName("skl");
+    platforms::Platform skl = platforms::findPlatform("skl").take();
     sim::KernelSpec f2 = w->spec(skl, OptSet{});
     sim::KernelSpec d2 = w->spec(skl, OptSet{Opt::Distribution});
     EXPECT_DOUBLE_EQ(d2.computeCyclesPerOp, f2.computeCyclesPerOp);
@@ -219,7 +223,7 @@ TEST(WorkloadEffectTest, SnapDistributionOnlyHelpsA64fx)
 
 TEST(WorkloadEffectTest, ComdIsComputeDominated)
 {
-    WorkloadPtr w = workloadByName("comd");
+    WorkloadPtr w = findWorkload("comd").take();
     for (const platforms::Platform &p : platforms::allPlatforms()) {
         sim::KernelSpec k = w->spec(p, OptSet{});
         EXPECT_GT(k.computeCyclesPerOp, 20.0) << p.name;
@@ -229,10 +233,10 @@ TEST(WorkloadEffectTest, ComdIsComputeDominated)
 
 TEST(WorkloadEffectTest, DescriptionsMatchTableII)
 {
-    EXPECT_EQ(workloadByName("isx")->description(),
+    EXPECT_EQ(findWorkload("isx").take()->description(),
               "Scalable Integer Sort");
-    EXPECT_EQ(workloadByName("hpcg")->problemSize(), "40^3");
-    EXPECT_NE(workloadByName("snap")->problemSize().find("nang=48"),
+    EXPECT_EQ(findWorkload("hpcg").take()->problemSize(), "40^3");
+    EXPECT_NE(findWorkload("snap").take()->problemSize().find("nang=48"),
               std::string::npos);
 }
 

@@ -76,10 +76,10 @@ TEST_F(XmemTest, MeasureCachedRoundTrip)
     std::string path = ::testing::TempDir() + "/tiny.profile";
     std::remove(path.c_str());
     XMemHarness h(fastParams());
-    LatencyProfile fresh = h.measureCached(plat_, path);
+    LatencyProfile fresh = h.measureCachedChecked(plat_, path).take();
     ASSERT_FALSE(fresh.empty());
     // Second call loads the identical profile from disk.
-    LatencyProfile cached = h.measureCached(plat_, path);
+    LatencyProfile cached = h.measureCachedChecked(plat_, path).take();
     ASSERT_EQ(cached.points().size(), fresh.points().size());
     EXPECT_DOUBLE_EQ(cached.maxMeasuredGBs(), fresh.maxMeasuredGBs());
     std::remove(path.c_str());
@@ -91,7 +91,7 @@ TEST_F(XmemTest, WrongPlatformCacheIsRemeasured)
     ASSERT_TRUE(
         LatencyProfile("otherbox", 10.0, {{1.0, 50.0}}).save(path).ok());
     LatencyProfile prof =
-        XMemHarness(fastParams()).measureCached(plat_, path);
+        XMemHarness(fastParams()).measureCachedChecked(plat_, path).take();
     EXPECT_EQ(prof.platformName(), plat_.name);
     std::remove(path.c_str());
 }

@@ -20,6 +20,7 @@
  *   lll serve [--batch FILE]              batched JSON-lines run service
  *   lll serve --listen HOST:PORT          socket front-end (DESIGN §14)
  *   lll bench-serve --connect HOST:PORT   load generator for --listen
+ *   lll search <wl> <plat> --axis ...     design-space autotuner (§17)
  *   lll profile <cmd> [args...]           self-profile any subcommand
  *   lll bench                             microbenchmark harness + ratchet
  *
@@ -46,7 +47,9 @@
  * so consumers parse one shape and never re-derive exit semantics.
  *
  * Flag parsing is shared (util::ArgParser): repeated flags, missing
- * values and unknown leftovers fail the same way on every subcommand.
+ * values and unknown leftovers fail the same way on every subcommand,
+ * and `lll <cmd> --help` renders the one generated usage format (every
+ * registered flag listed) and exits 0.
  *
  * Exit codes (see README "Robustness"): 0 success, 2 usage error,
  * 3 bad input data (including lint errors and failed serve requests),
@@ -82,6 +85,8 @@
 #include "obs/timer.hh"
 #include "perf/bench_report.hh"
 #include "perf/microbench.hh"
+#include "search/axes.hh"
+#include "search/search.hh"
 #include "util/argparse.hh"
 #include "util/diagnostic.hh"
 #include "util/names.hh"
@@ -97,11 +102,11 @@ using workloads::OptSet;
 namespace
 {
 
-int
-usage()
+void
+usageText(FILE *to)
 {
     std::fprintf(
-        stderr,
+        to,
         "usage: lll <command> [args]\n"
         "  platforms | workloads | vendors\n"
         "  characterize <platform|all> [--fresh]\n"
@@ -139,12 +144,41 @@ usage()
         "[--duration-s S]\n"
         "        [--requests FILE] [--drain-timeout-ms MS] "
         "[--json FILE]\n"
+        "  search <workload> <platform> [opts ...] --axis name=spec "
+        "...\n"
+        "        [--point name=v,...] [--list-axes] [--jobs N] "
+        "[--cache-dir DIR]\n"
+        "        [--cores N] [--bank-weight W] [--max-candidates N]\n"
+        "        [--no-prune] [--all] [--json FILE] [--seed S]\n"
+        "        [--warmup-us X] [--measure-us X]\n"
         "  profile [--out FILE] [--top N] <command> [args ...]\n"
         "  bench [--trials N] [--warmup-ms MS] [--measure-ms MS] "
         "[--kernel NAME]\n"
         "        [--rev REV] [--json FILE] [--compare BASELINE] "
-        "[--tolerance FRAC]\n");
+        "[--tolerance FRAC]\n"
+        "`lll <command> --help` lists every flag of that command.\n");
+}
+
+int
+usage()
+{
+    usageText(stderr);
     return 2;
+}
+
+/**
+ * The shared `--help` exit: when @p ap latched `--help`, print the
+ * generated help (usage tail + every flag the command registered) to
+ * stdout and tell the caller to return 0.  Must run after all of the
+ * command's flag accessors so the listing is complete.
+ */
+bool
+helpOut(const ArgParser &ap, const char *tail, const char *summary)
+{
+    if (!ap.helpRequested())
+        return false;
+    std::fputs(ap.helpText(tail, summary).c_str(), stdout);
+    return true;
 }
 
 /** Report @p status on stderr and map it to the process exit code. */
@@ -197,6 +231,9 @@ int
 cmdPlatforms(int argc, char **argv)
 {
     ArgParser ap(argc, argv, 2);
+    if (helpOut(ap, "platforms", "List the modeled platforms "
+                                 "(paper Table III)."))
+        return 0;
     Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
@@ -218,6 +255,9 @@ int
 cmdWorkloads(int argc, char **argv)
 {
     ArgParser ap(argc, argv, 2);
+    if (helpOut(ap, "workloads", "List the workload models "
+                                 "(paper Table II)."))
+        return 0;
     Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
@@ -237,6 +277,9 @@ int
 cmdVendors(int argc, char **argv)
 {
     ArgParser ap(argc, argv, 2);
+    if (helpOut(ap, "vendors", "Counter visibility by vendor "
+                               "(paper Table I)."))
+        return 0;
     Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
@@ -259,9 +302,14 @@ int
 cmdCharacterize(int argc, char **argv)
 {
     ArgParser ap(argc, argv, 2);
-    util::Result<bool> fresh = ap.boolFlag("--fresh");
+    util::Result<bool> fresh =
+        ap.boolFlag("--fresh", "re-measure even when a profile exists");
     if (!fresh.ok())
         return failWith(fresh.status());
+    if (helpOut(ap, "characterize <platform|all> [--fresh]",
+                "Measure (or load) a platform's X-Mem latency "
+                "profile."))
+        return 0;
     if (ap.rest().empty())
         return usage();
     const std::string which = ap.rest().front();
@@ -324,6 +372,11 @@ parseVariantArgs(ArgParser &ap, const char *command)
         return cores.status();
     va.cores = *cores;
 
+    // Help mode: flags are registered; the command prints and exits
+    // before touching the (possibly absent) operands.
+    if (ap.helpRequested())
+        return va;
+
     if (ap.rest().size() < 2) {
         return Status::error(ErrorCode::InvalidArgument,
                              "%s needs a workload and a platform",
@@ -365,6 +418,10 @@ cmdAnalyze(int argc, char **argv)
     util::Result<VariantArgs> parsed = parseVariantArgs(ap, "analyze");
     if (!parsed.ok())
         return failWith(parsed.status());
+    if (helpOut(ap, "analyze <workload> <platform> [opts ...] [flags]",
+                "Analyze one variant: Little's-law analysis plus the "
+                "optimization recipe."))
+        return 0;
     VariantArgs &va = *parsed;
 
     obs::MetricRegistry registry;
@@ -437,6 +494,10 @@ cmdTrace(int argc, char **argv)
     util::Result<VariantArgs> parsed = parseVariantArgs(ap, "trace");
     if (!parsed.ok())
         return failWith(parsed.status());
+    if (helpOut(ap, "trace <workload> <platform> [opts ...] [flags]",
+                "Run one variant with telemetry and the request "
+                "tracer attached."))
+        return 0;
     VariantArgs &va = *parsed;
     workloads::WorkloadPtr &w = va.workload;
     platforms::Platform &p = va.platform;
@@ -503,6 +564,9 @@ int
 cmdWalk(int argc, char **argv)
 {
     ArgParser ap(argc, argv, 2);
+    if (helpOut(ap, "walk <workload> <platform>",
+                "Follow the optimization recipe to convergence."))
+        return 0;
     if (ap.rest().size() < 2)
         return usage();
     util::Result<workloads::WorkloadPtr> w =
@@ -651,6 +715,10 @@ cmdTable(int argc, char **argv)
     util::Result<core::SweepRunner::Params> sp = parseSweepFlags(ap);
     if (!sp.ok())
         return failWith(sp.status());
+    if (helpOut(ap, "table <workload> [flags]",
+                "One workload's paper-table rows across every "
+                "platform."))
+        return 0;
     if (ap.rest().empty())
         return usage();
     util::Result<workloads::WorkloadPtr> w =
@@ -692,6 +760,10 @@ cmdSweep(int argc, char **argv)
     util::Result<core::SweepRunner::Params> sp = parseSweepFlags(ap);
     if (!sp.ok())
         return failWith(sp.status());
+    if (helpOut(ap, "sweep [flags]",
+                "Every workload x platform walk through the parallel "
+                "sweep runner."))
+        return 0;
     Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
@@ -780,6 +852,9 @@ cmdReproduce(int argc, char **argv)
     util::Result<core::SweepRunner::Params> sp = parseSweepFlags(ap);
     if (!sp.ok())
         return failWith(sp.status());
+    if (helpOut(ap, "reproduce [flags]",
+                "Reproduce the paper's Tables IV-IX."))
+        return 0;
     Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
@@ -808,6 +883,158 @@ cmdReproduce(int argc, char **argv)
         }
         std::fputs(t.render().c_str(), stdout);
         std::printf("\n");
+    }
+    return 0;
+}
+
+/**
+ * `lll search <workload> <platform> [opts ...] --axis name=spec ...`:
+ * the bounds-pruned design-space autotuner (DESIGN.md §17).  The cross
+ * product of the axes (plus any explicit `--point`s) is enumerated,
+ * candidates whose analytic Little's-law ceiling proves them dominated
+ * by a strictly cheaper simulated point are pruned before they cost a
+ * simulation, and the survivors' Pareto frontier (bandwidth vs
+ * MSHR+bank cost) is reported.  Output is byte-identical for any
+ * `--jobs N` and across warm `--cache-dir` reruns.
+ */
+int
+cmdSearch(int argc, char **argv)
+{
+    ArgParser ap(argc, argv, 2);
+    search::SearchSpec spec;
+
+    util::Result<std::vector<std::string>> axis_flags = ap.stringList(
+        "--axis", "one axis: name=lo:hi:*k | lo:hi:+s | a,b,c");
+    if (!axis_flags.ok())
+        return failWith(axis_flags.status());
+    util::Result<std::vector<std::string>> point_flags = ap.stringList(
+        "--point", "one explicit extra point: name=v,name=v,...");
+    if (!point_flags.ok())
+        return failWith(point_flags.status());
+    util::Result<bool> list_axes =
+        ap.boolFlag("--list-axes", "list the known axes and exit");
+    if (!list_axes.ok())
+        return failWith(list_axes.status());
+    util::Result<std::string> json = ap.stringFlag(
+        "--json", "write the envelope report to FILE (\"-\" = stdout)");
+    if (!json.ok())
+        return failWith(json.status());
+    util::Result<int> cores = ap.intFlag(
+        "--cores", 0, "cores driving the load (default: all)");
+    if (!cores.ok())
+        return failWith(cores.status());
+    spec.cores = *cores;
+    util::Result<core::SweepRunner::Params> sp = parseSweepFlags(ap);
+    if (!sp.ok())
+        return failWith(sp.status());
+    util::Result<uint64_t> seed =
+        ap.uint64Flag("--seed", spec.seed, "simulation tie-break seed");
+    if (!seed.ok())
+        return failWith(seed.status());
+    spec.seed = *seed;
+    util::Result<double> warmup = ap.doubleFlag(
+        "--warmup-us", 0.0, "warmup window (default: workload's)");
+    if (!warmup.ok())
+        return failWith(warmup.status());
+    spec.warmupUs = *warmup;
+    util::Result<double> measure = ap.doubleFlag(
+        "--measure-us", 0.0, "measure window (default: workload's)");
+    if (!measure.ok())
+        return failWith(measure.status());
+    spec.measureUs = *measure;
+    util::Result<double> bank_weight = ap.doubleFlag(
+        "--bank-weight", spec.bankWeight,
+        "cost = L1 + L2 MSHRs + W x banks");
+    if (!bank_weight.ok())
+        return failWith(bank_weight.status());
+    spec.bankWeight = *bank_weight;
+    util::Result<int> max_candidates =
+        ap.intFlag("--max-candidates", int(spec.maxCandidates),
+                   "refuse larger spaces up front");
+    if (!max_candidates.ok())
+        return failWith(max_candidates.status());
+    spec.maxCandidates = size_t(*max_candidates);
+    util::Result<bool> all = ap.boolFlag(
+        "--all", "print every candidate row, not just the frontier");
+    if (!all.ok())
+        return failWith(all.status());
+    util::Result<bool> no_prune = ap.boolFlag(
+        "--no-prune", "simulate everything (skip analytic pruning)");
+    if (!no_prune.ok())
+        return failWith(no_prune.status());
+    spec.disablePruning = *no_prune;
+
+    if (helpOut(ap,
+                "search <workload> <platform> [opts ...] --axis "
+                "name=spec ... [flags]",
+                "Design-space autotuner: enumerate axes, prune by "
+                "Little's-law ceiling, report the Pareto frontier."))
+        return 0;
+
+    if (*list_axes) {
+        Table t({"axis", "values"});
+        for (const search::AxisDef &def : search::knownAxes())
+            t.addRow({def.name, def.help});
+        std::fputs(t.render().c_str(), stdout);
+        return 0;
+    }
+
+    if (ap.rest().size() < 2) {
+        return failWith(Status::error(
+            ErrorCode::InvalidArgument,
+            "search needs a workload and a platform"));
+    }
+    spec.workloadName = ap.rest()[0];
+    spec.platformName = ap.rest()[1];
+    ap.consumePositional(2);
+    util::Result<OptSet> opts = parseOpts(ap.rest());
+    if (!opts.ok())
+        return failWith(opts.status());
+    spec.opts = opts.take();
+
+    for (const std::string &text : *axis_flags) {
+        util::Result<search::Axis> axis = search::parseAxis(text);
+        if (!axis.ok())
+            return failWith(axis.status());
+        spec.axes.push_back(axis.take());
+    }
+    for (const std::string &text : *point_flags) {
+        util::Result<search::Assignment> point =
+            search::parsePoint(text);
+        if (!point.ok())
+            return failWith(point.status());
+        spec.points.push_back(point.take());
+    }
+    if (spec.axes.empty() && spec.points.empty()) {
+        return failWith(Status::error(
+            ErrorCode::InvalidArgument,
+            "search needs at least one --axis (or --point); see "
+            "--list-axes"));
+    }
+
+    obs::MetricRegistry registry;
+    search::Searcher::Params pp;
+    pp.jobs = sp->jobs;
+    pp.cache = sp->cache;
+    pp.registry = &registry;
+    search::Searcher searcher(pp);
+    util::Result<search::SearchResult> result = searcher.run(spec);
+    if (!result.ok())
+        return failWith(result.status());
+
+    FILE *rep = *json == "-" ? stderr : stdout;
+    std::fputs(search::renderSearchText(*result, *all).c_str(), rep);
+
+    if (!json->empty()) {
+        const std::string telemetry =
+            obs::exportJson(registry, &obs::SpanTracker::global());
+        Status s = writeExportChecked(
+            *json,
+            obs::jsonEnvelope("search", Status::okStatus(), 0,
+                              search::searchDataJson(*result, true),
+                              telemetry));
+        if (!s.ok())
+            return failWith(s);
     }
     return 0;
 }
@@ -1055,6 +1282,26 @@ cmdServe(int argc, char **argv)
     Status cache_flags = applyCacheFlags(ap, cache);
     if (!cache_flags.ok())
         return failWith(cache_flags);
+    if (ap.helpRequested()) {
+        // Register the --listen-mode flags too, so the one help page
+        // covers both serve modes (they normally register inside
+        // cmdServeListen, which only runs with --listen given).
+        (void)ap.intFlag("--max-inflight", 1);
+        (void)ap.intFlag("--max-pipelined", 1);
+        (void)ap.intFlag("--max-conns", 1);
+        (void)ap.uint64Flag("--max-line-bytes", 0);
+        (void)ap.uint64Flag("--max-write-buffer", 0);
+        (void)ap.intFlag("--idle-timeout-ms", 1);
+        (void)ap.intFlag("--read-timeout-ms", 1);
+        (void)ap.intFlag("--watchdog-ms", 1);
+        (void)ap.intFlag("--drain-grace-ms", 1);
+        if (helpOut(ap,
+                    "serve [--batch FILE] [flags]  |  serve --listen "
+                    "HOST:PORT | --listen-unix PATH [flags]",
+                    "Batched JSON-lines run service; --listen serves "
+                    "the same protocol over sockets."))
+            return 0;
+    }
     if (!listen->empty() || !listen_unix->empty()) {
         if (!batch->empty()) {
             return failWith(Status::error(
@@ -1223,6 +1470,11 @@ cmdBenchServe(int argc, char **argv)
     util::Result<std::string> json = ap.stringFlag("--json");
     if (!json.ok())
         return failWith(json.status());
+    if (helpOut(ap,
+                "bench-serve --connect HOST:PORT | --connect-unix "
+                "PATH [flags]",
+                "Load generator for the serve socket front-end."))
+        return 0;
     Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
@@ -1368,6 +1620,10 @@ cmdBench(int argc, char **argv)
     util::Result<double> tolerance = ap.doubleFlag("--tolerance", 0.15);
     if (!tolerance.ok())
         return failWith(tolerance.status());
+    if (helpOut(ap, "bench [flags]",
+                "Microbenchmark harness; --compare applies the perf "
+                "ratchet."))
+        return 0;
     if (*tolerance >= 1.0) {
         return failWith(Status::error(ErrorCode::InvalidArgument,
                                       "--tolerance wants a fraction "
@@ -1471,6 +1727,9 @@ int
 cmdRoofline(int argc, char **argv)
 {
     ArgParser ap(argc, argv, 2);
+    if (helpOut(ap, "roofline <platform>",
+                "Roofline roofs plus the MSHR bandwidth ceilings."))
+        return 0;
     if (ap.rest().empty())
         return usage();
     util::Result<platforms::Platform> p =
@@ -1513,6 +1772,9 @@ cmdSelftest(int argc, char **argv)
     if (!verbose.ok())
         return failWith(verbose.status());
     opts.verbose = *verbose;
+    if (helpOut(ap, "selftest [flags]",
+                "Run the fault-injection self-test harness."))
+        return 0;
     Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
@@ -1634,6 +1896,13 @@ cmdLint(int argc, char **argv)
                 "--seeds: expected at least one nonzero seed"));
         }
     }
+
+    if (helpOut(ap,
+                "lint [<workload> <platform> [opts ...]] [flags]  |  "
+                "lint --profile FILE [--json FILE]",
+                "Static spec/config analyzer; --determinism adds the "
+                "event-order race check."))
+        return 0;
 
     // Operands: none (scan the whole registry) or workload platform
     // [opts...].  Unlike analyze/trace, an *infeasible* variant is a
@@ -1820,6 +2089,10 @@ cmdAudit(int argc, char **argv)
     util::Result<bool> fix_plan = ap.boolFlag("--fix-plan");
     if (!fix_plan.ok())
         return failWith(fix_plan.status());
+    if (helpOut(ap, "audit [flags]",
+                "Run the in-tree source auditor (layering, name "
+                "registries, API hygiene)."))
+        return 0;
     Status extra = ap.finish();
     if (!extra.ok())
         return failWith(extra);
@@ -1900,6 +2173,8 @@ runCommand(const std::string &cmd, int argc, char **argv)
         return cmdAudit(argc, argv);
     if (cmd == "serve")
         return cmdServe(argc, argv);
+    if (cmd == "search")
+        return cmdSearch(argc, argv);
     if (cmd == "bench")
         return cmdBench(argc, argv);
     if (cmd == "bench-serve")
@@ -1925,6 +2200,26 @@ cmdProfile(int argc, char **argv)
     int i = 2;
     for (; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            // Hand-rolled loop (flags stop at the wrapped command), so
+            // register the flags on a scratch parser to reuse the one
+            // shared help renderer.
+            ArgParser help_ap(std::vector<std::string>{});
+            (void)help_ap.stringFlag("--out",
+                                     "write the profile envelope to "
+                                     "FILE");
+            (void)help_ap.intFlag("--top", 10,
+                                  "attribution tree rows to print");
+            std::fputs(
+                help_ap
+                    .helpText("profile [--out FILE] [--top N] "
+                              "<command> [args ...]",
+                              "Self-profile any subcommand under a "
+                              "wall-clock span tree.")
+                    .c_str(),
+                stdout);
+            return 0;
+        }
         if (arg != "--out" && arg != "--top") {
             if (!arg.empty() && arg[0] == '-') {
                 return failWith(Status::error(ErrorCode::InvalidArgument,
@@ -2013,6 +2308,10 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        usageText(stdout);
+        return 0;
+    }
     // `lll --profile <cmd>` is an alias for `lll profile <cmd>`.
     if (cmd == "profile" || cmd == "--profile")
         return cmdProfile(argc, argv);
